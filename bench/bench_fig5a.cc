@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Regenerates paper Figure 5a: speedup from the table-based address
+ * prediction scheme alone, with 64/128/256 direct-mapped entries,
+ * with and without compiler support.
+ *
+ * Hardware-only: every load allocates table entries. Compiler: only
+ * ld_p-classified loads touch the table, so non-strided loads do not
+ * evict useful entries. Also reports the 1024-entry hardware-only
+ * configuration the paper cites as the crossover point.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "support/strings.hh"
+
+using namespace elag;
+using pipeline::MachineConfig;
+using pipeline::SelectionPolicy;
+
+namespace {
+
+MachineConfig
+tableOnly(uint32_t entries, bool compiler_directed)
+{
+    MachineConfig cfg;
+    cfg.addressTableEnabled = true;
+    cfg.addressTableEntries = entries;
+    cfg.earlyCalcEnabled = false;
+    cfg.selection = compiler_directed ? SelectionPolicy::CompilerSpec
+                                      : SelectionPolicy::AllPredict;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 5a: speedup, table-based address prediction only",
+        "Cheng, Connors & Hwu, MICRO-31 1998, Figure 5(a)");
+
+    const uint32_t sizes[] = {64, 128, 256};
+
+    TextTable table;
+    table.setHeader({"Benchmark", "hw-64", "hw-128", "hw-256",
+                     "cc-64", "cc-128", "cc-256", "hw-1024"});
+
+    auto suite = bench::prepareSuite(workloads::Suite::SpecInt);
+    std::map<std::string, std::vector<double>> columns;
+
+    for (const auto &prepared : suite) {
+        std::vector<std::string> row{prepared.workload->name};
+        for (bool compiler : {false, true}) {
+            for (uint32_t entries : sizes) {
+                double s = bench::runSpeedup(
+                    prepared, tableOnly(entries, compiler));
+                std::string key =
+                    (compiler ? "cc-" : "hw-") + std::to_string(entries);
+                columns[key].push_back(s);
+            }
+        }
+        double s1024 = bench::runSpeedup(prepared, tableOnly(1024, false));
+        columns["hw-1024"].push_back(s1024);
+        for (const char *key :
+             {"hw-64", "hw-128", "hw-256", "cc-64", "cc-128", "cc-256",
+              "hw-1024"}) {
+            row.push_back(bench::fmtSpeedup(columns[key].back()));
+        }
+        table.addRow(row);
+    }
+
+    table.addSeparator();
+    std::vector<std::string> avg{"average"};
+    for (const char *key : {"hw-64", "hw-128", "hw-256", "cc-64",
+                            "cc-128", "cc-256", "hw-1024"}) {
+        avg.push_back(bench::fmtSpeedup(bench::mean(columns[key])));
+    }
+    table.addRow(avg);
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Paper's qualitative claims: (1) larger tables help both\n"
+        "schemes; (2) compiler-directed allocation matches or beats\n"
+        "hardware-only at each size because fewer table conflicts are\n"
+        "generated; (3) the hardware-only scheme needs a much larger\n"
+        "(1024-entry) table to consistently surpass the 256-entry\n"
+        "compiler-directed configuration.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates paper Figure 5b: speedup from the early address
+ * calculation mechanism alone, with 4, 8, and 16 hardware-cached
+ * base registers (the prior-work register-caching designs with
+ * multicast writes; no compiler support).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "support/strings.hh"
+
+using namespace elag;
+using pipeline::MachineConfig;
+using pipeline::SelectionPolicy;
+
+namespace {
+
+MachineConfig
+earlyOnly(uint32_t cached_regs)
+{
+    MachineConfig cfg;
+    cfg.addressTableEnabled = false;
+    cfg.earlyCalcEnabled = true;
+    cfg.registerCacheSize = cached_regs;
+    cfg.selection = SelectionPolicy::AllEarlyCalc;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 5b: speedup, early address calculation only",
+        "Cheng, Connors & Hwu, MICRO-31 1998, Figure 5(b)");
+
+    const uint32_t sizes[] = {4, 8, 16};
+
+    TextTable table;
+    table.setHeader({"Benchmark", "4 regs", "8 regs", "16 regs"});
+
+    auto suite = bench::prepareSuite(workloads::Suite::SpecInt);
+    std::vector<double> col4, col8, col16;
+
+    for (const auto &prepared : suite) {
+        std::vector<double> row_vals;
+        for (uint32_t regs : sizes)
+            row_vals.push_back(
+                bench::runSpeedup(prepared, earlyOnly(regs)));
+        col4.push_back(row_vals[0]);
+        col8.push_back(row_vals[1]);
+        col16.push_back(row_vals[2]);
+        table.addRow({prepared.workload->name,
+                      bench::fmtSpeedup(row_vals[0]),
+                      bench::fmtSpeedup(row_vals[1]),
+                      bench::fmtSpeedup(row_vals[2])});
+    }
+
+    table.addSeparator();
+    table.addRow({"average", bench::fmtSpeedup(bench::mean(col4)),
+                  bench::fmtSpeedup(bench::mean(col8)),
+                  bench::fmtSpeedup(bench::mean(col16))});
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Paper's qualitative claims: more cached registers help, but\n"
+        "the gain slows from 8 to 16 because address-use hazards (base\n"
+        "registers written shortly before the load) bound how often\n"
+        "early calculation can forward, regardless of cache size.\n");
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Regenerates paper Figure 5c: the dual-path scheme versus the best
+ * hardware-only single-path configurations.
+ *
+ * Columns:
+ *   hw-tab256   largest table-only hardware config from Figure 5a
+ *   hw-early16  largest register-caching config from Figure 5b
+ *   dual-hw     dual path, run-time selection (Eickemeyer-Vassiliadis
+ *               heuristic: interlocked loads go to the table);
+ *               256-entry table + 1 register
+ *   dual-cc     dual path, compiler heuristics (ld_n/ld_p/ld_e)
+ *   dual-cc+pf  dual path, compiler heuristics + address profiling
+ *               (ld_n loads above the 60% threshold upgraded to ld_p)
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "support/strings.hh"
+
+using namespace elag;
+using pipeline::MachineConfig;
+using pipeline::SelectionPolicy;
+
+namespace {
+
+MachineConfig
+dualPath(SelectionPolicy selection)
+{
+    MachineConfig cfg;
+    cfg.addressTableEnabled = true;
+    cfg.addressTableEntries = 256;
+    cfg.earlyCalcEnabled = true;
+    cfg.registerCacheSize = 1;
+    cfg.selection = selection;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 5c: dual-path early address generation",
+        "Cheng, Connors & Hwu, MICRO-31 1998, Figure 5(c)");
+
+    TextTable table;
+    table.setHeader({"Benchmark", "hw-tab256", "hw-early16", "dual-hw",
+                     "dual-cc", "dual-cc+pf"});
+
+    auto suite = bench::prepareSuite(workloads::Suite::SpecInt);
+    std::vector<double> c1, c2, c3, c4, c5;
+
+    for (auto &prepared : suite) {
+        MachineConfig tab256;
+        tab256.addressTableEnabled = true;
+        tab256.addressTableEntries = 256;
+        tab256.selection = SelectionPolicy::AllPredict;
+
+        MachineConfig early16;
+        early16.earlyCalcEnabled = true;
+        early16.registerCacheSize = 16;
+        early16.selection = SelectionPolicy::AllEarlyCalc;
+
+        double s_tab = bench::runSpeedup(prepared, tab256);
+        double s_early = bench::runSpeedup(prepared, early16);
+        double s_dual_hw = bench::runSpeedup(
+            prepared, dualPath(SelectionPolicy::EvSelect));
+        double s_dual_cc = bench::runSpeedup(
+            prepared, dualPath(SelectionPolicy::CompilerSpec));
+
+        // Profile-guided reclassification (Section 4.3): profile,
+        // upgrade predictable ld_n loads to ld_p, regenerate code,
+        // rerun; then restore the heuristic-only classification.
+        auto profile = sim::runProfile(prepared.program, bench::MaxInst);
+        sim::CompiledProgram &prog =
+            const_cast<sim::CompiledProgram &>(prepared.program);
+        classify::applyAddressProfile(*prog.module, profile.profile,
+                                      0.60);
+        prog.regenerate();
+        double s_dual_pf = bench::runSpeedup(
+            prepared, dualPath(SelectionPolicy::CompilerSpec));
+        // Restore by re-running the plain heuristics.
+        classify::classifyLoads(*prog.module);
+        prog.regenerate();
+
+        c1.push_back(s_tab);
+        c2.push_back(s_early);
+        c3.push_back(s_dual_hw);
+        c4.push_back(s_dual_cc);
+        c5.push_back(s_dual_pf);
+        table.addRow({prepared.workload->name, bench::fmtSpeedup(s_tab),
+                      bench::fmtSpeedup(s_early),
+                      bench::fmtSpeedup(s_dual_hw),
+                      bench::fmtSpeedup(s_dual_cc),
+                      bench::fmtSpeedup(s_dual_pf)});
+    }
+
+    table.addSeparator();
+    table.addRow({"average", bench::fmtSpeedup(bench::mean(c1)),
+                  bench::fmtSpeedup(bench::mean(c2)),
+                  bench::fmtSpeedup(bench::mean(c3)),
+                  bench::fmtSpeedup(bench::mean(c4)),
+                  bench::fmtSpeedup(bench::mean(c5))});
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Paper's qualitative claims: neither single-path scheme wins\n"
+        "everywhere; the dual-path scheme beats both; the compiler-\n"
+        "directed dual path (paper: 34%%) beats run-time hardware\n"
+        "selection (paper: 26%%) with far less hardware, and address\n"
+        "profiling adds a few points more (paper: 38%%).\n");
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the simulator's hot
+ * structures: the address-prediction table, the register cache, the
+ * cache timing model, and the end-to-end simulation rate. These
+ * guard the simulator's own performance (host-side), not the
+ * simulated machine's.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/cache.hh"
+#include "pipeline/pipeline.hh"
+#include "predict/address_table.hh"
+#include "predict/register_cache.hh"
+#include "sim/simulator.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+#include "workloads/workloads.hh"
+
+using namespace elag;
+
+namespace {
+
+void
+BM_AddressTableUpdate(benchmark::State &state)
+{
+    predict::AddressTable table(
+        static_cast<uint32_t>(state.range(0)));
+    Pcg32 rng(42);
+    uint32_t pc = 0;
+    uint32_t addr = 0x1000;
+    for (auto _ : state) {
+        pc = (pc + 7) & 0xffff;
+        addr += 4;
+        benchmark::DoNotOptimize(table.update(pc, addr));
+    }
+}
+BENCHMARK(BM_AddressTableUpdate)->Arg(64)->Arg(256)->Arg(1024);
+
+void
+BM_AddressTableProbe(benchmark::State &state)
+{
+    predict::AddressTable table(256);
+    for (uint32_t pc = 0; pc < 512; ++pc) {
+        table.update(pc, 0x1000 + pc * 4);
+        table.update(pc, 0x1000 + pc * 4);
+    }
+    uint32_t pc = 0;
+    for (auto _ : state) {
+        pc = (pc + 3) & 511;
+        benchmark::DoNotOptimize(table.probe(pc));
+    }
+}
+BENCHMARK(BM_AddressTableProbe);
+
+void
+BM_RegisterCacheLookup(benchmark::State &state)
+{
+    predict::RegisterCache cache(
+        static_cast<uint32_t>(state.range(0)));
+    for (int r = 0; r < state.range(0); ++r)
+        cache.bind(r + 10, 0x2000u + static_cast<uint32_t>(r) * 64);
+    int reg = 10;
+    for (auto _ : state) {
+        reg = 10 + ((reg + 1) % 20);
+        benchmark::DoNotOptimize(cache.lookup(reg));
+    }
+}
+BENCHMARK(BM_RegisterCacheLookup)->Arg(1)->Arg(4)->Arg(16);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::Cache cache(mem::CacheConfig{});
+    Pcg32 rng(7);
+    uint64_t cycle = 0;
+    for (auto _ : state) {
+        uint32_t addr = rng.next() & 0xfffff;
+        benchmark::DoNotOptimize(cache.access(addr, ++cycle));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_EndToEndSimulation(benchmark::State &state)
+{
+    setQuiet(true);
+    const auto *w = workloads::findWorkload("026.compress");
+    auto prog = sim::compile(w->source);
+    uint64_t instructions = 0;
+    for (auto _ : state) {
+        auto result =
+            sim::runTimed(prog, pipeline::MachineConfig::proposed());
+        instructions += result.pipe.instructions;
+        benchmark::DoNotOptimize(result.pipe.cycles);
+    }
+    state.counters["sim_inst_per_s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_CompilePipeline(benchmark::State &state)
+{
+    setQuiet(true);
+    const auto *w = workloads::findWorkload("147.vortex");
+    for (auto _ : state) {
+        auto prog = sim::compile(w->source);
+        benchmark::DoNotOptimize(prog.code.program.code.size());
+    }
+}
+BENCHMARK(BM_CompilePipeline)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Regenerates paper Table 2: benchmark load characteristics and
+ * prediction characteristics under the compiler heuristics.
+ *
+ * Columns: dynamic load count (millions scaled down — our inputs are
+ * smaller than SPEC's), static and dynamic percentage of loads
+ * classified NT (ld_n), PD (ld_p) and EC (ld_e), and the stride
+ * prediction rates of NT and PD loads measured with individual
+ * operation prediction (one unbounded FSM per static load, no table
+ * contention — paper Section 5.2).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "support/strings.hh"
+
+using namespace elag;
+
+int
+main()
+{
+    bench::printHeader(
+        "Table 2: load classification and prediction characteristics",
+        "Cheng, Connors & Hwu, MICRO-31 1998, Table 2");
+
+    TextTable table;
+    table.setHeader({"Benchmark", "Loads(k)", "%St NT", "%St PD",
+                     "%St EC", "%Dy NT", "%Dy PD", "%Dy EC",
+                     "PredRate NT", "PredRate PD"});
+
+    auto suite = bench::prepareSuite(workloads::Suite::SpecInt);
+
+    std::vector<double> st_nt, st_pd, st_ec, dy_nt, dy_pd, dy_ec;
+    std::vector<double> rate_nt, rate_pd;
+    double total_loads = 0.0;
+
+    for (const auto &prepared : suite) {
+        const auto &stats = prepared.program.classStats;
+        double st_total = stats.total();
+        auto profile = sim::runProfile(prepared.program, bench::MaxInst);
+        double dy_total =
+            static_cast<double>(profile.totalLoads());
+
+        double v_st_nt = 100.0 * stats.numNormal / st_total;
+        double v_st_pd = 100.0 * stats.numPredict / st_total;
+        double v_st_ec = 100.0 * stats.numEarlyCalc / st_total;
+        double v_dy_nt =
+            100.0 * profile.normal.executions / dy_total;
+        double v_dy_pd =
+            100.0 * profile.predict.executions / dy_total;
+        double v_dy_ec =
+            100.0 * profile.earlyCalc.executions / dy_total;
+        double v_rate_nt = 100.0 * profile.normal.rate();
+        double v_rate_pd = 100.0 * profile.predict.rate();
+
+        st_nt.push_back(v_st_nt);
+        st_pd.push_back(v_st_pd);
+        st_ec.push_back(v_st_ec);
+        dy_nt.push_back(v_dy_nt);
+        dy_pd.push_back(v_dy_pd);
+        dy_ec.push_back(v_dy_ec);
+        rate_nt.push_back(v_rate_nt);
+        rate_pd.push_back(v_rate_pd);
+        total_loads += dy_total;
+
+        table.addRow({prepared.workload->name,
+                      formatDouble(dy_total / 1000.0, 0),
+                      formatDouble(v_st_nt, 2), formatDouble(v_st_pd, 2),
+                      formatDouble(v_st_ec, 2), formatDouble(v_dy_nt, 2),
+                      formatDouble(v_dy_pd, 2), formatDouble(v_dy_ec, 2),
+                      formatDouble(v_rate_nt, 2),
+                      formatDouble(v_rate_pd, 2)});
+    }
+
+    table.addSeparator();
+    table.addRow(
+        {"average",
+         formatDouble(total_loads / 1000.0 / suite.size(), 0),
+         formatDouble(bench::mean(st_nt), 2),
+         formatDouble(bench::mean(st_pd), 2),
+         formatDouble(bench::mean(st_ec), 2),
+         formatDouble(bench::mean(dy_nt), 2),
+         formatDouble(bench::mean(dy_pd), 2),
+         formatDouble(bench::mean(dy_ec), 2),
+         formatDouble(bench::mean(rate_nt), 2),
+         formatDouble(bench::mean(rate_pd), 2)});
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Paper's qualitative claim: PD loads predict much better than\n"
+        "NT loads (paper: 93.01%% vs 70.81%% on SPEC; the gap, not the\n"
+        "absolute numbers, is the reproduced result).\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Regenerates paper Table 3: speedup, static/dynamic distribution of
+ * predictable loads, and prediction rates after using address
+ * profile information in load classification (60% threshold,
+ * Section 4.3).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "support/strings.hh"
+
+using namespace elag;
+using pipeline::MachineConfig;
+using pipeline::SelectionPolicy;
+
+int
+main()
+{
+    bench::printHeader(
+        "Table 3: profile-assisted load classification",
+        "Cheng, Connors & Hwu, MICRO-31 1998, Table 3");
+
+    TextTable table;
+    table.setHeader({"Benchmark", "Speedup", "%St PD", "%Dy PD",
+                     "PredRate NT", "PredRate PD", "ld_n->ld_p"});
+
+    MachineConfig proposed = MachineConfig::proposed();
+
+    auto suite = bench::prepareSuite(workloads::Suite::SpecInt);
+    std::vector<double> sp, st_pd, dy_pd, rate_nt, rate_pd;
+
+    for (auto &prepared : suite) {
+        // Profile with the heuristic classification, apply the
+        // 60%-threshold upgrade, regenerate, and re-measure.
+        auto profile0 = sim::runProfile(prepared.program, bench::MaxInst);
+        sim::CompiledProgram &prog =
+            const_cast<sim::CompiledProgram &>(prepared.program);
+        int upgraded = classify::applyAddressProfile(
+            *prog.module, profile0.profile, 0.60);
+        prog.regenerate();
+
+        // Static distribution after the upgrade.
+        int st_total = 0, st_predict = 0;
+        for (const auto &kv : prog.specOf) {
+            ++st_total;
+            if (kv.second == isa::LoadSpec::Predict)
+                ++st_predict;
+        }
+
+        auto profile1 = sim::runProfile(prepared.program, bench::MaxInst);
+        double dy_total = static_cast<double>(profile1.totalLoads());
+
+        double s = bench::runSpeedup(prepared, proposed);
+
+        double v_st_pd = 100.0 * st_predict / st_total;
+        double v_dy_pd =
+            100.0 * profile1.predict.executions / dy_total;
+        double v_rate_nt = 100.0 * profile1.normal.rate();
+        double v_rate_pd = 100.0 * profile1.predict.rate();
+
+        sp.push_back(s);
+        st_pd.push_back(v_st_pd);
+        dy_pd.push_back(v_dy_pd);
+        rate_nt.push_back(v_rate_nt);
+        rate_pd.push_back(v_rate_pd);
+
+        table.addRow({prepared.workload->name, bench::fmtSpeedup(s),
+                      formatDouble(v_st_pd, 2), formatDouble(v_dy_pd, 2),
+                      formatDouble(v_rate_nt, 2),
+                      formatDouble(v_rate_pd, 2),
+                      std::to_string(upgraded)});
+
+        // Restore heuristic-only classification for other users.
+        classify::classifyLoads(*prog.module);
+        prog.regenerate();
+    }
+
+    table.addSeparator();
+    table.addRow({"average", bench::fmtSpeedup(bench::mean(sp)),
+                  formatDouble(bench::mean(st_pd), 2),
+                  formatDouble(bench::mean(dy_pd), 2),
+                  formatDouble(bench::mean(rate_nt), 2),
+                  formatDouble(bench::mean(rate_pd), 2), ""});
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Paper's qualitative claims: profiling raises PD coverage\n"
+        "(paper: static 48.44%%, dynamic 64.95%% PD) and drains the\n"
+        "predictable loads out of the NT class, so the NT prediction\n"
+        "rate drops sharply (paper: 70.81%% -> 29.60%%) while the PD\n"
+        "rate stays high (paper: 92.13%%), and average speedup rises\n"
+        "(paper: 1.34 -> 1.38).\n");
+    return 0;
+}

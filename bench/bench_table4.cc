@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Regenerates paper Table 4: MediaBench load characteristics,
+ * prediction characteristics, and speedup under the compiler-
+ * directed dual-path scheme (256-entry table + one R_addr).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "support/strings.hh"
+
+using namespace elag;
+
+int
+main()
+{
+    bench::printHeader(
+        "Table 4: MediaBench characteristics and speedup",
+        "Cheng, Connors & Hwu, MICRO-31 1998, Table 4");
+
+    TextTable table;
+    table.setHeader({"Benchmark", "Loads(k)", "%St NT", "%St PD",
+                     "%St EC", "%Dy NT", "%Dy PD", "%Dy EC",
+                     "PredRate NT", "PredRate PD", "Speedup"});
+
+    auto suite = bench::prepareSuite(workloads::Suite::MediaBench);
+    auto proposed = pipeline::MachineConfig::proposed();
+
+    std::vector<double> st_nt, st_pd, st_ec, dy_nt, dy_pd, dy_ec;
+    std::vector<double> rate_nt, rate_pd, speedups;
+    double total_loads = 0.0;
+
+    for (const auto &prepared : suite) {
+        const auto &stats = prepared.program.classStats;
+        double st_total = stats.total();
+        auto profile = sim::runProfile(prepared.program, bench::MaxInst);
+        double dy_total = static_cast<double>(profile.totalLoads());
+        double s = bench::runSpeedup(prepared, proposed);
+
+        double v_st_nt = 100.0 * stats.numNormal / st_total;
+        double v_st_pd = 100.0 * stats.numPredict / st_total;
+        double v_st_ec = 100.0 * stats.numEarlyCalc / st_total;
+        double v_dy_nt = 100.0 * profile.normal.executions / dy_total;
+        double v_dy_pd = 100.0 * profile.predict.executions / dy_total;
+        double v_dy_ec =
+            100.0 * profile.earlyCalc.executions / dy_total;
+        double v_rate_nt = 100.0 * profile.normal.rate();
+        double v_rate_pd = 100.0 * profile.predict.rate();
+
+        st_nt.push_back(v_st_nt);
+        st_pd.push_back(v_st_pd);
+        st_ec.push_back(v_st_ec);
+        dy_nt.push_back(v_dy_nt);
+        dy_pd.push_back(v_dy_pd);
+        dy_ec.push_back(v_dy_ec);
+        rate_nt.push_back(v_rate_nt);
+        rate_pd.push_back(v_rate_pd);
+        speedups.push_back(s);
+        total_loads += dy_total;
+
+        table.addRow({prepared.workload->name,
+                      formatDouble(dy_total / 1000.0, 0),
+                      formatDouble(v_st_nt, 2), formatDouble(v_st_pd, 2),
+                      formatDouble(v_st_ec, 2), formatDouble(v_dy_nt, 2),
+                      formatDouble(v_dy_pd, 2), formatDouble(v_dy_ec, 2),
+                      formatDouble(v_rate_nt, 2),
+                      formatDouble(v_rate_pd, 2), bench::fmtSpeedup(s)});
+    }
+
+    table.addSeparator();
+    table.addRow(
+        {"average",
+         formatDouble(total_loads / 1000.0 / suite.size(), 0),
+         formatDouble(bench::mean(st_nt), 2),
+         formatDouble(bench::mean(st_pd), 2),
+         formatDouble(bench::mean(st_ec), 2),
+         formatDouble(bench::mean(dy_nt), 2),
+         formatDouble(bench::mean(dy_pd), 2),
+         formatDouble(bench::mean(dy_ec), 2),
+         formatDouble(bench::mean(rate_nt), 2),
+         formatDouble(bench::mean(rate_pd), 2),
+         bench::fmtSpeedup(bench::mean(speedups))});
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Paper's qualitative claims: embedded media kernels have a\n"
+        "larger dynamic PD fraction than SPEC (paper: 79.31%% vs\n"
+        "58.06%%) because their loads are dominated by strided DSP\n"
+        "loops, while the overall speedup is smaller (paper: 1.19)\n"
+        "because loads are a smaller share of the instruction mix.\n");
+    return 0;
+}

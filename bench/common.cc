@@ -1,0 +1,82 @@
+#include "bench/common.hh"
+
+#include <cstdio>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace elag {
+namespace bench {
+
+std::vector<PreparedWorkload>
+prepareSuite(workloads::Suite suite)
+{
+    setQuiet(true);
+    const auto &all = suite == workloads::Suite::SpecInt
+                          ? workloads::specWorkloads()
+                          : workloads::mediaWorkloads();
+    std::vector<PreparedWorkload> out;
+    out.reserve(all.size());
+    for (const auto &w : all) {
+        PreparedWorkload prepared;
+        prepared.workload = &w;
+        prepared.program = sim::compile(w.source);
+        auto base = sim::runTimed(prepared.program,
+                                  pipeline::MachineConfig::baseline(),
+                                  MaxInst);
+        if (!base.emulation.halted)
+            fatal("workload %s hit the instruction cap", w.name.c_str());
+        prepared.baselineCycles = base.pipe.cycles;
+        out.push_back(std::move(prepared));
+    }
+    return out;
+}
+
+sim::TimedResult
+runMachine(const PreparedWorkload &prepared,
+           const pipeline::MachineConfig &machine)
+{
+    return sim::runTimed(prepared.program, machine, MaxInst);
+}
+
+double
+runSpeedup(const PreparedWorkload &prepared,
+           const pipeline::MachineConfig &machine)
+{
+    auto result = runMachine(prepared, machine);
+    if (result.pipe.cycles == 0)
+        return 0.0;
+    return static_cast<double>(prepared.baselineCycles) /
+           static_cast<double>(result.pipe.cycles);
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+std::string
+fmtSpeedup(double value)
+{
+    return formatDouble(value, 3);
+}
+
+void
+printHeader(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("Machine: 6-issue in-order, 64K I/D caches, 12-cycle miss,\n");
+    std::printf("         1K-entry BTB (paper Section 5.1)\n");
+    std::printf("==============================================================\n\n");
+}
+
+} // namespace bench
+} // namespace elag

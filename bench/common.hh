@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared harness for the paper-reproduction benchmarks.
+ *
+ * Each bench binary regenerates one table or figure from the paper's
+ * evaluation (Section 5); this header provides the compile/run/format
+ * plumbing they share.
+ */
+
+#ifndef ELAG_BENCH_COMMON_HH
+#define ELAG_BENCH_COMMON_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pipeline/config.hh"
+#include "sim/simulator.hh"
+#include "support/table.hh"
+#include "workloads/workloads.hh"
+
+namespace elag {
+namespace bench {
+
+/** Instruction budget per simulated run. */
+constexpr uint64_t MaxInst = 200'000'000;
+
+/** A compiled workload with its cached baseline timing. */
+struct PreparedWorkload
+{
+    const workloads::Workload *workload = nullptr;
+    sim::CompiledProgram program;
+    uint64_t baselineCycles = 0;
+};
+
+/** Compile every workload of @p suite and time the baseline machine. */
+std::vector<PreparedWorkload> prepareSuite(workloads::Suite suite);
+
+/** Speedup of @p machine over the cached baseline. */
+double runSpeedup(const PreparedWorkload &prepared,
+                  const pipeline::MachineConfig &machine);
+
+/** Timed run returning full stats. */
+sim::TimedResult runMachine(const PreparedWorkload &prepared,
+                            const pipeline::MachineConfig &machine);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+/** Format a speedup as e.g. "1.34". */
+std::string fmtSpeedup(double value);
+
+/** Print a header line for a bench binary. */
+void printHeader(const std::string &title, const std::string &paper_ref);
+
+} // namespace bench
+} // namespace elag
+
+#endif // ELAG_BENCH_COMMON_HH

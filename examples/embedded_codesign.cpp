@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Embedded-system design-space sweep (paper Section 5.4): compare
+ * hardware budgets for a media kernel. The paper argues embedded
+ * processors benefit most from the compiler-directed scheme because
+ * a tiny table plus one addressing register competes with much
+ * larger hardware-only structures.
+ */
+
+#include <cstdio>
+
+#include "pipeline/config.hh"
+#include "sim/simulator.hh"
+#include "support/logging.hh"
+#include "workloads/workloads.hh"
+
+using namespace elag;
+using pipeline::MachineConfig;
+using pipeline::SelectionPolicy;
+
+namespace {
+
+/** Rough table cost in bits: entries * (tag + PA + ST + STC). */
+uint32_t
+tableBits(uint32_t entries)
+{
+    return entries * (20 + 32 + 16 + 1);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    const auto *w = workloads::findWorkload("gsm_enc");
+    if (!w) {
+        std::printf("workload registry is empty\n");
+        return 1;
+    }
+    std::printf("Embedded co-design sweep on %s (%s)\n\n",
+                w->name.c_str(), w->description.c_str());
+
+    sim::CompiledProgram prog = sim::compile(w->source);
+    auto base = sim::runTimed(prog, MachineConfig::baseline());
+
+    std::printf("%-34s %10s %10s\n", "configuration", "speedup",
+                "state bits");
+
+    // Hardware-only designs: growing tables, no ISA change.
+    for (uint32_t entries : {64u, 256u, 1024u}) {
+        MachineConfig cfg;
+        cfg.addressTableEnabled = true;
+        cfg.addressTableEntries = entries;
+        cfg.selection = SelectionPolicy::AllPredict;
+        auto r = sim::runTimed(prog, cfg);
+        std::printf("%-34s %10.3f %10u\n",
+                    ("hardware-only, " + std::to_string(entries) +
+                     "-entry table")
+                        .c_str(),
+                    sim::speedup(base, r), tableBits(entries));
+    }
+
+    // Compiler-directed designs: new load opcodes, small hardware.
+    for (uint32_t entries : {32u, 64u, 256u}) {
+        MachineConfig cfg;
+        cfg.addressTableEnabled = true;
+        cfg.addressTableEntries = entries;
+        cfg.earlyCalcEnabled = true;
+        cfg.registerCacheSize = 1;
+        cfg.selection = SelectionPolicy::CompilerSpec;
+        auto r = sim::runTimed(prog, cfg);
+        std::printf("%-34s %10.3f %10u\n",
+                    ("compiler-directed, " + std::to_string(entries) +
+                     "-entry + R_addr")
+                        .c_str(),
+                    sim::speedup(base, r),
+                    tableBits(entries) + 32 + 6);
+    }
+
+    std::printf(
+        "\nThe compiler-directed rows reach their full speedup with a\n"
+        "fraction of the state bits: only predictable loads occupy the\n"
+        "table, so shrinking it costs little — the paper's embedded\n"
+        "argument (Section 5.4): space and power budgets favor\n"
+        "compiler-managed, specialized hardware.\n");
+    return 0;
+}

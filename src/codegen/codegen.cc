@@ -1,0 +1,506 @@
+#include "codegen/codegen.hh"
+
+#include <algorithm>
+
+#include "codegen/regalloc.hh"
+#include "isa/builder.hh"
+#include "isa/registers.hh"
+#include "support/logging.hh"
+
+namespace elag {
+namespace codegen {
+
+using ir::BasicBlock;
+using ir::CondCode;
+using ir::Function;
+using ir::IrInst;
+using ir::IrOpcode;
+using ir::Operand;
+using isa::Instruction;
+using isa::LoadSpec;
+using isa::Opcode;
+namespace build = isa::build;
+namespace reg = isa::reg;
+
+namespace {
+
+/** Lowers one IR function to machine code with local fixups. */
+class FunctionCodegen
+{
+  public:
+    FunctionCodegen(const Function &fn, CodegenResult &result)
+        : fn(const_cast<Function &>(fn)), result(result)
+    {
+    }
+
+    /** Emit into @p out; records call fixups into @p call_fixups. */
+    void run(std::vector<Instruction> &out,
+             std::vector<std::pair<size_t, std::string>> &call_fixups,
+             std::vector<int> &load_ids);
+
+  private:
+    void computeFrame();
+    void emitPrologue();
+    void emitEpilogue();
+    void lowerInst(const IrInst &inst, const BasicBlock *next_block);
+
+    void emit(Instruction inst, int load_id = 0);
+    /** Materialize operand into a register (maybe a scratch). */
+    int srcReg(const Operand &o, int scratch);
+    /** Register that will hold the dest; pairs with finishDest. */
+    int destReg(int vreg);
+    /** Store a spilled dest from its scratch register. */
+    void finishDest(int vreg, int reg);
+
+    int spillOffset(int slot) const { return slot * 4; }
+    int objectOffset(int id) const { return objectOffsets.at(id); }
+
+    Function &fn;
+    CodegenResult &result;
+    Allocation alloc;
+    std::vector<BasicBlock *> order;
+
+    std::vector<Instruction> code;
+    std::vector<int> loadIds; ///< parallel to code; 0 = not a load
+    /** (code index, block) pairs needing branch-target patching. */
+    std::vector<std::pair<size_t, const BasicBlock *>> branchFixups;
+    /** (code index) of jumps to the epilogue. */
+    std::vector<size_t> epilogueFixups;
+    std::vector<std::pair<size_t, std::string>> callFixups;
+    std::map<const BasicBlock *, size_t> blockStart;
+    std::map<int, int> objectOffsets;
+    int frameSize = 0;
+    int raOffset = 0;
+    std::map<int, int> calleeSaveOffsets;
+    bool makesCalls = false;
+};
+
+void
+FunctionCodegen::emit(Instruction inst, int load_id)
+{
+    code.push_back(inst);
+    loadIds.push_back(load_id);
+}
+
+int
+FunctionCodegen::srcReg(const Operand &o, int scratch)
+{
+    if (o.isImm()) {
+        if (o.imm == 0)
+            return reg::Zero;
+        emit(build::li(scratch, static_cast<int32_t>(o.imm)));
+        return scratch;
+    }
+    elag_assert(o.isReg());
+    int phys = alloc.regFor(o.reg);
+    if (phys >= 0)
+        return phys;
+    elag_assert(alloc.isSpilled(o.reg));
+    emit(build::load(LoadSpec::Normal, scratch, reg::Sp,
+                     spillOffset(alloc.spillSlots.at(o.reg))));
+    return scratch;
+}
+
+int
+FunctionCodegen::destReg(int vreg)
+{
+    int phys = alloc.regFor(vreg);
+    if (phys >= 0)
+        return phys;
+    elag_assert(alloc.isSpilled(vreg));
+    return Scratch2;
+}
+
+void
+FunctionCodegen::finishDest(int vreg, int dest)
+{
+    if (alloc.regFor(vreg) >= 0)
+        return;
+    emit(build::store(dest, reg::Sp,
+                      spillOffset(alloc.spillSlots.at(vreg))));
+}
+
+void
+FunctionCodegen::computeFrame()
+{
+    for (const auto &bb : fn.blocks()) {
+        for (const auto &inst : bb->insts)
+            makesCalls |= inst.isCall();
+    }
+
+    int offset = alloc.numSpillSlots * 4;
+    for (const auto &obj : fn.stackObjects()) {
+        offset = (offset + obj.align - 1) / obj.align * obj.align;
+        objectOffsets[obj.id] = offset;
+        offset += obj.size;
+    }
+    offset = (offset + 3) / 4 * 4;
+    raOffset = offset;
+    offset += 4; // always reserve the return-address slot
+    for (int r : alloc.usedCalleeSaved) {
+        calleeSaveOffsets[r] = offset;
+        offset += 4;
+    }
+    frameSize = (offset + 7) / 8 * 8;
+}
+
+void
+FunctionCodegen::emitPrologue()
+{
+    if (frameSize > 0)
+        emit(build::addi(reg::Sp, reg::Sp, -frameSize));
+    emit(build::store(reg::Ra, reg::Sp, raOffset));
+    for (const auto &kv : calleeSaveOffsets)
+        emit(build::store(kv.first, reg::Sp, kv.second));
+
+    // Move incoming arguments to their allocated homes.
+    if (fn.params.size() >
+        static_cast<size_t>(reg::NumArgRegs)) {
+        fatal("function '%s' has more than %d parameters",
+              fn.name().c_str(), reg::NumArgRegs);
+    }
+    for (size_t i = 0; i < fn.params.size(); ++i) {
+        int vreg = fn.params[i];
+        int phys = alloc.regFor(vreg);
+        if (phys >= 0) {
+            if (phys != reg::arg(static_cast<int>(i)))
+                emit(build::mov(phys, reg::arg(static_cast<int>(i))));
+        } else if (alloc.isSpilled(vreg)) {
+            emit(build::store(reg::arg(static_cast<int>(i)), reg::Sp,
+                              spillOffset(alloc.spillSlots.at(vreg))));
+        }
+        // A parameter that is neither colored nor spilled is unused.
+    }
+}
+
+void
+FunctionCodegen::emitEpilogue()
+{
+    for (const auto &kv : calleeSaveOffsets) {
+        emit(build::load(LoadSpec::Normal, kv.first, reg::Sp,
+                         kv.second));
+    }
+    emit(build::load(LoadSpec::Normal, reg::Ra, reg::Sp, raOffset));
+    if (frameSize > 0)
+        emit(build::addi(reg::Sp, reg::Sp, frameSize));
+    emit(build::jr(reg::Ra));
+}
+
+void
+FunctionCodegen::lowerInst(const IrInst &inst,
+                           const BasicBlock *next_block)
+{
+    using Op = IrOpcode;
+    switch (inst.op) {
+      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+      case Op::Rem: case Op::And: case Op::Or: case Op::Xor:
+      case Op::Shl: case Op::Shr: case Op::Sra:
+      case Op::SetLt: case Op::SetLtU: case Op::SetEq: {
+        int a = srcReg(inst.a, Scratch0);
+        int dest = destReg(inst.dest);
+        // Immediate forms where the ISA has them.
+        if (inst.b.isImm()) {
+            int32_t imm = static_cast<int32_t>(inst.b.imm);
+            bool emitted = true;
+            switch (inst.op) {
+              case Op::Add:
+                emit(build::rri(Opcode::ADDI, dest, a, imm));
+                break;
+              case Op::Sub:
+                emit(build::rri(Opcode::ADDI, dest, a, -imm));
+                break;
+              case Op::And:
+                emit(build::rri(Opcode::ANDI, dest, a, imm));
+                break;
+              case Op::Or:
+                emit(build::rri(Opcode::ORI, dest, a, imm));
+                break;
+              case Op::Xor:
+                emit(build::rri(Opcode::XORI, dest, a, imm));
+                break;
+              case Op::Shl:
+                emit(build::rri(Opcode::SLLI, dest, a, imm & 31));
+                break;
+              case Op::Shr:
+                emit(build::rri(Opcode::SRLI, dest, a, imm & 31));
+                break;
+              case Op::Sra:
+                emit(build::rri(Opcode::SRAI, dest, a, imm & 31));
+                break;
+              case Op::SetLt:
+                emit(build::rri(Opcode::SLTI, dest, a, imm));
+                break;
+              default:
+                emitted = false;
+                break;
+            }
+            if (emitted) {
+                finishDest(inst.dest, dest);
+                return;
+            }
+        }
+        int b = srcReg(inst.b, Scratch1);
+        Opcode mop;
+        switch (inst.op) {
+          case Op::Add: mop = Opcode::ADD; break;
+          case Op::Sub: mop = Opcode::SUB; break;
+          case Op::Mul: mop = Opcode::MUL; break;
+          case Op::Div: mop = Opcode::DIV; break;
+          case Op::Rem: mop = Opcode::REM; break;
+          case Op::And: mop = Opcode::AND; break;
+          case Op::Or: mop = Opcode::OR; break;
+          case Op::Xor: mop = Opcode::XOR; break;
+          case Op::Shl: mop = Opcode::SLL; break;
+          case Op::Shr: mop = Opcode::SRL; break;
+          case Op::Sra: mop = Opcode::SRA; break;
+          case Op::SetLt: mop = Opcode::SLT; break;
+          case Op::SetLtU: mop = Opcode::SLTU; break;
+          case Op::SetEq: mop = Opcode::SEQ; break;
+          default:
+            panic("lowerInst: unreachable");
+        }
+        emit(build::rrr(mop, dest, a, b));
+        finishDest(inst.dest, dest);
+        return;
+      }
+      case Op::Mov: {
+        int dest = destReg(inst.dest);
+        if (inst.a.isImm()) {
+            emit(build::li(dest, static_cast<int32_t>(inst.a.imm)));
+        } else {
+            int a = srcReg(inst.a, Scratch0);
+            emit(build::mov(dest, a));
+        }
+        finishDest(inst.dest, dest);
+        return;
+      }
+      case Op::FrameAddr: {
+        int dest = destReg(inst.dest);
+        emit(build::addi(dest, reg::Sp,
+                         objectOffset(static_cast<int>(inst.a.imm))));
+        finishDest(inst.dest, dest);
+        return;
+      }
+      case Op::GlobalAddr: {
+        int dest = destReg(inst.dest);
+        emit(build::addi(dest, reg::Gp,
+                         static_cast<int32_t>(inst.a.imm)));
+        finishDest(inst.dest, dest);
+        return;
+      }
+      case Op::Load: {
+        int base = srcReg(inst.a, Scratch0);
+        int dest = destReg(inst.dest);
+        if (inst.b.isImm()) {
+            emit(build::load(inst.spec, dest, base,
+                             static_cast<int32_t>(inst.b.imm),
+                             inst.width),
+                 inst.loadId);
+        } else {
+            int index = srcReg(inst.b, Scratch1);
+            emit(build::loadx(inst.spec, dest, base, index,
+                              inst.width),
+                 inst.loadId);
+        }
+        finishDest(inst.dest, dest);
+        return;
+      }
+      case Op::Store: {
+        int base = srcReg(inst.a, Scratch0);
+        int value = srcReg(inst.c, Scratch2);
+        if (inst.b.isImm()) {
+            emit(build::store(value, base,
+                              static_cast<int32_t>(inst.b.imm),
+                              inst.width));
+        } else {
+            int index = srcReg(inst.b, Scratch1);
+            emit(build::rrr(Opcode::ADD, Scratch1, base, index));
+            emit(build::store(value, Scratch1, 0, inst.width));
+        }
+        return;
+      }
+      case Op::Br: {
+        int a = srcReg(inst.a, Scratch0);
+        int b = srcReg(inst.b, Scratch1);
+        // Prefer falling through to one of the targets.
+        CondCode cc = inst.cond;
+        const BasicBlock *branch_to = inst.taken;
+        const BasicBlock *fall_to = inst.notTaken;
+        if (inst.taken == next_block) {
+            cc = ir::negateCond(cc);
+            std::swap(branch_to, fall_to);
+        }
+        Opcode mop;
+        bool swap = false;
+        switch (cc) {
+          case CondCode::Eq: mop = Opcode::BEQ; break;
+          case CondCode::Ne: mop = Opcode::BNE; break;
+          case CondCode::Lt: mop = Opcode::BLT; break;
+          case CondCode::Ge: mop = Opcode::BGE; break;
+          case CondCode::Le: mop = Opcode::BGE; swap = true; break;
+          case CondCode::Gt: mop = Opcode::BLT; swap = true; break;
+          case CondCode::LtU: mop = Opcode::BLTU; break;
+          case CondCode::GeU: mop = Opcode::BGEU; break;
+          default:
+            panic("lowerInst: bad cond");
+        }
+        if (swap)
+            std::swap(a, b);
+        branchFixups.emplace_back(code.size(), branch_to);
+        emit(build::branch(mop, a, b, 0));
+        if (fall_to != next_block) {
+            branchFixups.emplace_back(code.size(), fall_to);
+            emit(build::jmp(0));
+        }
+        return;
+      }
+      case Op::Jump:
+        if (inst.taken == next_block)
+            return;
+        branchFixups.emplace_back(code.size(), inst.taken);
+        emit(build::jmp(0));
+        return;
+      case Op::Call: {
+        if (inst.args.size() >
+            static_cast<size_t>(reg::NumArgRegs)) {
+            fatal("call to '%s' passes more than %d arguments",
+                  inst.callee.c_str(), reg::NumArgRegs);
+        }
+        for (size_t i = 0; i < inst.args.size(); ++i) {
+            Operand arg = Operand::makeReg(inst.args[i]);
+            int arg_reg = reg::arg(static_cast<int>(i));
+            int src = srcReg(arg, arg_reg);
+            if (src != arg_reg)
+                emit(build::mov(arg_reg, src));
+        }
+        callFixups.emplace_back(code.size(), inst.callee);
+        emit(build::jal(reg::Ra, 0));
+        if (inst.dest) {
+            int dest = destReg(inst.dest);
+            if (dest != reg::Arg0)
+                emit(build::mov(dest, reg::Arg0));
+            finishDest(inst.dest, dest);
+        }
+        return;
+      }
+      case Op::Ret: {
+        if (!inst.a.isNone()) {
+            int v = srcReg(inst.a, reg::Arg0);
+            if (v != reg::Arg0)
+                emit(build::mov(reg::Arg0, v));
+        }
+        epilogueFixups.push_back(code.size());
+        emit(build::jmp(0));
+        return;
+      }
+      case Op::Print: {
+        int v = srcReg(inst.a, Scratch0);
+        emit(build::print(v));
+        return;
+      }
+      case Op::Nop:
+        return;
+      default:
+        panic("lowerInst: unhandled IR opcode %s",
+              ir::irOpcodeName(inst.op).c_str());
+    }
+}
+
+void
+FunctionCodegen::run(
+    std::vector<Instruction> &out,
+    std::vector<std::pair<size_t, std::string>> &call_fixups,
+    std::vector<int> &load_ids)
+{
+    fn.recomputeCfg();
+    order = fn.rpo();
+    alloc = allocateRegisters(fn, order);
+    computeFrame();
+
+    emitPrologue();
+    for (size_t i = 0; i < order.size(); ++i) {
+        const BasicBlock *bb = order[i];
+        const BasicBlock *next =
+            i + 1 < order.size() ? order[i + 1] : nullptr;
+        blockStart[bb] = code.size();
+        for (const auto &inst : bb->insts)
+            lowerInst(inst, next);
+    }
+    size_t epilogue_start = code.size();
+    emitEpilogue();
+
+    // Patch intra-function targets.
+    for (const auto &fixup : branchFixups) {
+        auto it = blockStart.find(fixup.second);
+        elag_assert(it != blockStart.end());
+        code[fixup.first].imm = static_cast<int32_t>(it->second);
+    }
+    for (size_t idx : epilogueFixups)
+        code[idx].imm = static_cast<int32_t>(epilogue_start);
+
+    out = std::move(code);
+    call_fixups = std::move(callFixups);
+    load_ids = std::move(loadIds);
+}
+
+} // anonymous namespace
+
+CodegenResult
+generateCode(const ir::Module &mod)
+{
+    CodegenResult result;
+    isa::MachineProgram &prog = result.program;
+
+    // _start stub.
+    prog.symbols["_start"] = 0;
+    prog.code.push_back(build::li(reg::Sp, isa::StackTop));
+    prog.code.push_back(build::li(reg::Gp, isa::GlobalBase));
+    size_t start_call_idx = prog.code.size();
+    prog.code.push_back(build::jal(reg::Ra, 0));
+    prog.code.push_back(build::halt());
+
+    std::vector<std::pair<size_t, std::string>> pending_calls;
+    pending_calls.emplace_back(start_call_idx, "main");
+
+    for (const auto &fn : mod.functions) {
+        uint32_t base = static_cast<uint32_t>(prog.code.size());
+        prog.symbols[fn->name()] = base;
+
+        std::vector<Instruction> body;
+        std::vector<std::pair<size_t, std::string>> call_fixups;
+        std::vector<int> load_ids;
+        FunctionCodegen cg(*fn, result);
+        cg.run(body, call_fixups, load_ids);
+
+        for (size_t i = 0; i < body.size(); ++i) {
+            Instruction inst = body[i];
+            // Rebase intra-function targets.
+            if (inst.isCondBranch() || inst.op == Opcode::JMP)
+                inst.imm += static_cast<int32_t>(base);
+            prog.code.push_back(inst);
+            if (load_ids[i]) {
+                result.loadIdOf[static_cast<uint32_t>(base + i)] =
+                    load_ids[i];
+            }
+        }
+        for (const auto &fixup : call_fixups)
+            pending_calls.emplace_back(base + fixup.first,
+                                       fixup.second);
+    }
+
+    for (const auto &call : pending_calls) {
+        auto it = prog.symbols.find(call.second);
+        if (it == prog.symbols.end())
+            fatal("undefined function '%s'", call.second.c_str());
+        prog.code[call.first].imm = static_cast<int32_t>(it->second);
+    }
+
+    prog.entry = 0;
+    prog.globalSize = static_cast<uint32_t>(mod.globalSize);
+    prog.globalInit = mod.globalInit;
+    prog.verify();
+    return result;
+}
+
+} // namespace codegen
+} // namespace elag

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * IR -> ELAG machine-code generation.
+ */
+
+#ifndef ELAG_CODEGEN_CODEGEN_HH
+#define ELAG_CODEGEN_CODEGEN_HH
+
+#include <map>
+
+#include "ir/ir.hh"
+#include "isa/program.hh"
+
+namespace elag {
+namespace codegen {
+
+/**
+ * Lower a module to a linked machine program.
+ *
+ * Emits a `_start` stub (stack/global pointer setup, call to main,
+ * halt), then each function: prologue (frame allocation, callee-saved
+ * and return-address saves, parameter moves), lowered body, epilogue.
+ *
+ * The returned program maps each machine load back to the IR load it
+ * came from via @ref CodegenResult::loadIdOf.
+ */
+struct CodegenResult
+{
+    isa::MachineProgram program;
+    /** Machine PC of each load -> IrInst::loadId. */
+    std::map<uint32_t, int> loadIdOf;
+};
+
+CodegenResult generateCode(const ir::Module &mod);
+
+} // namespace codegen
+} // namespace elag
+
+#endif // ELAG_CODEGEN_CODEGEN_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Linear-scan register allocation.
+ *
+ * Maps IR virtual registers onto the 64 architected integer
+ * registers. Intervals that cross a call site are constrained to
+ * callee-saved registers; intervals that cannot be colored are
+ * spilled to stack slots and rewritten through reserved scratch
+ * registers by the lowering phase.
+ */
+
+#ifndef ELAG_CODEGEN_REGALLOC_HH
+#define ELAG_CODEGEN_REGALLOC_HH
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ir/ir.hh"
+
+namespace elag {
+namespace codegen {
+
+/** Scratch registers reserved for spill reloads and immediates. */
+constexpr int Scratch0 = 12;
+constexpr int Scratch1 = 13;
+constexpr int Scratch2 = 14;
+/** First generally-allocatable caller-saved register. */
+constexpr int AllocCallerFirst = 15;
+
+/** Result of register allocation for one function. */
+struct Allocation
+{
+    /** vreg -> physical register, for colored vregs. */
+    std::map<int, int> assignment;
+    /** vreg -> spill slot index (slot 0 is the first spill word). */
+    std::map<int, int> spillSlots;
+    /** Callee-saved registers written by this function. */
+    std::set<int> usedCalleeSaved;
+    /** Number of spill slots needed. */
+    int numSpillSlots = 0;
+
+    bool isSpilled(int vreg) const { return spillSlots.count(vreg) > 0; }
+
+    int
+    regFor(int vreg) const
+    {
+        auto it = assignment.find(vreg);
+        return it == assignment.end() ? -1 : it->second;
+    }
+};
+
+/**
+ * Run linear scan over @p fn using the block order @p order (the
+ * order lowering will emit them in).
+ */
+Allocation allocateRegisters(ir::Function &fn,
+                             const std::vector<ir::BasicBlock *> &order);
+
+} // namespace codegen
+} // namespace elag
+
+#endif // ELAG_CODEGEN_REGALLOC_HH

@@ -1,0 +1,72 @@
+#include "ir/dominators.hh"
+
+#include "support/logging.hh"
+
+namespace elag {
+namespace ir {
+
+Dominators::Dominators(const Function &fn)
+{
+    std::vector<BasicBlock *> order =
+        const_cast<Function &>(fn).rpo();
+    for (size_t i = 0; i < order.size(); ++i)
+        rpoIndex[order[i]] = static_cast<int>(i);
+
+    if (order.empty())
+        return;
+    const BasicBlock *entry = order[0];
+    idoms[entry] = entry;
+
+    auto intersect = [&](const BasicBlock *a, const BasicBlock *b) {
+        while (a != b) {
+            while (rpoIndex.at(a) > rpoIndex.at(b))
+                a = idoms.at(a);
+            while (rpoIndex.at(b) > rpoIndex.at(a))
+                b = idoms.at(b);
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = 1; i < order.size(); ++i) {
+            const BasicBlock *bb = order[i];
+            const BasicBlock *new_idom = nullptr;
+            for (const BasicBlock *pred : bb->preds) {
+                if (!idoms.count(pred))
+                    continue;
+                new_idom = new_idom ? intersect(new_idom, pred) : pred;
+            }
+            if (!new_idom)
+                continue;
+            auto it = idoms.find(bb);
+            if (it == idoms.end() || it->second != new_idom) {
+                idoms[bb] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    // The entry's idom is conventionally null.
+    idoms[entry] = nullptr;
+}
+
+const BasicBlock *
+Dominators::idom(const BasicBlock *bb) const
+{
+    auto it = idoms.find(bb);
+    return it == idoms.end() ? nullptr : it->second;
+}
+
+bool
+Dominators::dominates(const BasicBlock *a, const BasicBlock *b) const
+{
+    for (const BasicBlock *cur = b; cur; cur = idom(cur)) {
+        if (cur == a)
+            return true;
+    }
+    return false;
+}
+
+} // namespace ir
+} // namespace elag

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Dominator-tree computation.
+ */
+
+#ifndef ELAG_IR_DOMINATORS_HH
+#define ELAG_IR_DOMINATORS_HH
+
+#include <map>
+#include <vector>
+
+#include "ir/ir.hh"
+
+namespace elag {
+namespace ir {
+
+/**
+ * Dominator information for a function, computed with the classic
+ * Cooper-Harvey-Kennedy iterative algorithm over the RPO.
+ */
+class Dominators
+{
+  public:
+    /** Compute dominators; the function's CFG must be current. */
+    explicit Dominators(const Function &fn);
+
+    /** Immediate dominator of @p bb (null for the entry block). */
+    const BasicBlock *idom(const BasicBlock *bb) const;
+
+    /** @return true if @p a dominates @p b (reflexive). */
+    bool dominates(const BasicBlock *a, const BasicBlock *b) const;
+
+  private:
+    std::map<const BasicBlock *, const BasicBlock *> idoms;
+    std::map<const BasicBlock *, int> rpoIndex;
+};
+
+} // namespace ir
+} // namespace elag
+
+#endif // ELAG_IR_DOMINATORS_HH

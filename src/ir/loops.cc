@@ -1,0 +1,141 @@
+#include "ir/loops.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.hh"
+
+namespace elag {
+namespace ir {
+
+LoopInfo::LoopInfo(Function &fn)
+{
+    Dominators doms(fn);
+
+    // Find back edges (tail -> header where header dominates tail)
+    // and collect each loop's body by backwards reachability.
+    std::map<BasicBlock *, Loop *> headerLoop;
+    for (BasicBlock *bb : fn.rpo()) {
+        for (BasicBlock *succ : bb->succs) {
+            if (!doms.dominates(succ, bb))
+                continue;
+            Loop *loop;
+            auto it = headerLoop.find(succ);
+            if (it == headerLoop.end()) {
+                loops_.push_back(std::make_unique<Loop>());
+                loop = loops_.back().get();
+                loop->header = succ;
+                loop->blocks.insert(succ);
+                headerLoop[succ] = loop;
+            } else {
+                loop = it->second;
+            }
+            // Walk predecessors from the latch up to the header.
+            std::vector<BasicBlock *> work;
+            if (loop->blocks.insert(bb).second)
+                work.push_back(bb);
+            while (!work.empty()) {
+                BasicBlock *cur = work.back();
+                work.pop_back();
+                for (BasicBlock *pred : cur->preds) {
+                    if (pred != loop->header &&
+                        loop->blocks.insert(pred).second) {
+                        work.push_back(pred);
+                    }
+                }
+            }
+        }
+    }
+
+    // Build the nesting forest: parent = smallest strictly containing
+    // loop.
+    for (auto &loop : loops_) {
+        Loop *best = nullptr;
+        for (auto &other : loops_) {
+            if (other.get() == loop.get())
+                continue;
+            if (!other->blocks.count(loop->header))
+                continue;
+            // 'other' contains our header; candidate parent.
+            if (other->header == loop->header)
+                continue; // identical header: same loop, merged above
+            if (!best || other->blocks.size() < best->blocks.size())
+                best = other.get();
+        }
+        loop->parent = best;
+        if (best)
+            best->children.push_back(loop.get());
+    }
+    for (auto &loop : loops_) {
+        int depth = 1;
+        for (Loop *p = loop->parent; p; p = p->parent)
+            ++depth;
+        loop->depth = depth;
+    }
+}
+
+std::vector<Loop *>
+LoopInfo::loopsInnermostFirst() const
+{
+    std::vector<Loop *> out;
+    for (const auto &loop : loops_)
+        out.push_back(loop.get());
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Loop *a, const Loop *b) {
+                         return a->depth > b->depth;
+                     });
+    return out;
+}
+
+Loop *
+LoopInfo::loopFor(const BasicBlock *bb) const
+{
+    Loop *best = nullptr;
+    for (const auto &loop : loops_) {
+        if (!loop->contains(bb))
+            continue;
+        if (!best || loop->depth > best->depth)
+            best = loop.get();
+    }
+    return best;
+}
+
+BasicBlock *
+ensurePreheader(Function &fn, Loop &loop)
+{
+    BasicBlock *header = loop.header;
+    std::vector<BasicBlock *> outside;
+    for (BasicBlock *pred : header->preds) {
+        if (!loop.contains(pred))
+            outside.push_back(pred);
+    }
+    if (outside.size() == 1) {
+        BasicBlock *cand = outside[0];
+        const IrInst *term = cand->terminator();
+        if (term && term->op == IrOpcode::Jump && cand->succs.size() == 1)
+            return cand;
+    }
+
+    // Insert a fresh preheader and retarget all outside edges.
+    BasicBlock *pre = fn.newBlock();
+    IrInst jump;
+    jump.op = IrOpcode::Jump;
+    jump.taken = header;
+    pre->insts.push_back(jump);
+
+    for (BasicBlock *pred : outside) {
+        IrInst *term = pred->terminator();
+        elag_assert(term != nullptr);
+        if (term->taken == header)
+            term->taken = pre;
+        if (term->notTaken == header)
+            term->notTaken = pre;
+    }
+    if (fn.entry() == header)
+        fn.setEntry(pre);
+    fn.recomputeCfg();
+    return pre;
+}
+
+} // namespace ir
+} // namespace elag

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Natural-loop detection.
+ *
+ * The paper's cyclic classification heuristic (Section 4.1) operates
+ * per natural loop, innermost first; LoopInfo provides exactly that
+ * iteration order.
+ */
+
+#ifndef ELAG_IR_LOOPS_HH
+#define ELAG_IR_LOOPS_HH
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "ir/dominators.hh"
+#include "ir/ir.hh"
+
+namespace elag {
+namespace ir {
+
+/** Deterministic block ordering (by id, not by address). */
+struct BlockIdLess
+{
+    bool
+    operator()(const BasicBlock *a, const BasicBlock *b) const
+    {
+        return a->id() < b->id();
+    }
+};
+
+/** One natural loop. */
+struct Loop
+{
+    BasicBlock *header = nullptr;
+    /**
+     * All blocks in the loop, including the header, ordered by block
+     * id so passes iterating the set transform code
+     * deterministically.
+     */
+    std::set<BasicBlock *, BlockIdLess> blocks;
+    /** Enclosing loop, or null for top-level loops. */
+    Loop *parent = nullptr;
+    /** Loops directly nested inside this one. */
+    std::vector<Loop *> children;
+    /** Nesting depth: 1 for top-level loops. */
+    int depth = 1;
+
+    bool contains(const BasicBlock *bb) const
+    {
+        return blocks.count(const_cast<BasicBlock *>(bb)) > 0;
+    }
+};
+
+/** Loop forest for one function. */
+class LoopInfo
+{
+  public:
+    /** Detect loops; the function's CFG must be current. */
+    explicit LoopInfo(Function &fn);
+
+    /** All loops, innermost first (children precede parents). */
+    std::vector<Loop *> loopsInnermostFirst() const;
+
+    /** All detected loops in discovery order. */
+    const std::vector<std::unique_ptr<Loop>> &loops() const
+    {
+        return loops_;
+    }
+
+    /** Innermost loop containing @p bb (null if none). */
+    Loop *loopFor(const BasicBlock *bb) const;
+
+  private:
+    std::vector<std::unique_ptr<Loop>> loops_;
+};
+
+/**
+ * Find or create a preheader for @p loop: a block that is the unique
+ * non-loop predecessor of the header and jumps straight to it.
+ * Rebuilds the CFG if a block is inserted.
+ * @return the preheader block.
+ */
+BasicBlock *ensurePreheader(Function &fn, Loop &loop);
+
+} // namespace ir
+} // namespace elag
+
+#endif // ELAG_IR_LOOPS_HH

@@ -1,0 +1,113 @@
+#include "ir/verify.hh"
+
+#include <set>
+
+#include "ir/printer.hh"
+#include "support/logging.hh"
+
+namespace elag {
+namespace ir {
+
+namespace {
+
+void
+verifyInst(const Function &fn, const BasicBlock &bb, const IrInst &inst,
+           const std::set<const BasicBlock *> &blocks)
+{
+    auto bad = [&](const char *why) {
+        panic("verify %s bb%d: %s: %s", fn.name().c_str(), bb.id(), why,
+              toString(inst).c_str());
+    };
+    auto checkReg = [&](const Operand &o, const char *what) {
+        if (o.isReg() && (o.reg <= 0 || o.reg >= fn.vregLimit()))
+            bad(what);
+    };
+    checkReg(inst.a, "operand a out of range");
+    checkReg(inst.b, "operand b out of range");
+    checkReg(inst.c, "operand c out of range");
+    if (inst.dest && (inst.dest <= 0 || inst.dest >= fn.vregLimit()))
+        bad("dest out of range");
+
+    switch (inst.op) {
+      case IrOpcode::Load:
+        if (!inst.dest)
+            bad("load without dest");
+        if (!inst.a.isReg())
+            bad("load base must be a register");
+        if (inst.b.isNone())
+            bad("load needs an offset operand");
+        break;
+      case IrOpcode::Store:
+        if (!inst.a.isReg())
+            bad("store base must be a register");
+        if (inst.b.isNone() || inst.c.isNone())
+            bad("store needs offset and data operands");
+        break;
+      case IrOpcode::Br:
+        if (!inst.taken || !inst.notTaken)
+            bad("br without both targets");
+        if (!blocks.count(inst.taken) || !blocks.count(inst.notTaken))
+            bad("br target not in function");
+        break;
+      case IrOpcode::Jump:
+        if (!inst.taken)
+            bad("jump without target");
+        if (!blocks.count(inst.taken))
+            bad("jump target not in function");
+        break;
+      case IrOpcode::FrameAddr:
+        if (!inst.a.isImm() || inst.a.imm < 0 ||
+            static_cast<size_t>(inst.a.imm) >=
+                fn.stackObjects().size()) {
+            bad("frameaddr references bad stack object");
+        }
+        break;
+      case IrOpcode::Call:
+        if (inst.callee.empty())
+            bad("call without callee");
+        for (int arg : inst.args) {
+            if (arg <= 0 || arg >= fn.vregLimit())
+                bad("call argument out of range");
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+} // anonymous namespace
+
+void
+verify(const Function &fn)
+{
+    std::set<const BasicBlock *> blocks;
+    for (const auto &bb : fn.blocks())
+        blocks.insert(bb.get());
+    if (!fn.entry() || !blocks.count(fn.entry()))
+        panic("verify %s: bad entry block", fn.name().c_str());
+
+    for (const auto &bb : fn.blocks()) {
+        if (bb->insts.empty() || !bb->insts.back().isTerminator()) {
+            panic("verify %s: bb%d lacks a terminator",
+                  fn.name().c_str(), bb->id());
+        }
+        for (size_t i = 0; i + 1 < bb->insts.size(); ++i) {
+            if (bb->insts[i].isTerminator()) {
+                panic("verify %s: bb%d has a terminator mid-block",
+                      fn.name().c_str(), bb->id());
+            }
+        }
+        for (const auto &inst : bb->insts)
+            verifyInst(fn, *bb, inst, blocks);
+    }
+}
+
+void
+verify(const Module &mod)
+{
+    for (const auto &fn : mod.functions)
+        verify(*fn);
+}
+
+} // namespace ir
+} // namespace elag

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * IR structural verifier.
+ */
+
+#ifndef ELAG_IR_VERIFY_HH
+#define ELAG_IR_VERIFY_HH
+
+#include "ir/ir.hh"
+
+namespace elag {
+namespace ir {
+
+/**
+ * Check structural invariants of a function:
+ *  - every block ends in exactly one terminator;
+ *  - branch targets are blocks of this function;
+ *  - operand kinds match each opcode's expectations;
+ *  - stack-object and vreg references are in range.
+ * @throws PanicError describing the first violation.
+ */
+void verify(const Function &fn);
+
+/** Verify every function of the module. */
+void verify(const Module &mod);
+
+} // namespace ir
+} // namespace elag
+
+#endif // ELAG_IR_VERIFY_HH

@@ -1,0 +1,956 @@
+#include "irgen/irgen.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace elag {
+namespace irgen {
+
+using lang::BinaryOp;
+using lang::Expr;
+using lang::ExprKind;
+using lang::FuncDecl;
+using lang::Stmt;
+using lang::StmtKind;
+using lang::Type;
+using lang::UnaryOp;
+using lang::VarDecl;
+using ir::BasicBlock;
+using ir::CondCode;
+using ir::Function;
+using ir::IrInst;
+using ir::IrOpcode;
+using ir::Operand;
+
+namespace {
+
+/** Where an lvalue lives. */
+struct LValue
+{
+    enum class Kind { VReg, Mem };
+
+    Kind kind;
+    int vreg = 0;          ///< VReg home
+    Operand base;          ///< Mem base (register)
+    Operand offset;        ///< Mem offset (register or immediate)
+    isa::MemWidth width = isa::MemWidth::Word;
+    const Type *type = nullptr;
+};
+
+/** Per-function lowering state. */
+class FuncLowering
+{
+  public:
+    FuncLowering(const lang::Program &prog, lang::TypeTable &types,
+                 const FuncDecl &decl, Function &fn, int heap_ptr_offset)
+        : prog(prog), types(types), decl(decl), fn(fn),
+          heapPtrOffset(heap_ptr_offset)
+    {
+    }
+
+    void run();
+
+  private:
+    // Instruction emission into the current block.
+    IrInst &emit(IrInst inst);
+    int emitBin(IrOpcode op, Operand a, Operand b);
+    int emitMov(Operand a);
+    /** Force an operand into a register. */
+    int forceReg(Operand o);
+    void emitJump(BasicBlock *target);
+    void emitBranch(CondCode cc, Operand a, Operand b,
+                    BasicBlock *taken, BasicBlock *not_taken);
+
+    // Statement lowering.
+    void lowerStmt(const Stmt &stmt);
+    void lowerDecl(const VarDecl &var);
+
+    // Expression lowering.
+    Operand lowerExpr(const Expr &expr);
+    LValue lowerLValue(const Expr &expr);
+    Operand loadLValue(const LValue &lv);
+    void storeLValue(const LValue &lv, Operand value);
+    Operand lowerBinary(const Expr &expr);
+    Operand lowerShortCircuit(const Expr &expr);
+    Operand lowerCall(const Expr &expr, bool want_value);
+    void lowerCondBranch(const Expr &expr, BasicBlock *true_bb,
+                         BasicBlock *false_bb);
+
+    /** Scale an arithmetic operand by the pointee size of @p ptr_ty. */
+    Operand scaleIndex(Operand idx, const Type *ptr_ty);
+    static isa::MemWidth widthOf(const Type *type);
+
+    const lang::Program &prog;
+    lang::TypeTable &types;
+    const FuncDecl &decl;
+    Function &fn;
+    int heapPtrOffset;
+
+    BasicBlock *cur = nullptr;
+    bool blockDone = false;
+    std::map<const VarDecl *, int> varRegs;     ///< scalar homes
+    std::map<const VarDecl *, int> varObjects;  ///< stack objects
+    std::vector<BasicBlock *> breakTargets;
+    std::vector<BasicBlock *> continueTargets;
+};
+
+isa::MemWidth
+FuncLowering::widthOf(const Type *type)
+{
+    return type->size() == 1 ? isa::MemWidth::Byte : isa::MemWidth::Word;
+}
+
+IrInst &
+FuncLowering::emit(IrInst inst)
+{
+    elag_assert(cur != nullptr);
+    if (blockDone) {
+        // Code after a terminator (e.g. after return) is unreachable;
+        // park it in a fresh block that nothing jumps to.
+        cur = fn.newBlock();
+        blockDone = false;
+    }
+    cur->insts.push_back(std::move(inst));
+    if (cur->insts.back().isTerminator())
+        blockDone = true;
+    return cur->insts.back();
+}
+
+int
+FuncLowering::emitBin(IrOpcode op, Operand a, Operand b)
+{
+    IrInst inst;
+    inst.op = op;
+    inst.dest = fn.newVReg();
+    // Canonical form: register first operand where possible.
+    if (a.isImm() && b.isReg() &&
+        (op == IrOpcode::Add || op == IrOpcode::And ||
+         op == IrOpcode::Or || op == IrOpcode::Xor ||
+         op == IrOpcode::Mul)) {
+        std::swap(a, b);
+    }
+    if (a.isImm())
+        a = Operand::makeReg(forceReg(a));
+    inst.a = a;
+    inst.b = b;
+    int dest = inst.dest;
+    emit(std::move(inst));
+    return dest;
+}
+
+int
+FuncLowering::emitMov(Operand a)
+{
+    IrInst inst;
+    inst.op = IrOpcode::Mov;
+    inst.dest = fn.newVReg();
+    inst.a = a;
+    int dest = inst.dest;
+    emit(std::move(inst));
+    return dest;
+}
+
+int
+FuncLowering::forceReg(Operand o)
+{
+    if (o.isReg())
+        return o.reg;
+    return emitMov(o);
+}
+
+void
+FuncLowering::emitJump(BasicBlock *target)
+{
+    IrInst inst;
+    inst.op = IrOpcode::Jump;
+    inst.taken = target;
+    emit(std::move(inst));
+}
+
+void
+FuncLowering::emitBranch(CondCode cc, Operand a, Operand b,
+                         BasicBlock *taken, BasicBlock *not_taken)
+{
+    IrInst inst;
+    inst.op = IrOpcode::Br;
+    inst.cond = cc;
+    inst.a = Operand::makeReg(forceReg(a));
+    inst.b = b;
+    inst.taken = taken;
+    inst.notTaken = not_taken;
+    emit(std::move(inst));
+}
+
+void
+FuncLowering::run()
+{
+    cur = fn.newBlock();
+    fn.setEntry(cur);
+
+    for (const auto &param : decl.params) {
+        int vreg = fn.newVReg();
+        fn.params.push_back(vreg);
+        if (param->addressTaken) {
+            int obj = fn.newStackObject(param->type->size(), 4,
+                                        param->name);
+            varObjects[param.get()] = obj;
+            IrInst fa;
+            fa.op = IrOpcode::FrameAddr;
+            fa.dest = fn.newVReg();
+            fa.a = Operand::makeImm(obj);
+            int addr = fa.dest;
+            emit(std::move(fa));
+            IrInst st;
+            st.op = IrOpcode::Store;
+            st.a = Operand::makeReg(addr);
+            st.b = Operand::makeImm(0);
+            st.c = Operand::makeReg(vreg);
+            st.width = widthOf(param->type);
+            emit(std::move(st));
+        } else {
+            varRegs[param.get()] = vreg;
+        }
+    }
+
+    lowerStmt(*decl.body);
+
+    // Implicit return at the end of the function.
+    if (!blockDone) {
+        IrInst ret;
+        ret.op = IrOpcode::Ret;
+        if (!decl.returnType->isVoid())
+            ret.a = Operand::makeImm(0);
+        emit(std::move(ret));
+    }
+}
+
+void
+FuncLowering::lowerDecl(const VarDecl &var)
+{
+    if (var.isArray || var.addressTaken) {
+        int bytes = var.isArray ? var.type->size() * var.arraySize
+                                : var.type->size();
+        int obj = fn.newStackObject(bytes, 4, var.name);
+        varObjects[&var] = obj;
+        if (var.init) {
+            Operand value = lowerExpr(*var.init);
+            IrInst fa;
+            fa.op = IrOpcode::FrameAddr;
+            fa.dest = fn.newVReg();
+            fa.a = Operand::makeImm(obj);
+            int addr = fa.dest;
+            emit(std::move(fa));
+            IrInst st;
+            st.op = IrOpcode::Store;
+            st.a = Operand::makeReg(addr);
+            st.b = Operand::makeImm(0);
+            st.c = Operand::makeReg(forceReg(value));
+            st.width = widthOf(var.type);
+            emit(std::move(st));
+        }
+        return;
+    }
+    Operand init = var.init ? lowerExpr(*var.init) : Operand::makeImm(0);
+    varRegs[&var] = emitMov(init);
+}
+
+void
+FuncLowering::lowerStmt(const Stmt &stmt)
+{
+    switch (stmt.kind) {
+      case StmtKind::Expr:
+        lowerExpr(*stmt.expr);
+        break;
+      case StmtKind::Decl:
+        lowerDecl(*stmt.decl);
+        break;
+      case StmtKind::Block:
+        for (const auto &s : stmt.body)
+            lowerStmt(*s);
+        break;
+      case StmtKind::Empty:
+        break;
+      case StmtKind::If: {
+        BasicBlock *then_bb = fn.newBlock();
+        BasicBlock *join_bb = fn.newBlock();
+        BasicBlock *else_bb =
+            stmt.elseStmt ? fn.newBlock() : join_bb;
+        lowerCondBranch(*stmt.expr, then_bb, else_bb);
+        cur = then_bb;
+        blockDone = false;
+        lowerStmt(*stmt.thenStmt);
+        if (!blockDone)
+            emitJump(join_bb);
+        if (stmt.elseStmt) {
+            cur = else_bb;
+            blockDone = false;
+            lowerStmt(*stmt.elseStmt);
+            if (!blockDone)
+                emitJump(join_bb);
+        }
+        cur = join_bb;
+        blockDone = false;
+        break;
+      }
+      case StmtKind::While: {
+        BasicBlock *cond_bb = fn.newBlock();
+        BasicBlock *body_bb = fn.newBlock();
+        BasicBlock *exit_bb = fn.newBlock();
+        emitJump(cond_bb);
+        cur = cond_bb;
+        blockDone = false;
+        lowerCondBranch(*stmt.expr, body_bb, exit_bb);
+        breakTargets.push_back(exit_bb);
+        continueTargets.push_back(cond_bb);
+        cur = body_bb;
+        blockDone = false;
+        lowerStmt(*stmt.thenStmt);
+        if (!blockDone)
+            emitJump(cond_bb);
+        breakTargets.pop_back();
+        continueTargets.pop_back();
+        cur = exit_bb;
+        blockDone = false;
+        break;
+      }
+      case StmtKind::DoWhile: {
+        BasicBlock *body_bb = fn.newBlock();
+        BasicBlock *cond_bb = fn.newBlock();
+        BasicBlock *exit_bb = fn.newBlock();
+        emitJump(body_bb);
+        breakTargets.push_back(exit_bb);
+        continueTargets.push_back(cond_bb);
+        cur = body_bb;
+        blockDone = false;
+        lowerStmt(*stmt.thenStmt);
+        if (!blockDone)
+            emitJump(cond_bb);
+        cur = cond_bb;
+        blockDone = false;
+        lowerCondBranch(*stmt.expr, body_bb, exit_bb);
+        breakTargets.pop_back();
+        continueTargets.pop_back();
+        cur = exit_bb;
+        blockDone = false;
+        break;
+      }
+      case StmtKind::For: {
+        if (stmt.forInit)
+            lowerStmt(*stmt.forInit);
+        BasicBlock *cond_bb = fn.newBlock();
+        BasicBlock *body_bb = fn.newBlock();
+        BasicBlock *step_bb = fn.newBlock();
+        BasicBlock *exit_bb = fn.newBlock();
+        emitJump(cond_bb);
+        cur = cond_bb;
+        blockDone = false;
+        if (stmt.forCond)
+            lowerCondBranch(*stmt.forCond, body_bb, exit_bb);
+        else
+            emitJump(body_bb);
+        breakTargets.push_back(exit_bb);
+        continueTargets.push_back(step_bb);
+        cur = body_bb;
+        blockDone = false;
+        lowerStmt(*stmt.thenStmt);
+        if (!blockDone)
+            emitJump(step_bb);
+        cur = step_bb;
+        blockDone = false;
+        if (stmt.forStep)
+            lowerExpr(*stmt.forStep);
+        emitJump(cond_bb);
+        breakTargets.pop_back();
+        continueTargets.pop_back();
+        cur = exit_bb;
+        blockDone = false;
+        break;
+      }
+      case StmtKind::Return: {
+        IrInst ret;
+        ret.op = IrOpcode::Ret;
+        if (stmt.expr)
+            ret.a = lowerExpr(*stmt.expr);
+        emit(std::move(ret));
+        break;
+      }
+      case StmtKind::Break:
+        elag_assert(!breakTargets.empty());
+        emitJump(breakTargets.back());
+        break;
+      case StmtKind::Continue:
+        elag_assert(!continueTargets.empty());
+        emitJump(continueTargets.back());
+        break;
+      default:
+        panic("lowerStmt: bad statement kind");
+    }
+}
+
+void
+FuncLowering::lowerCondBranch(const Expr &expr, BasicBlock *true_bb,
+                              BasicBlock *false_bb)
+{
+    if (expr.kind == ExprKind::Unary &&
+        expr.unaryOp == UnaryOp::Not) {
+        lowerCondBranch(*expr.lhs, false_bb, true_bb);
+        return;
+    }
+    if (expr.kind == ExprKind::Binary) {
+        BinaryOp op = expr.binaryOp;
+        if (op == BinaryOp::LogAnd) {
+            BasicBlock *mid = fn.newBlock();
+            lowerCondBranch(*expr.lhs, mid, false_bb);
+            cur = mid;
+            blockDone = false;
+            lowerCondBranch(*expr.rhs, true_bb, false_bb);
+            return;
+        }
+        if (op == BinaryOp::LogOr) {
+            BasicBlock *mid = fn.newBlock();
+            lowerCondBranch(*expr.lhs, true_bb, mid);
+            cur = mid;
+            blockDone = false;
+            lowerCondBranch(*expr.rhs, true_bb, false_bb);
+            return;
+        }
+        CondCode cc;
+        bool is_cmp = true;
+        switch (op) {
+          case BinaryOp::Eq: cc = CondCode::Eq; break;
+          case BinaryOp::Ne: cc = CondCode::Ne; break;
+          case BinaryOp::Lt: cc = CondCode::Lt; break;
+          case BinaryOp::Le: cc = CondCode::Le; break;
+          case BinaryOp::Gt: cc = CondCode::Gt; break;
+          case BinaryOp::Ge: cc = CondCode::Ge; break;
+          default: is_cmp = false; break;
+        }
+        if (is_cmp) {
+            Operand a = lowerExpr(*expr.lhs);
+            Operand b = lowerExpr(*expr.rhs);
+            emitBranch(cc, a, b, true_bb, false_bb);
+            return;
+        }
+    }
+    Operand v = lowerExpr(expr);
+    emitBranch(CondCode::Ne, v, Operand::makeImm(0), true_bb, false_bb);
+}
+
+Operand
+FuncLowering::scaleIndex(Operand idx, const Type *ptr_ty)
+{
+    elag_assert(ptr_ty->isPtr());
+    int size = ptr_ty->pointee->size();
+    if (size == 1)
+        return idx;
+    elag_assert(size == 4);
+    if (idx.isImm())
+        return Operand::makeImm(idx.imm * 4);
+    return Operand::makeReg(
+        emitBin(IrOpcode::Shl, idx, Operand::makeImm(2)));
+}
+
+LValue
+FuncLowering::lowerLValue(const Expr &expr)
+{
+    switch (expr.kind) {
+      case ExprKind::VarRef: {
+        const VarDecl *var = expr.varDecl;
+        elag_assert(var != nullptr);
+        LValue lv;
+        lv.type = expr.type;
+        if (var->isGlobal) {
+            IrInst ga;
+            ga.op = IrOpcode::GlobalAddr;
+            ga.dest = fn.newVReg();
+            ga.a = Operand::makeImm(var->globalOffset);
+            int base = ga.dest;
+            emit(std::move(ga));
+            lv.kind = LValue::Kind::Mem;
+            lv.base = Operand::makeReg(base);
+            lv.offset = Operand::makeImm(0);
+            lv.width = widthOf(var->type);
+        } else if (var->isArray || var->addressTaken) {
+            auto it = varObjects.find(var);
+            elag_assert(it != varObjects.end());
+            IrInst fa;
+            fa.op = IrOpcode::FrameAddr;
+            fa.dest = fn.newVReg();
+            fa.a = Operand::makeImm(it->second);
+            int base = fa.dest;
+            emit(std::move(fa));
+            lv.kind = LValue::Kind::Mem;
+            lv.base = Operand::makeReg(base);
+            lv.offset = Operand::makeImm(0);
+            lv.width = widthOf(var->type);
+        } else {
+            auto it = varRegs.find(var);
+            elag_assert(it != varRegs.end());
+            lv.kind = LValue::Kind::VReg;
+            lv.vreg = it->second;
+        }
+        return lv;
+      }
+      case ExprKind::Unary: {
+        elag_assert(expr.unaryOp == UnaryOp::Deref);
+        Operand ptr = lowerExpr(*expr.lhs);
+        LValue lv;
+        lv.kind = LValue::Kind::Mem;
+        lv.base = Operand::makeReg(forceReg(ptr));
+        lv.offset = Operand::makeImm(0);
+        lv.width = widthOf(expr.type);
+        lv.type = expr.type;
+        return lv;
+      }
+      case ExprKind::Index: {
+        const Expr *base_e = expr.lhs.get();
+        const Expr *idx_e = expr.rhs.get();
+        if (!base_e->type->isPtr())
+            std::swap(base_e, idx_e);
+        Operand base = lowerExpr(*base_e);
+        Operand idx = lowerExpr(*idx_e);
+        Operand scaled = scaleIndex(idx, base_e->type);
+        LValue lv;
+        lv.kind = LValue::Kind::Mem;
+        lv.base = Operand::makeReg(forceReg(base));
+        lv.offset = scaled;
+        lv.width = widthOf(expr.type);
+        lv.type = expr.type;
+        return lv;
+      }
+      default:
+        panic("lowerLValue: expression is not an lvalue");
+    }
+}
+
+Operand
+FuncLowering::loadLValue(const LValue &lv)
+{
+    if (lv.kind == LValue::Kind::VReg)
+        return Operand::makeReg(lv.vreg);
+    IrInst ld;
+    ld.op = IrOpcode::Load;
+    ld.dest = fn.newVReg();
+    ld.a = lv.base;
+    ld.b = lv.offset;
+    ld.width = lv.width;
+    int dest = ld.dest;
+    emit(std::move(ld));
+    return Operand::makeReg(dest);
+}
+
+void
+FuncLowering::storeLValue(const LValue &lv, Operand value)
+{
+    if (lv.kind == LValue::Kind::VReg) {
+        // Overwrite the existing home so all uses observe the value.
+        IrInst mv;
+        mv.op = IrOpcode::Mov;
+        mv.dest = lv.vreg;
+        mv.a = value;
+        emit(std::move(mv));
+        return;
+    }
+    IrInst st;
+    st.op = IrOpcode::Store;
+    st.a = lv.base;
+    st.b = lv.offset;
+    st.c = Operand::makeReg(forceReg(value));
+    st.width = lv.width;
+    emit(std::move(st));
+}
+
+Operand
+FuncLowering::lowerShortCircuit(const Expr &expr)
+{
+    BasicBlock *true_bb = fn.newBlock();
+    BasicBlock *false_bb = fn.newBlock();
+    BasicBlock *join_bb = fn.newBlock();
+    int result = fn.newVReg();
+    lowerCondBranch(expr, true_bb, false_bb);
+    cur = true_bb;
+    blockDone = false;
+    IrInst mv1;
+    mv1.op = IrOpcode::Mov;
+    mv1.dest = result;
+    mv1.a = Operand::makeImm(1);
+    emit(std::move(mv1));
+    emitJump(join_bb);
+    cur = false_bb;
+    blockDone = false;
+    IrInst mv0;
+    mv0.op = IrOpcode::Mov;
+    mv0.dest = result;
+    mv0.a = Operand::makeImm(0);
+    emit(std::move(mv0));
+    emitJump(join_bb);
+    cur = join_bb;
+    blockDone = false;
+    return Operand::makeReg(result);
+}
+
+Operand
+FuncLowering::lowerBinary(const Expr &expr)
+{
+    BinaryOp op = expr.binaryOp;
+    if (op == BinaryOp::LogAnd || op == BinaryOp::LogOr)
+        return lowerShortCircuit(expr);
+
+    const Type *lt = expr.lhs->type;
+    const Type *rt = expr.rhs->type;
+
+    // Comparisons are materialized via set instructions.
+    switch (op) {
+      case BinaryOp::Eq:
+      case BinaryOp::Ne:
+      case BinaryOp::Lt:
+      case BinaryOp::Le:
+      case BinaryOp::Gt:
+      case BinaryOp::Ge:
+        return lowerShortCircuit(expr);
+      default:
+        break;
+    }
+
+    Operand a = lowerExpr(*expr.lhs);
+    Operand b = lowerExpr(*expr.rhs);
+
+    // Pointer arithmetic scaling.
+    if (op == BinaryOp::Add && lt->isPtr() && rt->isArith()) {
+        return Operand::makeReg(
+            emitBin(IrOpcode::Add, a, scaleIndex(b, lt)));
+    }
+    if (op == BinaryOp::Add && lt->isArith() && rt->isPtr()) {
+        return Operand::makeReg(
+            emitBin(IrOpcode::Add, b, scaleIndex(a, rt)));
+    }
+    if (op == BinaryOp::Sub && lt->isPtr() && rt->isArith()) {
+        Operand scaled = scaleIndex(b, lt);
+        return Operand::makeReg(emitBin(IrOpcode::Sub, a, scaled));
+    }
+    if (op == BinaryOp::Sub && lt->isPtr() && rt->isPtr()) {
+        int diff = emitBin(IrOpcode::Sub, a, b);
+        int size = lt->pointee->size();
+        if (size == 1)
+            return Operand::makeReg(diff);
+        return Operand::makeReg(emitBin(IrOpcode::Sra,
+                                        Operand::makeReg(diff),
+                                        Operand::makeImm(2)));
+    }
+
+    IrOpcode ir_op;
+    switch (op) {
+      case BinaryOp::Add: ir_op = IrOpcode::Add; break;
+      case BinaryOp::Sub: ir_op = IrOpcode::Sub; break;
+      case BinaryOp::Mul: ir_op = IrOpcode::Mul; break;
+      case BinaryOp::Div: ir_op = IrOpcode::Div; break;
+      case BinaryOp::Rem: ir_op = IrOpcode::Rem; break;
+      case BinaryOp::And: ir_op = IrOpcode::And; break;
+      case BinaryOp::Or: ir_op = IrOpcode::Or; break;
+      case BinaryOp::Xor: ir_op = IrOpcode::Xor; break;
+      case BinaryOp::Shl: ir_op = IrOpcode::Shl; break;
+      case BinaryOp::Shr: ir_op = IrOpcode::Sra; break;
+      default:
+        panic("lowerBinary: unexpected operator");
+    }
+    return Operand::makeReg(emitBin(ir_op, a, b));
+}
+
+Operand
+FuncLowering::lowerCall(const Expr &expr, bool want_value)
+{
+    const FuncDecl *callee = expr.funcDecl;
+    elag_assert(callee != nullptr);
+
+    if (callee->isBuiltin && callee->name == "print") {
+        Operand v = lowerExpr(*expr.args[0]);
+        IrInst pr;
+        pr.op = IrOpcode::Print;
+        pr.a = Operand::makeReg(forceReg(v));
+        emit(std::move(pr));
+        return Operand::makeImm(0);
+    }
+
+    IrInst call;
+    call.op = IrOpcode::Call;
+    call.callee = callee->name;
+    for (const auto &arg : expr.args) {
+        Operand v = lowerExpr(*arg);
+        call.args.push_back(forceReg(v));
+    }
+    if (want_value && !callee->returnType->isVoid())
+        call.dest = fn.newVReg();
+    int dest = call.dest;
+    emit(std::move(call));
+    return dest ? Operand::makeReg(dest) : Operand::makeImm(0);
+}
+
+Operand
+FuncLowering::lowerExpr(const Expr &expr)
+{
+    switch (expr.kind) {
+      case ExprKind::IntLit:
+        return Operand::makeImm(expr.intValue);
+      case ExprKind::VarRef: {
+        // Array names decay to the array's address, not a load.
+        const VarDecl *var = expr.varDecl;
+        elag_assert(var != nullptr);
+        if (var->isArray) {
+            IrInst addr;
+            addr.op = var->isGlobal ? IrOpcode::GlobalAddr
+                                    : IrOpcode::FrameAddr;
+            addr.dest = fn.newVReg();
+            if (var->isGlobal) {
+                addr.a = Operand::makeImm(var->globalOffset);
+            } else {
+                auto it = varObjects.find(var);
+                elag_assert(it != varObjects.end());
+                addr.a = Operand::makeImm(it->second);
+            }
+            int dest = addr.dest;
+            emit(std::move(addr));
+            return Operand::makeReg(dest);
+        }
+        return loadLValue(lowerLValue(expr));
+      }
+      case ExprKind::Index:
+        return loadLValue(lowerLValue(expr));
+      case ExprKind::Unary:
+        switch (expr.unaryOp) {
+          case UnaryOp::Neg: {
+            Operand v = lowerExpr(*expr.lhs);
+            if (v.isImm())
+                return Operand::makeImm(-v.imm);
+            int zero = emitMov(Operand::makeImm(0));
+            return Operand::makeReg(emitBin(
+                IrOpcode::Sub, Operand::makeReg(zero), v));
+          }
+          case UnaryOp::Not: {
+            Operand v = lowerExpr(*expr.lhs);
+            return Operand::makeReg(emitBin(IrOpcode::SetEq, v,
+                                            Operand::makeImm(0)));
+          }
+          case UnaryOp::BitNot: {
+            Operand v = lowerExpr(*expr.lhs);
+            return Operand::makeReg(emitBin(IrOpcode::Xor, v,
+                                            Operand::makeImm(-1)));
+          }
+          case UnaryOp::Deref:
+            return loadLValue(lowerLValue(expr));
+          case UnaryOp::AddrOf: {
+            LValue lv = lowerLValue(*expr.lhs);
+            elag_assert(lv.kind == LValue::Kind::Mem);
+            if (lv.offset.isImm() && lv.offset.imm == 0)
+                return lv.base;
+            return Operand::makeReg(
+                emitBin(IrOpcode::Add, lv.base, lv.offset));
+          }
+          default:
+            panic("lowerExpr: bad unary op");
+        }
+      case ExprKind::Binary:
+        return lowerBinary(expr);
+      case ExprKind::Assign: {
+        LValue lv = lowerLValue(*expr.lhs);
+        Operand value;
+        if (expr.isCompound) {
+            Operand old = loadLValue(lv);
+            Operand rhs = lowerExpr(*expr.rhs);
+            const Type *lt = expr.lhs->type;
+            IrOpcode ir_op;
+            switch (expr.binaryOp) {
+              case BinaryOp::Add: ir_op = IrOpcode::Add; break;
+              case BinaryOp::Sub: ir_op = IrOpcode::Sub; break;
+              case BinaryOp::Mul: ir_op = IrOpcode::Mul; break;
+              case BinaryOp::Div: ir_op = IrOpcode::Div; break;
+              case BinaryOp::Rem: ir_op = IrOpcode::Rem; break;
+              case BinaryOp::And: ir_op = IrOpcode::And; break;
+              case BinaryOp::Or: ir_op = IrOpcode::Or; break;
+              case BinaryOp::Xor: ir_op = IrOpcode::Xor; break;
+              case BinaryOp::Shl: ir_op = IrOpcode::Shl; break;
+              case BinaryOp::Shr: ir_op = IrOpcode::Sra; break;
+              default:
+                panic("lowerExpr: bad compound op");
+            }
+            if (lt->isPtr() &&
+                (ir_op == IrOpcode::Add || ir_op == IrOpcode::Sub)) {
+                rhs = scaleIndex(rhs, lt);
+            }
+            value = Operand::makeReg(emitBin(ir_op, old, rhs));
+        } else {
+            value = lowerExpr(*expr.rhs);
+        }
+        storeLValue(lv, value);
+        return value;
+      }
+      case ExprKind::Cond: {
+        BasicBlock *then_bb = fn.newBlock();
+        BasicBlock *else_bb = fn.newBlock();
+        BasicBlock *join_bb = fn.newBlock();
+        int result = fn.newVReg();
+        lowerCondBranch(*expr.lhs, then_bb, else_bb);
+        cur = then_bb;
+        blockDone = false;
+        {
+            Operand v = lowerExpr(*expr.rhs);
+            IrInst mv;
+            mv.op = IrOpcode::Mov;
+            mv.dest = result;
+            mv.a = v;
+            emit(std::move(mv));
+        }
+        emitJump(join_bb);
+        cur = else_bb;
+        blockDone = false;
+        {
+            Operand v = lowerExpr(*expr.third);
+            IrInst mv;
+            mv.op = IrOpcode::Mov;
+            mv.dest = result;
+            mv.a = v;
+            emit(std::move(mv));
+        }
+        emitJump(join_bb);
+        cur = join_bb;
+        blockDone = false;
+        return Operand::makeReg(result);
+      }
+      case ExprKind::Call:
+        return lowerCall(expr, true);
+      case ExprKind::IncDec: {
+        LValue lv = lowerLValue(*expr.lhs);
+        // Copy the old value out of the variable's home so the
+        // postfix result is not clobbered by the store-back below.
+        int old_reg = emitMov(loadLValue(lv));
+        Operand step = Operand::makeImm(1);
+        const Type *t = expr.lhs->type;
+        if (t->isPtr())
+            step = Operand::makeImm(t->pointee->size());
+        IrOpcode op =
+            expr.isIncrement ? IrOpcode::Add : IrOpcode::Sub;
+        int new_reg = emitBin(op, Operand::makeReg(old_reg), step);
+        storeLValue(lv, Operand::makeReg(new_reg));
+        return Operand::makeReg(expr.isPostfix ? old_reg : new_reg);
+      }
+      case ExprKind::Cast:
+        return lowerExpr(*expr.lhs);
+      default:
+        panic("lowerExpr: bad expression kind");
+    }
+}
+
+/** Synthesize the IR body of the builtin bump allocator. */
+void
+buildAllocFunction(ir::Module &mod, int heap_ptr_offset)
+{
+    auto fn = std::make_unique<Function>("alloc");
+    BasicBlock *bb = fn->newBlock();
+    int bytes = fn->newVReg();
+    fn->params.push_back(bytes);
+
+    auto push = [&](IrInst inst) { bb->insts.push_back(std::move(inst)); };
+
+    // aligned = (bytes + 7) & ~7
+    IrInst add;
+    add.op = IrOpcode::Add;
+    add.dest = fn->newVReg();
+    add.a = Operand::makeReg(bytes);
+    add.b = Operand::makeImm(7);
+    int t1 = add.dest;
+    push(std::move(add));
+    IrInst mask;
+    mask.op = IrOpcode::And;
+    mask.dest = fn->newVReg();
+    mask.a = Operand::makeReg(t1);
+    mask.b = Operand::makeImm(~static_cast<int64_t>(7));
+    int aligned = mask.dest;
+    push(std::move(mask));
+
+    // p = *__heap_ptr; *__heap_ptr = p + aligned; return p
+    IrInst ga;
+    ga.op = IrOpcode::GlobalAddr;
+    ga.dest = fn->newVReg();
+    ga.a = Operand::makeImm(heap_ptr_offset);
+    int hp = ga.dest;
+    push(std::move(ga));
+    IrInst ld;
+    ld.op = IrOpcode::Load;
+    ld.dest = fn->newVReg();
+    ld.a = Operand::makeReg(hp);
+    ld.b = Operand::makeImm(0);
+    int p = ld.dest;
+    push(std::move(ld));
+    IrInst bump;
+    bump.op = IrOpcode::Add;
+    bump.dest = fn->newVReg();
+    bump.a = Operand::makeReg(p);
+    bump.b = Operand::makeReg(aligned);
+    int next = bump.dest;
+    push(std::move(bump));
+    IrInst st;
+    st.op = IrOpcode::Store;
+    st.a = Operand::makeReg(hp);
+    st.b = Operand::makeImm(0);
+    st.c = Operand::makeReg(next);
+    push(std::move(st));
+    IrInst ret;
+    ret.op = IrOpcode::Ret;
+    ret.a = Operand::makeReg(p);
+    push(std::move(ret));
+
+    fn->recomputeCfg();
+    mod.functions.push_back(std::move(fn));
+}
+
+} // anonymous namespace
+
+std::unique_ptr<ir::Module>
+lowerToIr(const lang::Program &prog, lang::TypeTable &types,
+          int global_size)
+{
+    auto mod = std::make_unique<ir::Module>();
+
+    // Reserve a word for the heap bump pointer after user globals.
+    int heap_ptr_offset = global_size;
+    mod->globalSize = global_size + 4;
+
+    // Initial global segment contents.
+    mod->globalInit.assign(static_cast<size_t>(mod->globalSize), 0);
+    auto poke_word = [&](int offset, uint32_t value) {
+        std::memcpy(mod->globalInit.data() + offset, &value, 4);
+    };
+    for (const auto &g : prog.globals) {
+        if (!g->hasConstInit)
+            continue;
+        if (g->type->size() == 1) {
+            mod->globalInit[static_cast<size_t>(g->globalOffset)] =
+                static_cast<uint8_t>(g->constInit);
+        } else {
+            poke_word(g->globalOffset,
+                      static_cast<uint32_t>(g->constInit));
+        }
+    }
+    // The loader patches __heap_ptr with the final heap base once the
+    // total global size is known (isa::MachineProgram::heapBase).
+    poke_word(heap_ptr_offset, 0);
+
+    buildAllocFunction(*mod, heap_ptr_offset);
+
+    for (const auto &fn_decl : prog.functions) {
+        if (fn_decl->isBuiltin)
+            continue;
+        auto fn = std::make_unique<Function>(fn_decl->name);
+        FuncLowering lowering(prog, types, *fn_decl, *fn,
+                              heap_ptr_offset);
+        lowering.run();
+        fn->recomputeCfg();
+        mod->functions.push_back(std::move(fn));
+    }
+
+    mod->numberLoads();
+    return mod;
+}
+
+} // namespace irgen
+} // namespace elag

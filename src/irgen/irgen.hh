@@ -1,0 +1,38 @@
+/**
+ * @file
+ * AST -> IR lowering.
+ */
+
+#ifndef ELAG_IRGEN_IRGEN_HH
+#define ELAG_IRGEN_IRGEN_HH
+
+#include <map>
+#include <memory>
+
+#include "ir/ir.hh"
+#include "lang/ast.hh"
+#include "lang/type.hh"
+
+namespace elag {
+namespace irgen {
+
+/**
+ * Lower a semantically-checked program to IR.
+ *
+ * Scalar locals and parameters become virtual registers (the
+ * "virtual register allocation" promotion the paper's heuristics
+ * rely on); address-taken locals and arrays become stack objects;
+ * globals live in the global segment addressed through GlobalAddr.
+ *
+ * The runtime `alloc` builtin is synthesized as an IR function that
+ * bumps the `__heap_ptr` word, which the loader initializes to the
+ * heap base address.
+ */
+std::unique_ptr<ir::Module> lowerToIr(const lang::Program &prog,
+                                      lang::TypeTable &types,
+                                      int global_size);
+
+} // namespace irgen
+} // namespace elag
+
+#endif // ELAG_IRGEN_IRGEN_HH

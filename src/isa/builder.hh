@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Inline factory functions for constructing machine instructions.
+ *
+ * Used by the code generator and by tests that hand-assemble
+ * programs; keeps Instruction a plain aggregate.
+ */
+
+#ifndef ELAG_ISA_BUILDER_HH
+#define ELAG_ISA_BUILDER_HH
+
+#include "isa/instruction.hh"
+
+namespace elag {
+namespace isa {
+namespace build {
+
+inline Instruction
+rrr(Opcode op, int rd, int rs1, int rs2)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = static_cast<uint8_t>(rd);
+    i.rs1 = static_cast<uint8_t>(rs1);
+    i.rs2 = static_cast<uint8_t>(rs2);
+    return i;
+}
+
+inline Instruction
+rri(Opcode op, int rd, int rs1, int32_t imm)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = static_cast<uint8_t>(rd);
+    i.rs1 = static_cast<uint8_t>(rs1);
+    i.imm = imm;
+    return i;
+}
+
+/** add rd, rs1, rs2 */
+inline Instruction
+add(int rd, int rs1, int rs2)
+{
+    return rrr(Opcode::ADD, rd, rs1, rs2);
+}
+
+/** addi rd, rs1, imm */
+inline Instruction
+addi(int rd, int rs1, int32_t imm)
+{
+    return rri(Opcode::ADDI, rd, rs1, imm);
+}
+
+/** li rd, imm (pseudo: addi rd, zero, imm) */
+inline Instruction
+li(int rd, int32_t imm)
+{
+    return rri(Opcode::ADDI, rd, 0, imm);
+}
+
+/** mov rd, rs (pseudo: addi rd, rs, 0) */
+inline Instruction
+mov(int rd, int rs)
+{
+    return rri(Opcode::ADDI, rd, rs, 0);
+}
+
+/** Load with base+offset addressing. */
+inline Instruction
+load(LoadSpec spec, int rd, int base, int32_t offset,
+     MemWidth width = MemWidth::Word)
+{
+    Instruction i;
+    i.op = Opcode::LOAD;
+    i.rd = static_cast<uint8_t>(rd);
+    i.rs1 = static_cast<uint8_t>(base);
+    i.imm = offset;
+    i.spec = spec;
+    i.mode = AddrMode::BaseOffset;
+    i.width = width;
+    return i;
+}
+
+/** Load with base+index addressing. */
+inline Instruction
+loadx(LoadSpec spec, int rd, int base, int index,
+      MemWidth width = MemWidth::Word)
+{
+    Instruction i;
+    i.op = Opcode::LOAD;
+    i.rd = static_cast<uint8_t>(rd);
+    i.rs1 = static_cast<uint8_t>(base);
+    i.rs2 = static_cast<uint8_t>(index);
+    i.spec = spec;
+    i.mode = AddrMode::BaseIndex;
+    i.width = width;
+    return i;
+}
+
+/** st rs2 -> offset(base) */
+inline Instruction
+store(int src, int base, int32_t offset, MemWidth width = MemWidth::Word)
+{
+    Instruction i;
+    i.op = Opcode::STORE;
+    i.rs1 = static_cast<uint8_t>(base);
+    i.rs2 = static_cast<uint8_t>(src);
+    i.imm = offset;
+    i.mode = AddrMode::BaseOffset;
+    i.width = width;
+    return i;
+}
+
+/** Conditional branch to absolute PC @p target. */
+inline Instruction
+branch(Opcode op, int rs1, int rs2, int32_t target)
+{
+    Instruction i;
+    i.op = op;
+    i.rs1 = static_cast<uint8_t>(rs1);
+    i.rs2 = static_cast<uint8_t>(rs2);
+    i.imm = target;
+    return i;
+}
+
+/** jmp target */
+inline Instruction
+jmp(int32_t target)
+{
+    Instruction i;
+    i.op = Opcode::JMP;
+    i.imm = target;
+    return i;
+}
+
+/** jal rd, target */
+inline Instruction
+jal(int rd, int32_t target)
+{
+    Instruction i;
+    i.op = Opcode::JAL;
+    i.rd = static_cast<uint8_t>(rd);
+    i.imm = target;
+    return i;
+}
+
+/** jr rs */
+inline Instruction
+jr(int rs)
+{
+    Instruction i;
+    i.op = Opcode::JR;
+    i.rs1 = static_cast<uint8_t>(rs);
+    return i;
+}
+
+/** print rs */
+inline Instruction
+print(int rs)
+{
+    Instruction i;
+    i.op = Opcode::PRINT;
+    i.rs1 = static_cast<uint8_t>(rs);
+    return i;
+}
+
+/** halt */
+inline Instruction
+halt()
+{
+    Instruction i;
+    i.op = Opcode::HALT;
+    return i;
+}
+
+/** nop */
+inline Instruction
+nop()
+{
+    Instruction i;
+    i.op = Opcode::NOP;
+    return i;
+}
+
+} // namespace build
+} // namespace isa
+} // namespace elag
+
+#endif // ELAG_ISA_BUILDER_HH

@@ -1,0 +1,128 @@
+#include "isa/disasm.hh"
+
+#include "isa/registers.hh"
+#include "support/logging.hh"
+
+namespace elag {
+namespace isa {
+
+namespace {
+
+std::string
+r(int reg)
+{
+    return intRegName(reg);
+}
+
+std::string
+f(int reg)
+{
+    return fpRegName(reg);
+}
+
+std::string
+memOperand(const Instruction &inst)
+{
+    if (inst.mode == AddrMode::BaseOffset)
+        return formatString("%d(%s)", inst.imm, r(inst.rs1).c_str());
+    return formatString("(%s+%s)", r(inst.rs1).c_str(),
+                        r(inst.rs2).c_str());
+}
+
+std::string
+widthSuffix(const Instruction &inst)
+{
+    return inst.width == MemWidth::Byte ? "b" : "";
+}
+
+} // anonymous namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    using O = Opcode;
+    switch (inst.op) {
+      case O::ADD: case O::SUB: case O::MUL: case O::DIV: case O::REM:
+      case O::AND: case O::OR: case O::XOR:
+      case O::SLL: case O::SRL: case O::SRA:
+      case O::SLT: case O::SLTU: case O::SEQ:
+        return formatString("%s %s, %s, %s",
+                            opcodeName(inst.op).c_str(),
+                            r(inst.rd).c_str(), r(inst.rs1).c_str(),
+                            r(inst.rs2).c_str());
+      case O::ADDI: case O::ANDI: case O::ORI: case O::XORI:
+      case O::SLLI: case O::SRLI: case O::SRAI: case O::SLTI:
+        return formatString("%s %s, %s, %d",
+                            opcodeName(inst.op).c_str(),
+                            r(inst.rd).c_str(), r(inst.rs1).c_str(),
+                            inst.imm);
+      case O::LUI:
+        return formatString("lui %s, %d", r(inst.rd).c_str(), inst.imm);
+      case O::LOAD:
+        return formatString("%s%s %s, %s",
+                            loadSpecName(inst.spec).c_str(),
+                            widthSuffix(inst).c_str(),
+                            r(inst.rd).c_str(), memOperand(inst).c_str());
+      case O::STORE:
+        return formatString("st%s %s, %s", widthSuffix(inst).c_str(),
+                            r(inst.rs2).c_str(), memOperand(inst).c_str());
+      case O::BEQ: case O::BNE: case O::BLT: case O::BGE:
+      case O::BLTU: case O::BGEU:
+        return formatString("%s %s, %s, %d",
+                            opcodeName(inst.op).c_str(),
+                            r(inst.rs1).c_str(), r(inst.rs2).c_str(),
+                            inst.imm);
+      case O::JMP:
+        return formatString("jmp %d", inst.imm);
+      case O::JAL:
+        return formatString("jal %s, %d", r(inst.rd).c_str(), inst.imm);
+      case O::JR:
+        return formatString("jr %s", r(inst.rs1).c_str());
+      case O::FADD: case O::FSUB: case O::FMUL: case O::FDIV:
+        return formatString("%s %s, %s, %s",
+                            opcodeName(inst.op).c_str(),
+                            f(inst.rd).c_str(), f(inst.rs1).c_str(),
+                            f(inst.rs2).c_str());
+      case O::FLOAD:
+        return formatString("fld %s, %s", f(inst.rd).c_str(),
+                            memOperand(inst).c_str());
+      case O::FSTORE:
+        return formatString("fst %s, %s", f(inst.rs2).c_str(),
+                            memOperand(inst).c_str());
+      case O::CVTIF:
+        return formatString("cvtif %s, %s", f(inst.rd).c_str(),
+                            r(inst.rs1).c_str());
+      case O::CVTFI:
+        return formatString("cvtfi %s, %s", r(inst.rd).c_str(),
+                            f(inst.rs1).c_str());
+      case O::PRINT:
+        return formatString("print %s", r(inst.rs1).c_str());
+      case O::HALT:
+        return "halt";
+      case O::NOP:
+        return "nop";
+      default:
+        panic("disassemble: bad opcode %d", static_cast<int>(inst.op));
+    }
+}
+
+std::string
+disassemble(const MachineProgram &prog)
+{
+    std::map<uint32_t, std::string> labels;
+    for (const auto &kv : prog.symbols)
+        labels[kv.second] = kv.first;
+
+    std::string out;
+    for (size_t pc = 0; pc < prog.code.size(); ++pc) {
+        auto it = labels.find(static_cast<uint32_t>(pc));
+        if (it != labels.end())
+            out += formatString("%s:\n", it->second.c_str());
+        out += formatString("  %4zu: %s\n", pc,
+                            disassemble(prog.code[pc]).c_str());
+    }
+    return out;
+}
+
+} // namespace isa
+} // namespace elag

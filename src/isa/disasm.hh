@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Instruction and program disassembly.
+ */
+
+#ifndef ELAG_ISA_DISASM_HH
+#define ELAG_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace elag {
+namespace isa {
+
+/** Disassemble one instruction, e.g. "ld_p r4, 0(r17)". */
+std::string disassemble(const Instruction &inst);
+
+/** Disassemble a whole program with PC labels and symbols. */
+std::string disassemble(const MachineProgram &prog);
+
+} // namespace isa
+} // namespace elag
+
+#endif // ELAG_ISA_DISASM_HH

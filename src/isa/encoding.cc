@@ -1,0 +1,70 @@
+#include "isa/encoding.hh"
+
+#include "support/logging.hh"
+
+namespace elag {
+namespace isa {
+
+namespace {
+
+uint32_t
+widthLog2(MemWidth w)
+{
+    return w == MemWidth::Byte ? 0 : 2;
+}
+
+MemWidth
+widthFromLog2(uint32_t lg)
+{
+    switch (lg) {
+      case 0: return MemWidth::Byte;
+      case 2: return MemWidth::Word;
+      default:
+        fatal("decode: invalid memory width field %u", lg);
+    }
+}
+
+} // anonymous namespace
+
+uint64_t
+encode(const Instruction &inst)
+{
+    elag_assert(inst.rd < NumIntRegs);
+    elag_assert(inst.rs1 < NumIntRegs);
+    elag_assert(inst.rs2 < NumIntRegs);
+    uint64_t w = 0;
+    w |= static_cast<uint64_t>(inst.op) & 0xff;
+    w |= (static_cast<uint64_t>(inst.rd) & 0x3f) << 8;
+    w |= (static_cast<uint64_t>(inst.rs1) & 0x3f) << 14;
+    w |= (static_cast<uint64_t>(inst.rs2) & 0x3f) << 20;
+    w |= (static_cast<uint64_t>(inst.spec) & 0x3) << 26;
+    w |= (static_cast<uint64_t>(inst.mode) & 0x1) << 28;
+    w |= (static_cast<uint64_t>(widthLog2(inst.width)) & 0x3) << 29;
+    w |= static_cast<uint64_t>(static_cast<uint32_t>(inst.imm)) << 32;
+    return w;
+}
+
+Instruction
+decode(uint64_t word)
+{
+    uint32_t op_field = static_cast<uint32_t>(word & 0xff);
+    if (op_field >= static_cast<uint32_t>(Opcode::NumOpcodes))
+        fatal("decode: invalid opcode field %u", op_field);
+
+    Instruction inst;
+    inst.op = static_cast<Opcode>(op_field);
+    inst.rd = static_cast<uint8_t>((word >> 8) & 0x3f);
+    inst.rs1 = static_cast<uint8_t>((word >> 14) & 0x3f);
+    inst.rs2 = static_cast<uint8_t>((word >> 20) & 0x3f);
+    uint32_t spec_field = static_cast<uint32_t>((word >> 26) & 0x3);
+    if (spec_field > static_cast<uint32_t>(LoadSpec::EarlyCalc))
+        fatal("decode: invalid load spec field %u", spec_field);
+    inst.spec = static_cast<LoadSpec>(spec_field);
+    inst.mode = static_cast<AddrMode>((word >> 28) & 0x1);
+    inst.width = widthFromLog2(static_cast<uint32_t>((word >> 29) & 0x3));
+    inst.imm = static_cast<int32_t>(static_cast<uint32_t>(word >> 32));
+    return inst;
+}
+
+} // namespace isa
+} // namespace elag

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Binary instruction encoding.
+ *
+ * Instructions are packed into a 64-bit word so programs can be
+ * serialized and so the instruction-set extension cost discussed in
+ * the paper (three load specifiers folded into the load opcode) is
+ * concrete. Layout, from bit 0:
+ *
+ *   [7:0]    opcode
+ *   [13:8]   rd
+ *   [19:14]  rs1
+ *   [25:20]  rs2
+ *   [27:26]  load spec
+ *   [28]     addressing mode
+ *   [30:29]  memory width (log2 of bytes)
+ *   [63:32]  imm (signed 32-bit)
+ */
+
+#ifndef ELAG_ISA_ENCODING_HH
+#define ELAG_ISA_ENCODING_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+
+namespace elag {
+namespace isa {
+
+/** Pack an instruction into its 64-bit binary form. */
+uint64_t encode(const Instruction &inst);
+
+/**
+ * Decode a 64-bit instruction word.
+ * @throws FatalError on an invalid opcode or field.
+ */
+Instruction decode(uint64_t word);
+
+} // namespace isa
+} // namespace elag
+
+#endif // ELAG_ISA_ENCODING_HH

@@ -1,0 +1,221 @@
+#include "isa/instruction.hh"
+
+#include "support/logging.hh"
+
+namespace elag {
+namespace isa {
+
+bool
+Instruction::isCondBranch() const
+{
+    switch (op) {
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+      case Opcode::BLTU:
+      case Opcode::BGEU:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::isControl() const
+{
+    return isCondBranch() || op == Opcode::JMP || op == Opcode::JAL ||
+           op == Opcode::JR;
+}
+
+FuClass
+Instruction::fuClass() const
+{
+    if (isMem())
+        return FuClass::MemPort;
+    if (isControl())
+        return FuClass::Branch;
+    switch (op) {
+      case Opcode::FADD:
+      case Opcode::FSUB:
+      case Opcode::FMUL:
+      case Opcode::FDIV:
+      case Opcode::CVTIF:
+      case Opcode::CVTFI:
+        return FuClass::FpAlu;
+      case Opcode::HALT:
+      case Opcode::NOP:
+        return FuClass::None;
+      case Opcode::PRINT:
+        return FuClass::IntAlu;
+      default:
+        return FuClass::IntAlu;
+    }
+}
+
+bool
+Instruction::writesIntReg() const
+{
+    return intDest() > 0;
+}
+
+int
+Instruction::intDest() const
+{
+    switch (op) {
+      case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
+      case Opcode::DIV: case Opcode::REM:
+      case Opcode::AND: case Opcode::OR: case Opcode::XOR:
+      case Opcode::SLL: case Opcode::SRL: case Opcode::SRA:
+      case Opcode::SLT: case Opcode::SLTU: case Opcode::SEQ:
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SLLI: case Opcode::SRLI:
+      case Opcode::SRAI: case Opcode::SLTI: case Opcode::LUI:
+      case Opcode::LOAD: case Opcode::JAL: case Opcode::CVTFI:
+        return rd == 0 ? -1 : rd;
+      default:
+        return -1;
+    }
+}
+
+bool
+Instruction::writesFpReg() const
+{
+    switch (op) {
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
+      case Opcode::FDIV: case Opcode::FLOAD: case Opcode::CVTIF:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+Instruction::intSources(int &s1, int &s2) const
+{
+    s1 = -1;
+    s2 = -1;
+    switch (op) {
+      case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
+      case Opcode::DIV: case Opcode::REM:
+      case Opcode::AND: case Opcode::OR: case Opcode::XOR:
+      case Opcode::SLL: case Opcode::SRL: case Opcode::SRA:
+      case Opcode::SLT: case Opcode::SLTU: case Opcode::SEQ:
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
+        s1 = rs1;
+        s2 = rs2;
+        break;
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SLLI: case Opcode::SRLI:
+      case Opcode::SRAI: case Opcode::SLTI:
+      case Opcode::JR: case Opcode::PRINT: case Opcode::CVTIF:
+        s1 = rs1;
+        break;
+      case Opcode::LOAD:
+      case Opcode::FLOAD:
+        s1 = rs1;
+        if (mode == AddrMode::BaseIndex)
+            s2 = rs2;
+        break;
+      case Opcode::STORE:
+        s1 = rs1;
+        s2 = rs2;
+        break;
+      case Opcode::FSTORE:
+        s1 = rs1;   // base address; data comes from the FP file
+        break;
+      default:
+        break;
+    }
+    // r0 reads as constant zero and never creates a dependence.
+    if (s1 == 0)
+        s1 = -1;
+    if (s2 == 0)
+        s2 = -1;
+}
+
+int
+Instruction::baseReg() const
+{
+    if (!isMem())
+        return -1;
+    return rs1;
+}
+
+int
+Instruction::indexReg() const
+{
+    if (!isLoad() || mode != AddrMode::BaseIndex)
+        return -1;
+    return rs2;
+}
+
+std::string
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: return "add";
+      case Opcode::SUB: return "sub";
+      case Opcode::MUL: return "mul";
+      case Opcode::DIV: return "div";
+      case Opcode::REM: return "rem";
+      case Opcode::AND: return "and";
+      case Opcode::OR: return "or";
+      case Opcode::XOR: return "xor";
+      case Opcode::SLL: return "sll";
+      case Opcode::SRL: return "srl";
+      case Opcode::SRA: return "sra";
+      case Opcode::SLT: return "slt";
+      case Opcode::SLTU: return "sltu";
+      case Opcode::SEQ: return "seq";
+      case Opcode::ADDI: return "addi";
+      case Opcode::ANDI: return "andi";
+      case Opcode::ORI: return "ori";
+      case Opcode::XORI: return "xori";
+      case Opcode::SLLI: return "slli";
+      case Opcode::SRLI: return "srli";
+      case Opcode::SRAI: return "srai";
+      case Opcode::SLTI: return "slti";
+      case Opcode::LUI: return "lui";
+      case Opcode::LOAD: return "ld";
+      case Opcode::STORE: return "st";
+      case Opcode::BEQ: return "beq";
+      case Opcode::BNE: return "bne";
+      case Opcode::BLT: return "blt";
+      case Opcode::BGE: return "bge";
+      case Opcode::BLTU: return "bltu";
+      case Opcode::BGEU: return "bgeu";
+      case Opcode::JMP: return "jmp";
+      case Opcode::JAL: return "jal";
+      case Opcode::JR: return "jr";
+      case Opcode::FADD: return "fadd";
+      case Opcode::FSUB: return "fsub";
+      case Opcode::FMUL: return "fmul";
+      case Opcode::FDIV: return "fdiv";
+      case Opcode::FLOAD: return "fld";
+      case Opcode::FSTORE: return "fst";
+      case Opcode::CVTIF: return "cvtif";
+      case Opcode::CVTFI: return "cvtfi";
+      case Opcode::PRINT: return "print";
+      case Opcode::HALT: return "halt";
+      case Opcode::NOP: return "nop";
+      default:
+        panic("opcodeName: bad opcode %d", static_cast<int>(op));
+    }
+}
+
+std::string
+loadSpecName(LoadSpec spec)
+{
+    switch (spec) {
+      case LoadSpec::Normal: return "ld_n";
+      case LoadSpec::Predict: return "ld_p";
+      case LoadSpec::EarlyCalc: return "ld_e";
+      default:
+        panic("loadSpecName: bad spec %d", static_cast<int>(spec));
+    }
+}
+
+} // namespace isa
+} // namespace elag

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The ELAG instruction set.
+ *
+ * A 32-bit RISC ISA modeled on the HP PA-7100 assumptions of the
+ * paper: 64 integer and 64 floating-point registers, register+offset
+ * and register+register load addressing, 1-cycle integer operations
+ * and 2-cycle loads. The load instruction carries one of three
+ * compiler-selected specifiers (paper Table 1):
+ *
+ *   ld_n  normal load, no early address generation
+ *   ld_p  table-based address prediction
+ *   ld_e  early calculation through the R_addr register cache
+ */
+
+#ifndef ELAG_ISA_INSTRUCTION_HH
+#define ELAG_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+namespace elag {
+namespace isa {
+
+/** Number of architected integer registers (r0 is hardwired zero). */
+constexpr int NumIntRegs = 64;
+/** Number of architected floating-point registers. */
+constexpr int NumFpRegs = 64;
+
+/** Machine opcodes. */
+enum class Opcode : uint8_t
+{
+    // Integer ALU, register-register.
+    ADD, SUB, MUL, DIV, REM,
+    AND, OR, XOR,
+    SLL, SRL, SRA,
+    SLT, SLTU, SEQ,
+    // Integer ALU, register-immediate.
+    ADDI, ANDI, ORI, XORI,
+    SLLI, SRLI, SRAI, SLTI,
+    LUI,
+    // Memory.
+    LOAD, STORE,
+    // Control transfer (imm holds the absolute target PC).
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,
+    JMP, JAL, JR,
+    // Floating point (operands index the FP register file).
+    FADD, FSUB, FMUL, FDIV,
+    FLOAD, FSTORE,
+    CVTIF,  ///< int reg -> fp reg
+    CVTFI,  ///< fp reg -> int reg (truncating)
+    // System.
+    PRINT,  ///< emit rs1 to the emulator's output channel
+    HALT,   ///< stop execution
+    NOP,
+
+    NumOpcodes
+};
+
+/** Compiler-selected early-address-generation specifier (Table 1). */
+enum class LoadSpec : uint8_t
+{
+    Normal,     ///< ld_n
+    Predict,    ///< ld_p
+    EarlyCalc,  ///< ld_e
+};
+
+/** Memory access addressing mode. */
+enum class AddrMode : uint8_t
+{
+    BaseOffset, ///< effective address = reg[base] + imm
+    BaseIndex,  ///< effective address = reg[base] + reg[index]
+};
+
+/** Memory access width in bytes. */
+enum class MemWidth : uint8_t
+{
+    Byte = 1,
+    Word = 4,
+};
+
+/** Functional-unit class an instruction executes on. */
+enum class FuClass : uint8_t
+{
+    IntAlu,
+    MemPort,
+    FpAlu,
+    Branch,
+    None,   ///< NOP/HALT consume an issue slot only
+};
+
+/**
+ * One decoded machine instruction.
+ *
+ * Field meaning depends on the opcode:
+ *  - ALU reg-reg:   rd <- rs1 op rs2
+ *  - ALU reg-imm:   rd <- rs1 op imm
+ *  - LOAD:          rd <- mem[rs1 + imm]  (BaseOffset)
+ *                   rd <- mem[rs1 + rs2]  (BaseIndex)
+ *  - STORE:         mem[rs1 + imm] <- rs2 (BaseOffset)
+ *  - branches:      compare rs1, rs2; target PC = imm
+ *  - JAL:           rd <- return PC; jump to imm
+ *  - JR:            jump to rs1
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int32_t imm = 0;
+    LoadSpec spec = LoadSpec::Normal;
+    AddrMode mode = AddrMode::BaseOffset;
+    MemWidth width = MemWidth::Word;
+
+    bool operator==(const Instruction &other) const = default;
+
+    /** @return true for integer or FP loads. */
+    bool isLoad() const { return op == Opcode::LOAD || op == Opcode::FLOAD; }
+    /** @return true for integer or FP stores. */
+    bool
+    isStore() const
+    {
+        return op == Opcode::STORE || op == Opcode::FSTORE;
+    }
+    /** @return true for any memory access. */
+    bool isMem() const { return isLoad() || isStore(); }
+    /** @return true for conditional branches. */
+    bool isCondBranch() const;
+    /** @return true for any control transfer. */
+    bool isControl() const;
+    /** @return true if this op terminates execution. */
+    bool isHalt() const { return op == Opcode::HALT; }
+    /** @return functional-unit class. */
+    FuClass fuClass() const;
+
+    /** @return true if the instruction writes an integer register. */
+    bool writesIntReg() const;
+    /** @return destination integer register or -1. */
+    int intDest() const;
+    /** @return true if the instruction writes an FP register. */
+    bool writesFpReg() const;
+
+    /** Integer source registers; -1 entries mean unused. */
+    void intSources(int &s1, int &s2) const;
+
+    /** @return the base register for a memory access (or -1). */
+    int baseReg() const;
+    /** @return the index register for a BaseIndex access (or -1). */
+    int indexReg() const;
+};
+
+/** Mnemonic for an opcode (e.g. "add", "ld_p"). */
+std::string opcodeName(Opcode op);
+
+/** Mnemonic for a load spec ("ld_n"/"ld_p"/"ld_e"). */
+std::string loadSpecName(LoadSpec spec);
+
+} // namespace isa
+} // namespace elag
+
+#endif // ELAG_ISA_INSTRUCTION_HH

@@ -1,0 +1,31 @@
+#include "isa/registers.hh"
+
+#include "isa/instruction.hh"
+#include "support/logging.hh"
+
+namespace elag {
+namespace isa {
+
+std::string
+intRegName(int reg)
+{
+    elag_assert(reg >= 0 && reg < NumIntRegs);
+    switch (reg) {
+      case reg::Zero: return "zero";
+      case reg::Sp: return "sp";
+      case reg::Ra: return "ra";
+      case reg::Gp: return "gp";
+      default:
+        return formatString("r%d", reg);
+    }
+}
+
+std::string
+fpRegName(int reg)
+{
+    elag_assert(reg >= 0 && reg < NumFpRegs);
+    return formatString("f%d", reg);
+}
+
+} // namespace isa
+} // namespace elag

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Architected register names and the software calling convention.
+ */
+
+#ifndef ELAG_ISA_REGISTERS_HH
+#define ELAG_ISA_REGISTERS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace elag {
+namespace isa {
+
+/** Software register convention used by the code generator. */
+namespace reg {
+
+constexpr int Zero = 0;       ///< hardwired zero
+constexpr int Sp = 1;         ///< stack pointer
+constexpr int Ra = 2;         ///< return address
+constexpr int Gp = 3;         ///< global pointer (base of globals)
+constexpr int Arg0 = 4;       ///< first argument / return value
+constexpr int NumArgRegs = 8; ///< r4..r11 carry arguments
+
+/** First caller-saved temporary. */
+constexpr int CallerSavedFirst = 12;
+/** Last caller-saved temporary. */
+constexpr int CallerSavedLast = 31;
+/** First callee-saved register. */
+constexpr int CalleeSavedFirst = 32;
+/** Last callee-saved register. */
+constexpr int CalleeSavedLast = 63;
+
+/** @return argument register i (i < NumArgRegs). */
+constexpr int arg(int i) { return Arg0 + i; }
+
+} // namespace reg
+
+/** Human-readable integer register name ("r7", "sp", ...). */
+std::string intRegName(int reg);
+
+/** Human-readable FP register name ("f3"). */
+std::string fpRegName(int reg);
+
+} // namespace isa
+} // namespace elag
+
+#endif // ELAG_ISA_REGISTERS_HH

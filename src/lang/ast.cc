@@ -1,0 +1,25 @@
+#include "lang/ast.hh"
+
+namespace elag {
+namespace lang {
+
+const Type *
+VarDecl::valueType(TypeTable &types) const
+{
+    if (isArray)
+        return types.ptrTo(type);
+    return type;
+}
+
+FuncDecl *
+Program::findFunction(const std::string &name) const
+{
+    for (const auto &f : functions) {
+        if (f->name == name)
+            return f.get();
+    }
+    return nullptr;
+}
+
+} // namespace lang
+} // namespace elag

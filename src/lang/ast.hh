@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Abstract syntax tree for the mini-C frontend.
+ *
+ * The parser builds this tree; semantic analysis annotates expression
+ * nodes with types and resolves identifiers to declarations; IR
+ * generation consumes the annotated tree.
+ */
+
+#ifndef ELAG_LANG_AST_HH
+#define ELAG_LANG_AST_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/token.hh"
+#include "lang/type.hh"
+
+namespace elag {
+namespace lang {
+
+struct VarDecl;
+struct FuncDecl;
+
+/** Expression node kinds. */
+enum class ExprKind : uint8_t
+{
+    IntLit,    ///< integer / character constant
+    VarRef,    ///< identifier
+    Unary,     ///< - ! ~  and * (deref), & (address-of)
+    Binary,    ///< arithmetic / comparison / logical
+    Assign,    ///< = and compound assignments (lowered to = in sema)
+    Cond,      ///< ?:
+    Call,      ///< f(args) or builtin
+    Index,     ///< a[i]
+    IncDec,    ///< ++/-- (pre or post)
+    Cast,      ///< (type)expr
+};
+
+/** Unary operators. */
+enum class UnaryOp : uint8_t { Neg, Not, BitNot, Deref, AddrOf };
+
+/** Binary operators (logical && / || are short-circuit). */
+enum class BinaryOp : uint8_t
+{
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    LogAnd, LogOr,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** An expression node (kind-discriminated variant). */
+struct Expr
+{
+    ExprKind kind;
+    SrcLoc loc;
+
+    // Filled by semantic analysis:
+    const Type *type = nullptr;  ///< value type after decay
+    bool isLvalue = false;       ///< may appear on the left of '='
+
+    // IntLit
+    int64_t intValue = 0;
+
+    // VarRef
+    std::string name;
+    VarDecl *varDecl = nullptr;   ///< resolved by sema
+    FuncDecl *funcDecl = nullptr; ///< for Call callees, set by sema
+
+    // Unary / IncDec / Cast operand; Binary/Assign/Index lhs; Cond cond.
+    ExprPtr lhs;
+    // Binary/Assign/Index rhs; Cond then-branch.
+    ExprPtr rhs;
+    // Cond else-branch.
+    ExprPtr third;
+
+    UnaryOp unaryOp = UnaryOp::Neg;
+    BinaryOp binaryOp = BinaryOp::Add;
+    bool isCompound = false; ///< Assign: '+=' etc. (op in binaryOp)
+    bool isPostfix = false;  ///< IncDec: post vs pre
+    bool isIncrement = true; ///< IncDec: ++ vs --
+
+    // Call arguments.
+    std::vector<ExprPtr> args;
+
+    // Cast target (written type; sema copies it to this->type).
+    const Type *castType = nullptr;
+};
+
+/** Statement node kinds. */
+enum class StmtKind : uint8_t
+{
+    Expr,      ///< expression statement
+    Decl,      ///< local variable declaration
+    Block,
+    If,
+    While,
+    DoWhile,
+    For,
+    Return,
+    Break,
+    Continue,
+    Empty,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** A statement node (kind-discriminated variant). */
+struct Stmt
+{
+    StmtKind kind;
+    SrcLoc loc;
+
+    ExprPtr expr;          ///< Expr / If cond / While cond / Return value
+    std::unique_ptr<VarDecl> decl; ///< Decl
+    std::vector<StmtPtr> body;     ///< Block statements
+    StmtPtr thenStmt;      ///< If then / While body / For body
+    StmtPtr elseStmt;      ///< If else
+    StmtPtr forInit;       ///< For init (Expr or Decl statement)
+    ExprPtr forCond;       ///< For condition (may be null)
+    ExprPtr forStep;       ///< For step (may be null)
+};
+
+/** A variable declaration (global, local, or parameter). */
+struct VarDecl
+{
+    std::string name;
+    SrcLoc loc;
+    const Type *type = nullptr;   ///< element type for arrays
+    bool isArray = false;
+    int arraySize = 0;            ///< elements, for arrays
+    ExprPtr init;                 ///< optional initializer
+
+    // Filled by semantic analysis:
+    bool isGlobal = false;
+    bool isParam = false;
+    bool addressTaken = false;    ///< forces a memory home
+    int globalOffset = 0;         ///< byte offset in global segment
+    int paramIndex = 0;
+    bool hasConstInit = false;    ///< global with folded initializer
+    int64_t constInit = 0;        ///< folded initial value
+
+    /** @return the type as seen by expressions (arrays decay). */
+    const Type *valueType(TypeTable &types) const;
+};
+
+/** A function definition. */
+struct FuncDecl
+{
+    std::string name;
+    SrcLoc loc;
+    const Type *returnType = nullptr;
+    std::vector<std::unique_ptr<VarDecl>> params;
+    StmtPtr body;  ///< null for builtins
+    bool isBuiltin = false;
+};
+
+/** A whole translation unit. */
+struct Program
+{
+    std::vector<std::unique_ptr<VarDecl>> globals;
+    std::vector<std::unique_ptr<FuncDecl>> functions;
+
+    /** Find a function by name (null if absent). */
+    FuncDecl *findFunction(const std::string &name) const;
+};
+
+} // namespace lang
+} // namespace elag
+
+#endif // ELAG_LANG_AST_HH

@@ -1,0 +1,334 @@
+#include "lang/lexer.hh"
+
+#include <cctype>
+#include <map>
+
+#include "support/logging.hh"
+
+namespace elag {
+namespace lang {
+
+std::string
+tokKindName(TokKind kind)
+{
+    switch (kind) {
+      case TokKind::EndOfFile: return "end of file";
+      case TokKind::Ident: return "identifier";
+      case TokKind::IntLit: return "integer literal";
+      case TokKind::CharLit: return "character literal";
+      case TokKind::KwInt: return "'int'";
+      case TokKind::KwChar: return "'char'";
+      case TokKind::KwVoid: return "'void'";
+      case TokKind::KwIf: return "'if'";
+      case TokKind::KwElse: return "'else'";
+      case TokKind::KwWhile: return "'while'";
+      case TokKind::KwFor: return "'for'";
+      case TokKind::KwDo: return "'do'";
+      case TokKind::KwReturn: return "'return'";
+      case TokKind::KwBreak: return "'break'";
+      case TokKind::KwContinue: return "'continue'";
+      case TokKind::LParen: return "'('";
+      case TokKind::RParen: return "')'";
+      case TokKind::LBrace: return "'{'";
+      case TokKind::RBrace: return "'}'";
+      case TokKind::LBracket: return "'['";
+      case TokKind::RBracket: return "']'";
+      case TokKind::Semi: return "';'";
+      case TokKind::Comma: return "','";
+      case TokKind::Assign: return "'='";
+      case TokKind::PlusAssign: return "'+='";
+      case TokKind::MinusAssign: return "'-='";
+      case TokKind::StarAssign: return "'*='";
+      case TokKind::SlashAssign: return "'/='";
+      case TokKind::PercentAssign: return "'%='";
+      case TokKind::AmpAssign: return "'&='";
+      case TokKind::PipeAssign: return "'|='";
+      case TokKind::CaretAssign: return "'^='";
+      case TokKind::ShlAssign: return "'<<='";
+      case TokKind::ShrAssign: return "'>>='";
+      case TokKind::Plus: return "'+'";
+      case TokKind::Minus: return "'-'";
+      case TokKind::Star: return "'*'";
+      case TokKind::Slash: return "'/'";
+      case TokKind::Percent: return "'%'";
+      case TokKind::Amp: return "'&'";
+      case TokKind::Pipe: return "'|'";
+      case TokKind::Caret: return "'^'";
+      case TokKind::Tilde: return "'~'";
+      case TokKind::AmpAmp: return "'&&'";
+      case TokKind::PipePipe: return "'||'";
+      case TokKind::Bang: return "'!'";
+      case TokKind::Shl: return "'<<'";
+      case TokKind::Shr: return "'>>'";
+      case TokKind::Eq: return "'=='";
+      case TokKind::Ne: return "'!='";
+      case TokKind::Lt: return "'<'";
+      case TokKind::Le: return "'<='";
+      case TokKind::Gt: return "'>'";
+      case TokKind::Ge: return "'>='";
+      case TokKind::PlusPlus: return "'++'";
+      case TokKind::MinusMinus: return "'--'";
+      case TokKind::Question: return "'?'";
+      case TokKind::Colon: return "':'";
+      default: return "<unknown token>";
+    }
+}
+
+Lexer::Lexer(const std::string &source)
+    : src(source)
+{
+}
+
+char
+Lexer::peek(int ahead) const
+{
+    size_t p = pos + static_cast<size_t>(ahead);
+    return p < src.size() ? src[p] : '\0';
+}
+
+char
+Lexer::advance()
+{
+    char c = peek();
+    ++pos;
+    if (c == '\n') {
+        ++line;
+        col = 1;
+    } else {
+        ++col;
+    }
+    return c;
+}
+
+bool
+Lexer::match(char expected)
+{
+    if (peek() != expected)
+        return false;
+    advance();
+    return true;
+}
+
+void
+Lexer::error(const std::string &msg) const
+{
+    fatal("lex error at %d:%d: %s", tokenStart.line, tokenStart.col,
+          msg.c_str());
+}
+
+void
+Lexer::skipWhitespaceAndComments()
+{
+    for (;;) {
+        char c = peek();
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance();
+        } else if (c == '/' && peek(1) == '/') {
+            while (peek() != '\n' && peek() != '\0')
+                advance();
+        } else if (c == '/' && peek(1) == '*') {
+            advance();
+            advance();
+            while (!(peek() == '*' && peek(1) == '/')) {
+                if (peek() == '\0') {
+                    tokenStart = {line, col};
+                    error("unterminated block comment");
+                }
+                advance();
+            }
+            advance();
+            advance();
+        } else {
+            return;
+        }
+    }
+}
+
+Token
+Lexer::makeToken(TokKind kind)
+{
+    Token t;
+    t.kind = kind;
+    t.loc = tokenStart;
+    return t;
+}
+
+Token
+Lexer::lexNumber()
+{
+    int64_t value = 0;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        advance();
+        advance();
+        if (!std::isxdigit(static_cast<unsigned char>(peek())))
+            error("expected hex digits after 0x");
+        while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+            char c = advance();
+            int digit = std::isdigit(static_cast<unsigned char>(c))
+                            ? c - '0'
+                            : std::tolower(c) - 'a' + 10;
+            value = value * 16 + digit;
+        }
+    } else {
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            value = value * 10 + (advance() - '0');
+    }
+    Token t = makeToken(TokKind::IntLit);
+    t.intValue = value;
+    return t;
+}
+
+Token
+Lexer::lexIdentOrKeyword()
+{
+    static const std::map<std::string, TokKind> keywords = {
+        {"int", TokKind::KwInt},       {"char", TokKind::KwChar},
+        {"void", TokKind::KwVoid},     {"if", TokKind::KwIf},
+        {"else", TokKind::KwElse},     {"while", TokKind::KwWhile},
+        {"for", TokKind::KwFor},       {"do", TokKind::KwDo},
+        {"return", TokKind::KwReturn}, {"break", TokKind::KwBreak},
+        {"continue", TokKind::KwContinue},
+    };
+    std::string text;
+    while (std::isalnum(static_cast<unsigned char>(peek())) ||
+           peek() == '_') {
+        text.push_back(advance());
+    }
+    auto it = keywords.find(text);
+    Token t = makeToken(it != keywords.end() ? it->second
+                                             : TokKind::Ident);
+    t.text = text;
+    return t;
+}
+
+Token
+Lexer::lexCharLit()
+{
+    advance(); // opening quote
+    char c = peek();
+    int64_t value;
+    if (c == '\\') {
+        advance();
+        char esc = advance();
+        switch (esc) {
+          case 'n': value = '\n'; break;
+          case 't': value = '\t'; break;
+          case 'r': value = '\r'; break;
+          case '0': value = '\0'; break;
+          case '\\': value = '\\'; break;
+          case '\'': value = '\''; break;
+          default:
+            error(formatString("unknown escape '\\%c'", esc));
+        }
+    } else if (c == '\0' || c == '\'') {
+        error("empty character literal");
+    } else {
+        value = advance();
+    }
+    if (!match('\''))
+        error("unterminated character literal");
+    Token t = makeToken(TokKind::CharLit);
+    t.intValue = value;
+    return t;
+}
+
+std::vector<Token>
+Lexer::tokenize()
+{
+    std::vector<Token> tokens;
+    for (;;) {
+        skipWhitespaceAndComments();
+        tokenStart = {line, col};
+        char c = peek();
+        if (c == '\0') {
+            tokens.push_back(makeToken(TokKind::EndOfFile));
+            return tokens;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            tokens.push_back(lexNumber());
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            tokens.push_back(lexIdentOrKeyword());
+            continue;
+        }
+        if (c == '\'') {
+            tokens.push_back(lexCharLit());
+            continue;
+        }
+        advance();
+        TokKind kind;
+        switch (c) {
+          case '(': kind = TokKind::LParen; break;
+          case ')': kind = TokKind::RParen; break;
+          case '{': kind = TokKind::LBrace; break;
+          case '}': kind = TokKind::RBrace; break;
+          case '[': kind = TokKind::LBracket; break;
+          case ']': kind = TokKind::RBracket; break;
+          case ';': kind = TokKind::Semi; break;
+          case ',': kind = TokKind::Comma; break;
+          case '?': kind = TokKind::Question; break;
+          case ':': kind = TokKind::Colon; break;
+          case '~': kind = TokKind::Tilde; break;
+          case '+':
+            kind = match('+') ? TokKind::PlusPlus
+                 : match('=') ? TokKind::PlusAssign
+                              : TokKind::Plus;
+            break;
+          case '-':
+            kind = match('-') ? TokKind::MinusMinus
+                 : match('=') ? TokKind::MinusAssign
+                              : TokKind::Minus;
+            break;
+          case '*':
+            kind = match('=') ? TokKind::StarAssign : TokKind::Star;
+            break;
+          case '/':
+            kind = match('=') ? TokKind::SlashAssign : TokKind::Slash;
+            break;
+          case '%':
+            kind = match('=') ? TokKind::PercentAssign
+                              : TokKind::Percent;
+            break;
+          case '&':
+            kind = match('&') ? TokKind::AmpAmp
+                 : match('=') ? TokKind::AmpAssign
+                              : TokKind::Amp;
+            break;
+          case '|':
+            kind = match('|') ? TokKind::PipePipe
+                 : match('=') ? TokKind::PipeAssign
+                              : TokKind::Pipe;
+            break;
+          case '^':
+            kind = match('=') ? TokKind::CaretAssign : TokKind::Caret;
+            break;
+          case '!':
+            kind = match('=') ? TokKind::Ne : TokKind::Bang;
+            break;
+          case '=':
+            kind = match('=') ? TokKind::Eq : TokKind::Assign;
+            break;
+          case '<':
+            if (match('<')) {
+                kind = match('=') ? TokKind::ShlAssign : TokKind::Shl;
+            } else {
+                kind = match('=') ? TokKind::Le : TokKind::Lt;
+            }
+            break;
+          case '>':
+            if (match('>')) {
+                kind = match('=') ? TokKind::ShrAssign : TokKind::Shr;
+            } else {
+                kind = match('=') ? TokKind::Ge : TokKind::Gt;
+            }
+            break;
+          default:
+            error(formatString("unexpected character '%c'", c));
+        }
+        tokens.push_back(makeToken(kind));
+    }
+}
+
+} // namespace lang
+} // namespace elag

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Lexer for the mini-C frontend.
+ */
+
+#ifndef ELAG_LANG_LEXER_HH
+#define ELAG_LANG_LEXER_HH
+
+#include <string>
+#include <vector>
+
+#include "lang/token.hh"
+
+namespace elag {
+namespace lang {
+
+/**
+ * Convert mini-C source text into a token stream.
+ *
+ * Supports // and block comments, decimal and hex integer literals,
+ * and character literals with the common escapes.
+ * @throws FatalError on a lexical error with line/column info.
+ */
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &source);
+
+    /** Lex the whole input; the last token is EndOfFile. */
+    std::vector<Token> tokenize();
+
+  private:
+    char peek(int ahead = 0) const;
+    char advance();
+    bool match(char expected);
+    void skipWhitespaceAndComments();
+    Token lexNumber();
+    Token lexIdentOrKeyword();
+    Token lexCharLit();
+    Token makeToken(TokKind kind);
+    [[noreturn]] void error(const std::string &msg) const;
+
+    std::string src;
+    size_t pos = 0;
+    int line = 1;
+    int col = 1;
+    SrcLoc tokenStart;
+};
+
+} // namespace lang
+} // namespace elag
+
+#endif // ELAG_LANG_LEXER_HH

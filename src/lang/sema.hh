@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Semantic analysis for the mini-C frontend.
+ *
+ * Resolves identifiers, checks and annotates types, enforces lvalue
+ * rules, lays out the global data segment, and registers the runtime
+ * builtins (`alloc`, `print`).
+ */
+
+#ifndef ELAG_LANG_SEMA_HH
+#define ELAG_LANG_SEMA_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lang/ast.hh"
+#include "lang/type.hh"
+
+namespace elag {
+namespace lang {
+
+/**
+ * Semantic analyzer. Construct, then call analyze() once.
+ * @throws FatalError with source location on semantic errors.
+ */
+class Sema
+{
+  public:
+    Sema(Program &program, TypeTable &types);
+
+    /** Run all checks and annotations. */
+    void analyze();
+
+    /** @return total bytes of global data after layout. */
+    int globalSize() const { return globalBytes; }
+
+  private:
+    void declareBuiltins();
+    void layoutGlobals();
+    void checkFunction(FuncDecl &fn);
+    void checkStmt(Stmt &stmt);
+    void checkExpr(Expr &expr);
+
+    void checkAssign(Expr &expr);
+    void checkBinary(Expr &expr);
+    void checkUnary(Expr &expr);
+    void checkCall(Expr &expr);
+    void checkIndex(Expr &expr);
+    void checkIncDec(Expr &expr);
+
+    /** Check implicit convertibility of @p from into @p to. */
+    bool implicitlyConvertible(const Expr &value, const Type *to) const;
+    /** Require a scalar-typed condition expression. */
+    void requireScalar(const Expr &expr, const char *what) const;
+    /** Fold a constant expression for global initializers. */
+    int64_t foldConst(const Expr &expr) const;
+
+    [[noreturn]] void error(SrcLoc loc, const std::string &msg) const;
+
+    void pushScope();
+    void popScope();
+    void declare(VarDecl *var);
+    VarDecl *lookup(const std::string &name) const;
+
+    Program &prog;
+    TypeTable &types;
+    std::vector<std::map<std::string, VarDecl *>> scopes;
+    FuncDecl *currentFn = nullptr;
+    int loopDepth = 0;
+    int globalBytes = 0;
+};
+
+} // namespace lang
+} // namespace elag
+
+#endif // ELAG_LANG_SEMA_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tokens for the mini-C frontend.
+ */
+
+#ifndef ELAG_LANG_TOKEN_HH
+#define ELAG_LANG_TOKEN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace elag {
+namespace lang {
+
+/** Kinds of lexical tokens. */
+enum class TokKind : uint8_t
+{
+    EndOfFile,
+    Ident,
+    IntLit,
+    CharLit,
+    // Keywords.
+    KwInt, KwChar, KwVoid,
+    KwIf, KwElse, KwWhile, KwFor, KwDo,
+    KwReturn, KwBreak, KwContinue,
+    // Punctuation / operators.
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Semi, Comma,
+    Assign,                       // =
+    PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+    AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign,
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde,
+    AmpAmp, PipePipe, Bang,
+    Shl, Shr,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    PlusPlus, MinusMinus,
+    Question, Colon,
+};
+
+/** Source location (1-based line/column). */
+struct SrcLoc
+{
+    int line = 0;
+    int col = 0;
+};
+
+/** One lexical token. */
+struct Token
+{
+    TokKind kind = TokKind::EndOfFile;
+    SrcLoc loc;
+    std::string text;    ///< identifier spelling
+    int64_t intValue = 0; ///< for IntLit / CharLit
+};
+
+/** Human-readable name of a token kind, for diagnostics. */
+std::string tokKindName(TokKind kind);
+
+} // namespace lang
+} // namespace elag
+
+#endif // ELAG_LANG_TOKEN_HH

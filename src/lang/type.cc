@@ -1,0 +1,61 @@
+#include "lang/type.hh"
+
+#include "support/logging.hh"
+
+namespace elag {
+namespace lang {
+
+int
+Type::size() const
+{
+    switch (kind) {
+      case Kind::Void:
+        panic("size of void type");
+      case Kind::Int:
+        return 4;
+      case Kind::Char:
+        return 1;
+      case Kind::Ptr:
+        return 4;
+      default:
+        panic("size: bad type kind");
+    }
+}
+
+std::string
+Type::toString() const
+{
+    switch (kind) {
+      case Kind::Void: return "void";
+      case Kind::Int: return "int";
+      case Kind::Char: return "char";
+      case Kind::Ptr: return pointee->toString() + "*";
+      default:
+        panic("toString: bad type kind");
+    }
+}
+
+TypeTable::TypeTable()
+{
+    voidTy.kind = Type::Kind::Void;
+    intTy.kind = Type::Kind::Int;
+    charTy.kind = Type::Kind::Char;
+}
+
+const Type *
+TypeTable::ptrTo(const Type *pointee)
+{
+    elag_assert(pointee != nullptr);
+    for (const auto &t : ptrTypes) {
+        if (t->pointee == pointee)
+            return t.get();
+    }
+    auto t = std::make_unique<Type>();
+    t->kind = Type::Kind::Ptr;
+    t->pointee = pointee;
+    ptrTypes.push_back(std::move(t));
+    return ptrTypes.back().get();
+}
+
+} // namespace lang
+} // namespace elag

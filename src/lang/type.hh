@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The mini-C type system.
+ *
+ * Types are interned in a TypeTable; semantic analysis compares types
+ * by pointer identity.
+ */
+
+#ifndef ELAG_LANG_TYPE_HH
+#define ELAG_LANG_TYPE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace elag {
+namespace lang {
+
+/** A mini-C type: void, int, char, or pointer-to-T. */
+class Type
+{
+  public:
+    enum class Kind { Void, Int, Char, Ptr };
+
+    Kind kind;
+    /** Pointee type for Kind::Ptr; null otherwise. */
+    const Type *pointee = nullptr;
+
+    bool isVoid() const { return kind == Kind::Void; }
+    bool isInt() const { return kind == Kind::Int; }
+    bool isChar() const { return kind == Kind::Char; }
+    bool isPtr() const { return kind == Kind::Ptr; }
+    bool isArith() const { return isInt() || isChar(); }
+    /** true for anything usable in a condition or as a scalar value. */
+    bool isScalar() const { return isArith() || isPtr(); }
+
+    /** Size in bytes of a value of this type. */
+    int size() const;
+
+    /** Render like C, e.g. "int**". */
+    std::string toString() const;
+};
+
+/** Owner and interner of Type instances. */
+class TypeTable
+{
+  public:
+    TypeTable();
+
+    const Type *voidType() const { return &voidTy; }
+    const Type *intType() const { return &intTy; }
+    const Type *charType() const { return &charTy; }
+
+    /** Interned pointer-to-@p pointee. */
+    const Type *ptrTo(const Type *pointee);
+
+  private:
+    Type voidTy;
+    Type intTy;
+    Type charTy;
+    std::vector<std::unique_ptr<Type>> ptrTypes;
+};
+
+} // namespace lang
+} // namespace elag
+
+#endif // ELAG_LANG_TYPE_HH

@@ -1,0 +1,151 @@
+#include "mem/cache.hh"
+
+#include "support/logging.hh"
+
+namespace elag {
+namespace mem {
+
+Cache::Cache(const CacheConfig &config)
+    : cfg(config)
+{
+    elag_assert(cfg.blockSize > 0 && cfg.assoc > 0);
+    elag_assert(cfg.sizeBytes % (cfg.blockSize * cfg.assoc) == 0);
+    numSets = cfg.sizeBytes / (cfg.blockSize * cfg.assoc);
+    elag_assert(numSets > 0);
+    lines.assign(static_cast<size_t>(numSets) * cfg.assoc, Line());
+}
+
+Cache::Line *
+Cache::findLine(uint32_t addr)
+{
+    uint32_t block = blockFor(addr);
+    uint32_t set = setFor(block);
+    uint32_t tag = tagFor(block);
+    for (uint32_t w = 0; w < cfg.assoc; ++w) {
+        Line &line = lines[static_cast<size_t>(set) * cfg.assoc + w];
+        if (line.valid && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(uint32_t addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+CacheAccessResult
+Cache::access(uint32_t addr, uint64_t cycle, bool allocate_on_miss)
+{
+    CacheAccessResult result;
+    Line *line = findLine(addr);
+    if (line) {
+        line->lastUsed = cycle;
+        if (line->fillDone <= cycle) {
+            ++numHits;
+            result.hit = true;
+            result.readyCycle = cycle;
+        } else {
+            // Fill in flight: merge with it.
+            ++numMerges;
+            result.hit = false;
+            result.mergedWithFill = true;
+            result.readyCycle = line->fillDone;
+        }
+        return result;
+    }
+
+    ++numMisses;
+    result.hit = false;
+    result.readyCycle = cycle + cfg.missPenalty;
+    if (allocate_on_miss) {
+        uint32_t block = blockFor(addr);
+        uint32_t set = setFor(block);
+        Line *victim = nullptr;
+        for (uint32_t w = 0; w < cfg.assoc; ++w) {
+            Line &cand =
+                lines[static_cast<size_t>(set) * cfg.assoc + w];
+            if (!cand.valid) {
+                victim = &cand;
+                break;
+            }
+            if (!victim || cand.lastUsed < victim->lastUsed)
+                victim = &cand;
+        }
+        victim->valid = true;
+        victim->tag = tagFor(block);
+        victim->lastUsed = cycle;
+        victim->fillDone = result.readyCycle;
+    }
+    return result;
+}
+
+bool
+Cache::wouldHit(uint32_t addr, uint64_t cycle) const
+{
+    const Line *line = findLine(addr);
+    return line && line->fillDone <= cycle;
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines)
+        line = Line();
+    numHits = numMisses = numMerges = 0;
+}
+
+Btb::Btb(uint32_t num_entries)
+    : entries(num_entries), table(num_entries)
+{
+    elag_assert(num_entries > 0);
+}
+
+Btb::Prediction
+Btb::predict(uint32_t pc) const
+{
+    const Entry &entry = table[pc % entries];
+    Prediction pred;
+    if (entry.valid && entry.tag == pc / entries) {
+        pred.hit = true;
+        pred.taken = entry.counter >= 2;
+        pred.target = entry.target;
+    }
+    return pred;
+}
+
+void
+Btb::update(uint32_t pc, bool taken, uint32_t target)
+{
+    Entry &entry = table[pc % entries];
+    uint32_t tag = pc / entries;
+    if (!entry.valid || entry.tag != tag) {
+        // Allocate on taken branches only; not-taken branches fall
+        // through and need no BTB entry.
+        if (!taken)
+            return;
+        entry.valid = true;
+        entry.tag = tag;
+        entry.target = target;
+        entry.counter = 2;
+        return;
+    }
+    if (taken) {
+        if (entry.counter < 3)
+            ++entry.counter;
+        entry.target = target;
+    } else if (entry.counter > 0) {
+        --entry.counter;
+    }
+}
+
+void
+Btb::reset()
+{
+    for (auto &entry : table)
+        entry = Entry();
+}
+
+} // namespace mem
+} // namespace elag

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Timing-only cache model.
+ *
+ * Functional data always comes from MainMemory (the emulator is the
+ * source of truth); this model tracks hit/miss timing for a
+ * direct-mapped or set-associative, non-blocking cache. The data
+ * cache of the paper is 64K direct-mapped, 64-byte blocks,
+ * write-through with no write allocate, 12-cycle miss penalty.
+ */
+
+#ifndef ELAG_MEM_CACHE_HH
+#define ELAG_MEM_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace elag {
+namespace mem {
+
+/** Cache geometry and timing parameters. */
+struct CacheConfig
+{
+    uint32_t sizeBytes = 64 * 1024;
+    uint32_t blockSize = 64;
+    uint32_t assoc = 1;
+    uint32_t missPenalty = 12;
+    bool writeAllocate = false;
+};
+
+/** Result of a timed cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** Cycle at which the data is available. */
+    uint64_t readyCycle = 0;
+    /** True when the block was already being filled (partial miss). */
+    bool mergedWithFill = false;
+};
+
+/**
+ * Non-blocking cache timing model with LRU replacement.
+ *
+ * Misses allocate a fill completing at access+missPenalty; accesses
+ * to a block whose fill is in flight complete when the fill does.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Timed read access at @p cycle.
+     * @param allocate_on_miss if false, a miss does not fill the
+     *        cache (used for no-write-allocate stores).
+     */
+    CacheAccessResult access(uint32_t addr, uint64_t cycle,
+                             bool allocate_on_miss = true);
+
+    /** @return true if @p addr would hit right now (no state change,
+     *  in-flight fills count as hits only once complete). */
+    bool wouldHit(uint32_t addr, uint64_t cycle) const;
+
+    const CacheConfig &config() const { return cfg; }
+
+    // Statistics.
+    uint64_t hits() const { return numHits; }
+    uint64_t misses() const { return numMisses; }
+    uint64_t fillMerges() const { return numMerges; }
+
+    void reset();
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        uint32_t tag = 0;
+        uint64_t lastUsed = 0;
+        /** Cycle the fill completes; data usable at/after this. */
+        uint64_t fillDone = 0;
+    };
+
+    uint32_t blockFor(uint32_t addr) const { return addr / cfg.blockSize; }
+    uint32_t setFor(uint32_t block) const { return block % numSets; }
+    uint32_t tagFor(uint32_t block) const { return block / numSets; }
+    Line *findLine(uint32_t addr);
+    const Line *findLine(uint32_t addr) const;
+
+    CacheConfig cfg;
+    uint32_t numSets;
+    std::vector<Line> lines; ///< numSets * assoc, set-major
+    uint64_t numHits = 0;
+    uint64_t numMisses = 0;
+    uint64_t numMerges = 0;
+};
+
+/**
+ * Branch target buffer with 2-bit saturating counters
+ * (1K entries, direct-mapped on the PC, per the paper's machine).
+ */
+class Btb
+{
+  public:
+    explicit Btb(uint32_t entries = 1024);
+
+    /** Prediction for the branch at @p pc. */
+    struct Prediction
+    {
+        bool hit = false;        ///< entry present with matching tag
+        bool taken = false;      ///< counter >= 2
+        uint32_t target = 0;     ///< stored target
+    };
+
+    Prediction predict(uint32_t pc) const;
+
+    /** Train with the resolved outcome. */
+    void update(uint32_t pc, bool taken, uint32_t target);
+
+    void reset();
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint32_t tag = 0;
+        uint32_t target = 0;
+        uint8_t counter = 0; ///< 2-bit saturating
+    };
+
+    uint32_t entries;
+    std::vector<Entry> table;
+};
+
+} // namespace mem
+} // namespace elag
+
+#endif // ELAG_MEM_CACHE_HH

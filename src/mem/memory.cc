@@ -1,0 +1,101 @@
+#include "mem/memory.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace elag {
+namespace mem {
+
+MainMemory::MainMemory(uint64_t size)
+    : size_(size)
+{
+}
+
+void
+MainMemory::checkAddr(uint32_t addr, uint32_t bytes) const
+{
+    if (static_cast<uint64_t>(addr) + bytes > size_) {
+        fatal("memory access out of range: addr=0x%x size=%u", addr,
+              bytes);
+    }
+}
+
+uint8_t *
+MainMemory::pageFor(uint32_t addr)
+{
+    uint32_t page = addr >> PageShift;
+    auto it = pages.find(page);
+    if (it == pages.end()) {
+        auto data = std::make_unique<uint8_t[]>(PageSize);
+        std::memset(data.get(), 0, PageSize);
+        it = pages.emplace(page, std::move(data)).first;
+    }
+    return it->second.get();
+}
+
+const uint8_t *
+MainMemory::pageForRead(uint32_t addr) const
+{
+    uint32_t page = addr >> PageShift;
+    auto it = pages.find(page);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+uint8_t
+MainMemory::readByte(uint32_t addr) const
+{
+    checkAddr(addr, 1);
+    const uint8_t *page = pageForRead(addr);
+    return page ? page[addr & (PageSize - 1)] : 0;
+}
+
+void
+MainMemory::writeByte(uint32_t addr, uint8_t value)
+{
+    checkAddr(addr, 1);
+    pageFor(addr)[addr & (PageSize - 1)] = value;
+}
+
+uint32_t
+MainMemory::readWord(uint32_t addr) const
+{
+    checkAddr(addr, 4);
+    // Fast path: whole word within one page.
+    uint32_t off = addr & (PageSize - 1);
+    if (off + 4 <= PageSize) {
+        const uint8_t *page = pageForRead(addr);
+        if (!page)
+            return 0;
+        uint32_t v;
+        std::memcpy(&v, page + off, 4);
+        return v;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(readByte(addr + i)) << (8 * i);
+    return v;
+}
+
+void
+MainMemory::writeWord(uint32_t addr, uint32_t value)
+{
+    checkAddr(addr, 4);
+    uint32_t off = addr & (PageSize - 1);
+    if (off + 4 <= PageSize) {
+        std::memcpy(pageFor(addr) + off, &value, 4);
+        return;
+    }
+    for (int i = 0; i < 4; ++i)
+        writeByte(addr + i, static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void
+MainMemory::writeBlock(uint32_t addr, const std::vector<uint8_t> &data)
+{
+    for (size_t i = 0; i < data.size(); ++i)
+        writeByte(addr + static_cast<uint32_t>(i), data[i]);
+}
+
+} // namespace mem
+} // namespace elag

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Sparse byte-addressable main memory for functional emulation.
+ */
+
+#ifndef ELAG_MEM_MEMORY_HH
+#define ELAG_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace elag {
+namespace mem {
+
+/**
+ * Sparse paged memory. Pages are allocated on first touch and
+ * zero-initialized, so programs may read uninitialized memory and
+ * observe zeros (like a freshly mapped heap).
+ */
+class MainMemory
+{
+  public:
+    /** @param size total addressable bytes */
+    explicit MainMemory(uint64_t size);
+
+    uint8_t readByte(uint32_t addr) const;
+    void writeByte(uint32_t addr, uint8_t value);
+
+    /** Little-endian 32-bit access; no alignment requirement. */
+    uint32_t readWord(uint32_t addr) const;
+    void writeWord(uint32_t addr, uint32_t value);
+
+    /** Bulk initialization helper. */
+    void writeBlock(uint32_t addr, const std::vector<uint8_t> &data);
+
+    uint64_t size() const { return size_; }
+
+    /** Number of pages actually allocated (for tests). */
+    size_t allocatedPages() const { return pages.size(); }
+
+  private:
+    static constexpr uint32_t PageShift = 12;
+    static constexpr uint32_t PageSize = 1u << PageShift;
+
+    void checkAddr(uint32_t addr, uint32_t bytes) const;
+    uint8_t *pageFor(uint32_t addr);
+    const uint8_t *pageForRead(uint32_t addr) const;
+
+    uint64_t size_;
+    mutable std::map<uint32_t, std::unique_ptr<uint8_t[]>> pages;
+};
+
+} // namespace mem
+} // namespace elag
+
+#endif // ELAG_MEM_MEMORY_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Machine configuration for the timing model.
+ *
+ * Defaults reproduce the base architecture of paper Section 5.1: a
+ * 6-issue in-order superscalar with 4 integer ALUs, 2 memory ports,
+ * 2 FP ALUs and 1 branch unit; 64 int + 64 FP registers; 64K
+ * direct-mapped I and D caches with 64-byte blocks, write-through
+ * no-write-allocate D cache with a 12-cycle miss penalty; a 1K-entry
+ * BTB with 2-bit counters; HP PA-7100-style latencies (1-cycle
+ * integer ops, 2-cycle loads).
+ */
+
+#ifndef ELAG_PIPELINE_CONFIG_HH
+#define ELAG_PIPELINE_CONFIG_HH
+
+#include <cstdint>
+
+#include "mem/cache.hh"
+
+namespace elag {
+namespace pipeline {
+
+/** How loads are steered to the early-address-generation paths. */
+enum class SelectionPolicy : uint8_t
+{
+    /** Follow the compiler-assigned opcode (ld_n / ld_p / ld_e). */
+    CompilerSpec,
+    /** Hardware-only: every load uses the prediction table. */
+    AllPredict,
+    /** Hardware-only: every load uses the early-calculation path. */
+    AllEarlyCalc,
+    /**
+     * Hardware-only dual path using the Eickemeyer-Vassiliadis
+     * run-time heuristic: loads whose base register is interlocked
+     * go to the prediction table, others to early calculation.
+     */
+    EvSelect,
+};
+
+/** Full machine configuration. */
+struct MachineConfig
+{
+    // Core width and functional units (Section 5.1).
+    int issueWidth = 6;
+    int intAlus = 4;
+    int memPorts = 2;
+    int fpAlus = 2;
+    int branchUnits = 1;
+
+    // Latencies (cycles from issue to dependent-ready).
+    int aluLatency = 1;
+    int mulLatency = 3;
+    int divLatency = 8;
+    int fpLatency = 2;
+    /** Load-use latency of a normal load that hits (EA calc + D$). */
+    int loadLatency = 2;
+
+    // Memory system.
+    mem::CacheConfig icache{64 * 1024, 64, 1, 12, true};
+    mem::CacheConfig dcache{64 * 1024, 64, 1, 12, false};
+    uint32_t btbEntries = 1024;
+
+    // Early address generation hardware.
+    bool addressTableEnabled = false;
+    uint32_t addressTableEntries = 256;
+    /** Ablation: predict even without stride confidence (STC=0). */
+    bool tablePredictsWhileLearning = false;
+    bool earlyCalcEnabled = false;
+    uint32_t registerCacheSize = 1;
+    SelectionPolicy selection = SelectionPolicy::CompilerSpec;
+
+    /** Baseline machine: all early-generation hardware off. */
+    static MachineConfig
+    baseline()
+    {
+        return MachineConfig{};
+    }
+
+    /** The paper's proposed machine: 256-entry table + one R_addr. */
+    static MachineConfig
+    proposed()
+    {
+        MachineConfig cfg;
+        cfg.addressTableEnabled = true;
+        cfg.addressTableEntries = 256;
+        cfg.earlyCalcEnabled = true;
+        cfg.registerCacheSize = 1;
+        cfg.selection = SelectionPolicy::CompilerSpec;
+        return cfg;
+    }
+};
+
+} // namespace pipeline
+} // namespace elag
+
+#endif // ELAG_PIPELINE_CONFIG_HH

@@ -1,0 +1,439 @@
+#include "pipeline/pipeline.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace elag {
+namespace pipeline {
+
+using isa::FuClass;
+using isa::Instruction;
+using isa::Opcode;
+
+Pipeline::Pipeline(const MachineConfig &config)
+    : cfg(config),
+      icache(config.icache),
+      dcache(config.dcache),
+      btb(config.btbEntries),
+      table(config.addressTableEntries,
+            config.tablePredictsWhileLearning),
+      regCache(config.registerCacheSize),
+      books(BookRingSize)
+{
+}
+
+Pipeline::CycleUse &
+Pipeline::use(uint64_t cycle)
+{
+    BookSlot &slot = books[cycle & (BookRingSize - 1)];
+    if (slot.cycle != cycle) {
+        slot.cycle = cycle;
+        slot.use = CycleUse{};
+    }
+    return slot.use;
+}
+
+void
+Pipeline::pruneStores(uint64_t before)
+{
+    while (!inFlightStores.empty() &&
+           inFlightStores.front().writeCycle + 4 < before) {
+        inFlightStores.pop_front();
+    }
+}
+
+uint64_t
+Pipeline::scheduleIssue(uint64_t from, FuClass fu)
+{
+    for (uint64_t c = from;; ++c) {
+        CycleUse &u = use(c);
+        if (u.issue >= cfg.issueWidth)
+            continue;
+        int *count = nullptr;
+        int limit = 0;
+        switch (fu) {
+          case FuClass::IntAlu:
+            count = &u.intAlu;
+            limit = cfg.intAlus;
+            break;
+          case FuClass::MemPort:
+            count = &u.mem;
+            limit = cfg.memPorts;
+            break;
+          case FuClass::FpAlu:
+            count = &u.fp;
+            limit = cfg.fpAlus;
+            break;
+          case FuClass::Branch:
+            count = &u.branch;
+            limit = cfg.branchUnits;
+            break;
+          case FuClass::None:
+            break;
+        }
+        if (count && *count >= limit)
+            continue;
+        ++u.issue;
+        if (count)
+            ++*count;
+        return c;
+    }
+}
+
+int
+Pipeline::latencyOf(const Instruction &inst) const
+{
+    switch (inst.op) {
+      case Opcode::MUL:
+        return cfg.mulLatency;
+      case Opcode::DIV:
+      case Opcode::REM:
+        return cfg.divLatency;
+      case Opcode::FADD:
+      case Opcode::FSUB:
+      case Opcode::FMUL:
+      case Opcode::FDIV:
+      case Opcode::CVTIF:
+      case Opcode::CVTFI:
+        return cfg.fpLatency;
+      default:
+        return cfg.aluLatency;
+    }
+}
+
+bool
+Pipeline::memInterlock(uint32_t addr, uint32_t bytes,
+                       uint64_t cycle) const
+{
+    for (const InFlightStore &s : inFlightStores) {
+        if (s.writeCycle < cycle)
+            continue; // already visible in the cache
+        if (s.exeCycle >= cycle)
+            return true; // address not yet resolved: conservative
+        bool overlap = addr < s.addr + s.bytes && s.addr < addr + bytes;
+        if (overlap)
+            return true;
+    }
+    return false;
+}
+
+uint64_t
+Pipeline::fetchConstraint(const RetiredInst &ri)
+{
+    uint64_t f = nextFetch;
+    if (fetchedThisCycle >= cfg.issueWidth) {
+        ++f;
+        fetchedThisCycle = 0;
+    }
+    mem::CacheAccessResult res = icache.access(ri.pc * 4, f);
+    if (!res.hit && res.readyCycle > f) {
+        f = res.readyCycle;
+        fetchedThisCycle = 0;
+    }
+    ++fetchedThisCycle;
+    nextFetch = f;
+    return f + 3;
+}
+
+uint64_t
+Pipeline::handleLoad(const RetiredInst &ri, uint64_t e)
+{
+    const Instruction &inst = ri.inst;
+    uint32_t ca = ri.effAddr;
+    uint32_t bytes = static_cast<uint32_t>(inst.width);
+    uint64_t id1 = e - 2;
+    uint64_t id2 = e - 1;
+    int base = inst.baseReg();
+    int index = inst.indexReg();
+
+    // Route the load to a path.
+    enum class Path { Normal, Predict, EarlyCalc };
+    Path path = Path::Normal;
+    switch (cfg.selection) {
+      case SelectionPolicy::CompilerSpec:
+        if (inst.spec == isa::LoadSpec::Predict &&
+            cfg.addressTableEnabled) {
+            path = Path::Predict;
+        } else if (inst.spec == isa::LoadSpec::EarlyCalc &&
+                   cfg.earlyCalcEnabled) {
+            path = Path::EarlyCalc;
+        }
+        break;
+      case SelectionPolicy::AllPredict:
+        if (cfg.addressTableEnabled)
+            path = Path::Predict;
+        break;
+      case SelectionPolicy::AllEarlyCalc:
+        if (cfg.earlyCalcEnabled)
+            path = Path::EarlyCalc;
+        break;
+      case SelectionPolicy::EvSelect: {
+        // Eickemeyer-Vassiliadis: loads whose address registers are
+        // interlocked go to the prediction table, others calculate
+        // early.
+        bool interlocked =
+            (base > 0 && intReady[base] > id1) ||
+            (index > 0 && intReady[index] > id1);
+        if (interlocked && cfg.addressTableEnabled)
+            path = Path::Predict;
+        else if (cfg.earlyCalcEnabled)
+            path = Path::EarlyCalc;
+        break;
+      }
+    }
+
+    SpecCounters *ctr = &stats_.normal;
+    if (path == Path::Predict)
+        ctr = &stats_.predict;
+    else if (path == Path::EarlyCalc)
+        ctr = &stats_.earlyCalc;
+    ++ctr->executed;
+
+    bool forwarded = false;
+    uint64_t ready = 0;
+
+    if (path == Path::Predict) {
+        std::optional<uint32_t> predicted = table.probe(ri.pc);
+        if (!predicted) {
+            ++ctr->noPrediction;
+        } else if (use(id2).dcachePorts >= cfg.memPorts) {
+            ++ctr->portDenied;
+        } else {
+            ++use(id2).dcachePorts;
+            ++ctr->speculated;
+            mem::CacheAccessResult acc = dcache.access(*predicted, id2);
+            bool addr_ok = *predicted == ca;
+            bool mem_lock = memInterlock(ca, bytes, id2);
+            if (!addr_ok) {
+                ++ctr->wrongAddress;
+            } else if (mem_lock) {
+                ++ctr->memInterlock;
+            } else if (!acc.hit) {
+                ++ctr->cacheMiss;
+            } else {
+                forwarded = true;
+                ++ctr->forwarded;
+                ready = e + 1;
+            }
+            if (!forwarded)
+                ++stats_.extraAccesses;
+        }
+        // Train / allocate in MEM, per the allocation policy.
+        bool update = false;
+        switch (cfg.selection) {
+          case SelectionPolicy::CompilerSpec:
+          case SelectionPolicy::AllPredict:
+            update = true;
+            break;
+          case SelectionPolicy::EvSelect:
+            update = table.present(ri.pc) ||
+                     (base > 0 && intReady[base] > id1) ||
+                     (index > 0 && intReady[index] > id1);
+            break;
+          default:
+            break;
+        }
+        if (update)
+            table.update(ri.pc, ca);
+    } else if (path == Path::EarlyCalc) {
+        bool bound = base > 0 && regCache.isBound(base);
+        bool interlock =
+            (base > 0 && intReady[base] > id1) ||
+            (index > 0 && intReady[index] > id1);
+        if (!bound) {
+            ++ctr->notBound;
+        } else if (use(id1).dcachePorts >= cfg.memPorts) {
+            ++ctr->portDenied;
+        } else {
+            ++use(id1).dcachePorts;
+            ++ctr->speculated;
+            // With an interlock the speculative address is stale; the
+            // access still consumes a port and cache bandwidth. The
+            // stale address is approximated by the current one for
+            // cache-content purposes.
+            mem::CacheAccessResult acc = dcache.access(ca, id1);
+            bool mem_lock = memInterlock(ca, bytes, id1);
+            if (interlock) {
+                ++ctr->regInterlock;
+            } else if (mem_lock) {
+                ++ctr->memInterlock;
+            } else if (!acc.hit) {
+                ++ctr->cacheMiss;
+            } else {
+                forwarded = true;
+                ++ctr->forwarded;
+                // register+offset: the R_addr full adder finishes in
+                // ID1, so data is back for EXE (latency 0).
+                // register+register needs the second register read,
+                // delivering only by MEM (latency 1) — the
+                // Austin-Sohi limitation the paper describes in
+                // Section 2.2.
+                ready = inst.mode == isa::AddrMode::BaseOffset
+                            ? e
+                            : e + 1;
+            }
+            if (!forwarded)
+                ++stats_.extraAccesses;
+        }
+        // The ld_e opcode (or the hardware allocation policy) binds
+        // the base register into the register cache.
+        if (base > 0) {
+            uint32_t base_value =
+                inst.mode == isa::AddrMode::BaseOffset
+                    ? ca - static_cast<uint32_t>(inst.imm)
+                    : 0;
+            regCache.bind(base, base_value);
+        }
+    }
+
+    if (!forwarded) {
+        // Normal path: EA in EXE, cache in MEM. A speculative miss
+        // has already started the fill and the accesses merge.
+        ++use(e + 1).dcachePorts;
+        mem::CacheAccessResult acc = dcache.access(ca, e + 1);
+        ready = acc.readyCycle + 1;
+    }
+    return ready;
+}
+
+void
+Pipeline::handleBranch(const RetiredInst &ri, uint64_t e)
+{
+    const Instruction &inst = ri.inst;
+    uint64_t cur_fetch = nextFetch;
+    mem::Btb::Prediction pred = btb.predict(ri.pc);
+
+    if (inst.isCondBranch()) {
+        ++stats_.branches;
+        bool predicted_taken = pred.hit && pred.taken;
+        bool correct =
+            (!ri.taken && !predicted_taken) ||
+            (ri.taken && predicted_taken && pred.target == ri.nextPc);
+        if (correct) {
+            if (ri.taken) {
+                // BTB redirect: target fetch starts next cycle.
+                nextFetch = cur_fetch + 1;
+                fetchedThisCycle = 0;
+            }
+        } else {
+            ++stats_.mispredicts;
+            nextFetch = e + 1;
+            fetchedThisCycle = 0;
+        }
+        btb.update(ri.pc, ri.taken, ri.nextPc);
+        return;
+    }
+
+    // Unconditional control.
+    switch (inst.op) {
+      case Opcode::JMP:
+      case Opcode::JAL:
+        // Direct target: resolvable in ID1 when the BTB missed.
+        if (pred.hit && pred.taken && pred.target == ri.nextPc)
+            nextFetch = cur_fetch + 1;
+        else
+            nextFetch = cur_fetch + 2;
+        fetchedThisCycle = 0;
+        btb.update(ri.pc, true, ri.nextPc);
+        break;
+      case Opcode::JR:
+        // Indirect: resolved in EXE.
+        if (pred.hit && pred.taken && pred.target == ri.nextPc) {
+            nextFetch = cur_fetch + 1;
+        } else {
+            ++stats_.mispredicts;
+            nextFetch = e + 1;
+        }
+        fetchedThisCycle = 0;
+        btb.update(ri.pc, true, ri.nextPc);
+        break;
+      default:
+        panic("handleBranch: not a control instruction");
+    }
+}
+
+void
+Pipeline::retire(const RetiredInst &ri)
+{
+    elag_assert(!finished);
+    const Instruction &inst = ri.inst;
+    ++stats_.instructions;
+
+    uint64_t e = fetchConstraint(ri);
+    e = std::max(e, nextIssue);
+
+    // Integer source dependences.
+    int s1, s2;
+    inst.intSources(s1, s2);
+    if (s1 > 0)
+        e = std::max(e, intReady[s1]);
+    if (s2 > 0)
+        e = std::max(e, intReady[s2]);
+    // Floating-point source dependences.
+    switch (inst.op) {
+      case Opcode::FADD: case Opcode::FSUB:
+      case Opcode::FMUL: case Opcode::FDIV:
+        e = std::max({e, fpReady[inst.rs1], fpReady[inst.rs2]});
+        break;
+      case Opcode::FSTORE:
+        e = std::max(e, fpReady[inst.rs2]);
+        break;
+      case Opcode::CVTFI:
+        e = std::max(e, fpReady[inst.rs1]);
+        break;
+      default:
+        break;
+    }
+
+    e = scheduleIssue(e, inst.fuClass());
+
+    uint64_t completion = e + 2; // WB
+
+    if (inst.isLoad()) {
+        ++stats_.loads;
+        uint64_t ready = handleLoad(ri, e);
+        if (inst.op == Opcode::FLOAD)
+            fpReady[inst.rd] = ready;
+        else if (inst.rd != 0)
+            intReady[inst.rd] = ready;
+        completion = std::max(completion, ready);
+    } else if (inst.isStore()) {
+        ++stats_.stores;
+        ++use(e + 1).dcachePorts;
+        dcache.access(ri.effAddr, e + 1, cfg.dcache.writeAllocate);
+        inFlightStores.push_back(
+            {ri.effAddr, static_cast<uint32_t>(inst.width), e, e + 1});
+    } else if (inst.isControl()) {
+        handleBranch(ri, e);
+        if (inst.op == Opcode::JAL && inst.rd != 0)
+            intReady[inst.rd] = e + 1;
+    } else if (inst.writesFpReg()) {
+        fpReady[inst.rd] =
+            e + static_cast<uint64_t>(latencyOf(inst));
+    } else if (inst.writesIntReg()) {
+        intReady[inst.rd] =
+            e + static_cast<uint64_t>(latencyOf(inst));
+        completion = std::max(completion, intReady[inst.rd]);
+    }
+
+    nextIssue = e;
+    lastCompletion = std::max(lastCompletion, completion);
+    if (e > 64)
+        pruneStores(e - 64);
+}
+
+const PipelineStats &
+Pipeline::finish()
+{
+    if (!finished) {
+        finished = true;
+        stats_.cycles = lastCompletion;
+        stats_.icacheMisses = icache.misses();
+        stats_.dcacheMisses = dcache.misses();
+    }
+    return stats_;
+}
+
+} // namespace pipeline
+} // namespace elag

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Timing-model statistics.
+ */
+
+#ifndef ELAG_PIPELINE_STATS_HH
+#define ELAG_PIPELINE_STATS_HH
+
+#include <cstdint>
+
+namespace elag {
+namespace pipeline {
+
+/** Per-load-specifier dynamic counters. */
+struct SpecCounters
+{
+    uint64_t executed = 0;
+    /** Speculative cache accesses dispatched on this path. */
+    uint64_t speculated = 0;
+    /** Speculations whose data was forwarded (latency reduced). */
+    uint64_t forwarded = 0;
+    // Reasons speculation was not attempted / failed.
+    uint64_t noPrediction = 0;   ///< table miss / not confident
+    uint64_t notBound = 0;       ///< R_addr held a different register
+    uint64_t portDenied = 0;     ///< no free data-cache port
+    uint64_t regInterlock = 0;   ///< base register not ready at ID1
+    uint64_t memInterlock = 0;   ///< conflicting in-flight store
+    uint64_t wrongAddress = 0;   ///< predicted != computed
+    uint64_t cacheMiss = 0;      ///< speculative access missed
+};
+
+/** Aggregate run statistics. */
+struct PipelineStats
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t branches = 0;
+    uint64_t mispredicts = 0;
+    uint64_t icacheMisses = 0;
+    uint64_t dcacheMisses = 0;
+    /** Extra cache accesses caused by speculation (bandwidth cost). */
+    uint64_t extraAccesses = 0;
+
+    /** Counters for loads routed to each path at run time. */
+    SpecCounters normal;
+    SpecCounters predict;
+    SpecCounters earlyCalc;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(instructions) /
+                                 static_cast<double>(cycles);
+    }
+};
+
+} // namespace pipeline
+} // namespace elag
+
+#endif // ELAG_PIPELINE_STATS_HH

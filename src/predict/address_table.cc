@@ -1,0 +1,62 @@
+#include "predict/address_table.hh"
+
+#include "support/logging.hh"
+
+namespace elag {
+namespace predict {
+
+AddressTable::AddressTable(uint32_t num_entries,
+                           bool predict_while_learning)
+    : entries(num_entries),
+      predictWhileLearning(predict_while_learning),
+      table(num_entries)
+{
+    elag_assert(num_entries > 0);
+}
+
+std::optional<uint32_t>
+AddressTable::probe(uint32_t pc) const
+{
+    ++numProbes;
+    const Entry &entry = table[indexOf(pc)];
+    if (!entry.valid || entry.tag != tagOf(pc))
+        return std::nullopt;
+    ++numProbeHits;
+    if (!entry.fsm.willPredict() && !predictWhileLearning)
+        return std::nullopt;
+    return entry.fsm.predictedAddress();
+}
+
+bool
+AddressTable::present(uint32_t pc) const
+{
+    const Entry &entry = table[indexOf(pc)];
+    return entry.valid && entry.tag == tagOf(pc);
+}
+
+bool
+AddressTable::update(uint32_t pc, uint32_t ca)
+{
+    Entry &entry = table[indexOf(pc)];
+    uint32_t tag = tagOf(pc);
+    if (!entry.valid || entry.tag != tag) {
+        if (entry.valid)
+            ++numReplacements;
+        entry.valid = true;
+        entry.tag = tag;
+        entry.fsm.allocate(ca);
+        return false;
+    }
+    return entry.fsm.update(ca);
+}
+
+void
+AddressTable::reset()
+{
+    for (auto &entry : table)
+        entry = Entry();
+    numProbes = numProbeHits = numReplacements = 0;
+}
+
+} // namespace predict
+} // namespace elag

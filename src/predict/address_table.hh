@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The PC-indexed address prediction table (paper Section 3.2.2).
+ */
+
+#ifndef ELAG_PREDICT_ADDRESS_TABLE_HH
+#define ELAG_PREDICT_ADDRESS_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "predict/stride_fsm.hh"
+
+namespace elag {
+namespace predict {
+
+/**
+ * Direct-mapped, PC-indexed table of {tag, PA, ST, STC} entries.
+ *
+ * A probe in ID1 returns the predicted address if the entry is
+ * present and confident; the entry is trained in MEM with the
+ * computed address. A probe miss makes no prediction; training a
+ * missing PC allocates (Replace arc of Figure 3).
+ */
+class AddressTable
+{
+  public:
+    /**
+     * @param entries number of direct-mapped entries
+     * @param predict_while_learning if true, probes return the PA
+     *        field even when stride confidence (STC) is not built —
+     *        the ablation of the Figure-3 confidence mechanism
+     */
+    explicit AddressTable(uint32_t entries,
+                          bool predict_while_learning = false);
+
+    /**
+     * ID1-stage probe for the load at @p pc.
+     * @return predicted effective address, or nullopt when the probe
+     *         misses or the entry lacks stride confidence.
+     */
+    std::optional<uint32_t> probe(uint32_t pc) const;
+
+    /** @return true if an entry for @p pc is present (any state). */
+    bool present(uint32_t pc) const;
+
+    /**
+     * MEM-stage update with the computed address @p ca. Allocates on
+     * a tag mismatch.
+     * @return true if the (pre-update) prediction was correct.
+     */
+    bool update(uint32_t pc, uint32_t ca);
+
+    uint32_t numEntries() const { return entries; }
+
+    // Statistics.
+    uint64_t probes() const { return numProbes; }
+    uint64_t probeHits() const { return numProbeHits; }
+    uint64_t replacements() const { return numReplacements; }
+
+    void reset();
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint32_t tag = 0;
+        StrideFsm fsm;
+    };
+
+    uint32_t indexOf(uint32_t pc) const { return pc % entries; }
+    uint32_t tagOf(uint32_t pc) const { return pc / entries; }
+
+    uint32_t entries;
+    bool predictWhileLearning;
+    std::vector<Entry> table;
+    mutable uint64_t numProbes = 0;
+    mutable uint64_t numProbeHits = 0;
+    uint64_t numReplacements = 0;
+};
+
+} // namespace predict
+} // namespace elag
+
+#endif // ELAG_PREDICT_ADDRESS_TABLE_HH

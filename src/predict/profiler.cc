@@ -1,0 +1,42 @@
+#include "predict/profiler.hh"
+
+namespace elag {
+namespace predict {
+
+void
+AddressProfiler::observe(int load_id, uint32_t address)
+{
+    PerLoad &entry = fsms[load_id];
+    classify::LoadProfile &prof = data[load_id];
+    if (!entry.seeded) {
+        // First execution allocates the entry (Replace arc); it is
+        // not counted as a prediction opportunity.
+        entry.fsm.allocate(address);
+        entry.seeded = true;
+        ++prof.executions;
+        return;
+    }
+    bool correct = entry.fsm.update(address);
+    ++prof.executions;
+    if (correct)
+        ++prof.correct;
+}
+
+uint64_t
+AddressProfiler::totalExecutions() const
+{
+    uint64_t total = 0;
+    for (const auto &kv : data)
+        total += kv.second.executions;
+    return total;
+}
+
+void
+AddressProfiler::reset()
+{
+    fsms.clear();
+    data.clear();
+}
+
+} // namespace predict
+} // namespace elag

@@ -1,0 +1,74 @@
+#include "predict/register_cache.hh"
+
+#include "support/logging.hh"
+
+namespace elag {
+namespace predict {
+
+RegisterCache::RegisterCache(uint32_t capacity)
+    : cap(capacity), slots(capacity)
+{
+    elag_assert(capacity > 0);
+}
+
+std::optional<uint32_t>
+RegisterCache::lookup(int reg) const
+{
+    ++numLookups;
+    for (const Slot &slot : slots) {
+        if (slot.valid && slot.reg == reg) {
+            ++numHits;
+            return slot.value;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+RegisterCache::bind(int reg, uint32_t value)
+{
+    ++tick;
+    ++numBindings;
+    Slot *victim = nullptr;
+    for (Slot &slot : slots) {
+        if (slot.valid && slot.reg == reg) {
+            slot.value = value;
+            slot.lastUsed = tick;
+            return;
+        }
+        if (!slot.valid) {
+            if (!victim || victim->valid)
+                victim = &slot;
+        } else if (!victim ||
+                   (victim->valid &&
+                    slot.lastUsed < victim->lastUsed)) {
+            victim = &slot;
+        }
+    }
+    elag_assert(victim != nullptr);
+    victim->valid = true;
+    victim->reg = reg;
+    victim->value = value;
+    victim->lastUsed = tick;
+}
+
+void
+RegisterCache::onRegisterWrite(int reg, uint32_t value)
+{
+    for (Slot &slot : slots) {
+        if (slot.valid && slot.reg == reg)
+            slot.value = value;
+    }
+}
+
+void
+RegisterCache::reset()
+{
+    for (Slot &slot : slots)
+        slot = Slot();
+    tick = 0;
+    numLookups = numHits = numBindings = 0;
+}
+
+} // namespace predict
+} // namespace elag

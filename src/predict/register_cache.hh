@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The early-calculation register cache.
+ *
+ * With capacity 1 this is the paper's special addressing register
+ * R_addr (Section 3.2.1): the ld_e opcode binds one general-purpose
+ * register; only that register's value is buffered, so no predecode
+ * or multicast write network is needed. Larger capacities model the
+ * hardware-only base-register caches of prior work (Figure 5b uses
+ * 4-16 cached registers with full multicast updates).
+ */
+
+#ifndef ELAG_PREDICT_REGISTER_CACHE_HH
+#define ELAG_PREDICT_REGISTER_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace elag {
+namespace predict {
+
+/** LRU cache of (register specifier -> cached value). */
+class RegisterCache
+{
+  public:
+    explicit RegisterCache(uint32_t capacity);
+
+    /**
+     * ID1-stage lookup: is @p reg bound, and what value is cached?
+     * @return the cached value, or nullopt when @p reg is not bound
+     *         (the R_addr_Hit term evaluates false).
+     */
+    std::optional<uint32_t> lookup(int reg) const;
+
+    /** @return true if @p reg is currently bound. */
+    bool isBound(int reg) const { return lookup(reg).has_value(); }
+
+    /**
+     * Bind @p reg with @p value (the ld_e binding, or a hardware
+     * allocation on any load's base register). Evicts LRU.
+     */
+    void bind(int reg, uint32_t value);
+
+    /**
+     * Multicast write: a completing instruction wrote @p reg; cached
+     * copies are refreshed. For capacity 1 this is the paper's
+     * "limited broadcast" between the register file and R_addr.
+     */
+    void onRegisterWrite(int reg, uint32_t value);
+
+    uint32_t capacity() const { return cap; }
+
+    // Statistics.
+    uint64_t lookups() const { return numLookups; }
+    uint64_t lookupHits() const { return numHits; }
+    uint64_t bindings() const { return numBindings; }
+
+    void reset();
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        int reg = 0;
+        uint32_t value = 0;
+        uint64_t lastUsed = 0;
+    };
+
+    uint32_t cap;
+    std::vector<Slot> slots;
+    uint64_t tick = 0;
+    mutable uint64_t numLookups = 0;
+    mutable uint64_t numHits = 0;
+    uint64_t numBindings = 0;
+};
+
+} // namespace predict
+} // namespace elag
+
+#endif // ELAG_PREDICT_REGISTER_CACHE_HH

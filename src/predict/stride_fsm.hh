@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The two-state stride-detection FSM of paper Figure 3.
+ *
+ * Shared by the address prediction table (one instance per table
+ * entry) and by the address profiler (one unbounded instance per
+ * static load, the "individual operation prediction" methodology of
+ * Section 5.2).
+ */
+
+#ifndef ELAG_PREDICT_STRIDE_FSM_HH
+#define ELAG_PREDICT_STRIDE_FSM_HH
+
+#include <cstdint>
+
+namespace elag {
+namespace predict {
+
+/**
+ * Per-entry stride predictor state.
+ *
+ * States: Functioning (STC=1, predictions are made) and Learning
+ * (STC=0, a new stride must be seen twice in a row before confidence
+ * returns). Transitions (Figure 3b):
+ *
+ *  Replace          tag mismatch   PA=CA     ST=0      STC=1
+ *  Correct          PA == CA       PA=CA+ST  ST n/c    STC n/c
+ *  New_Stride       PA != CA       PA=CA     ST=CA-PA  STC=0
+ *  Verified_Stride  CA-PA == ST    PA=CA+ST  ST n/c    STC=1
+ */
+class StrideFsm
+{
+  public:
+    /** Reinitialize for a newly allocated entry observing @p ca. */
+    void
+    allocate(uint32_t ca)
+    {
+        pa_ = ca;
+        stride_ = 0;
+        confident_ = true;
+        // After allocation the next access to the same address
+        // matches PA (constant-location loads predict immediately).
+    }
+
+    /**
+     * @return true if the entry would make a prediction right now
+     * (confident/functioning state).
+     */
+    bool willPredict() const { return confident_; }
+
+    /** Predicted effective address (valid when willPredict()). */
+    uint32_t predictedAddress() const { return pa_; }
+
+    /**
+     * Train with the computed address CA; implements Figure 3.
+     * @return true if the entry's prediction matched (PA == CA while
+     *         confident) — i.e. a correct prediction.
+     */
+    bool
+    update(uint32_t ca)
+    {
+        if (confident_) {
+            if (pa_ == ca) {
+                pa_ = ca + stride_;          // Correct
+                return true;
+            }
+            stride_ = ca - pa_;              // New_Stride
+            pa_ = ca;
+            confident_ = false;
+            return false;
+        }
+        if (ca - pa_ == stride_) {
+            pa_ = ca + stride_;              // Verified_Stride
+            confident_ = true;
+        } else {
+            stride_ = ca - pa_;              // still learning
+            pa_ = ca;
+        }
+        return false;
+    }
+
+    uint32_t stride() const { return stride_; }
+
+  private:
+    uint32_t pa_ = 0;
+    uint32_t stride_ = 0;
+    bool confident_ = false;
+};
+
+} // namespace predict
+} // namespace elag
+
+#endif // ELAG_PREDICT_STRIDE_FSM_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Functional emulator for ELAG machine programs.
+ *
+ * Executes architecturally and streams each committed instruction
+ * (with its real effective address and branch outcome) to an
+ * observer — the "emulation-driven" methodology of Section 5.1: the
+ * same committed stream drives the timing model and the address
+ * profiler.
+ */
+
+#ifndef ELAG_SIM_EMULATOR_HH
+#define ELAG_SIM_EMULATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "isa/program.hh"
+#include "mem/memory.hh"
+#include "pipeline/pipeline.hh"
+
+namespace elag {
+namespace sim {
+
+/** Result of a functional run. */
+struct EmulationResult
+{
+    /** Instructions committed. */
+    uint64_t instructions = 0;
+    /** Values emitted by the program's print() builtin. */
+    std::vector<int32_t> output;
+    /** True if the program reached HALT (vs. the instruction cap). */
+    bool halted = false;
+    /** Exit value (main's return value, register r4 at HALT). */
+    int32_t exitValue = 0;
+};
+
+/** The emulator. */
+class Emulator
+{
+  public:
+    /** Callback receiving every committed instruction in order. */
+    using Observer = std::function<void(const pipeline::RetiredInst &)>;
+
+    explicit Emulator(const isa::MachineProgram &program);
+
+    /**
+     * Run until HALT or @p max_instructions.
+     * @param observer optional committed-instruction sink
+     */
+    EmulationResult run(uint64_t max_instructions = 500'000'000,
+                        const Observer &observer = nullptr);
+
+    /** Architected integer register (for tests). */
+    int32_t reg(int index) const;
+    /** The memory image (for tests). */
+    const mem::MainMemory &memory() const { return mem_; }
+    mem::MainMemory &memory() { return mem_; }
+
+  private:
+    void reset();
+
+    const isa::MachineProgram &prog;
+    mem::MainMemory mem_;
+    int32_t regs[isa::NumIntRegs] = {};
+    float fregs[isa::NumFpRegs] = {};
+    uint32_t pc = 0;
+};
+
+} // namespace sim
+} // namespace elag
+
+#endif // ELAG_SIM_EMULATOR_HH

@@ -1,0 +1,138 @@
+#include "sim/simulator.hh"
+
+#include "irgen/irgen.hh"
+#include "lang/parser.hh"
+#include "lang/sema.hh"
+#include "support/logging.hh"
+
+namespace elag {
+namespace sim {
+
+namespace {
+
+std::map<int, isa::LoadSpec>
+collectSpecs(const ir::Module &mod)
+{
+    std::map<int, isa::LoadSpec> specs;
+    for (const auto &fn : mod.functions) {
+        for (const auto &bb : fn->blocks()) {
+            for (const auto &inst : bb->insts) {
+                if (inst.isLoad())
+                    specs[inst.loadId] = inst.spec;
+            }
+        }
+    }
+    return specs;
+}
+
+} // anonymous namespace
+
+void
+CompiledProgram::regenerate()
+{
+    code = codegen::generateCode(*module);
+    specOf = collectSpecs(*module);
+}
+
+CompiledProgram
+compile(const std::string &source, const CompileOptions &options)
+{
+    lang::TypeTable types;
+    std::unique_ptr<lang::Program> ast =
+        lang::parseSource(source, types);
+    lang::Sema sema(*ast, types);
+    sema.analyze();
+
+    CompiledProgram prog;
+    prog.module = irgen::lowerToIr(*ast, types, sema.globalSize());
+    opt::runStandardPipeline(*prog.module, options.opt);
+    if (options.runClassifier) {
+        prog.classStats =
+            classify::classifyLoads(*prog.module, options.classify);
+    } else {
+        classify::clearClassification(*prog.module);
+        // Count everything as normal for reporting purposes.
+        for (const auto &fn : prog.module->functions) {
+            for (const auto &bb : fn->blocks()) {
+                for (const auto &inst : bb->insts) {
+                    if (inst.isLoad())
+                        ++prog.classStats.numNormal;
+                }
+            }
+        }
+    }
+    prog.regenerate();
+    return prog;
+}
+
+ProfileResult
+runProfile(const CompiledProgram &prog, uint64_t max_instructions)
+{
+    ProfileResult result;
+    predict::AddressProfiler profiler;
+
+    // Per-load prediction correctness split by current class.
+    Emulator emu(prog.code.program);
+    const auto &load_ids = prog.code.loadIdOf;
+    result.emulation = emu.run(
+        max_instructions,
+        [&](const pipeline::RetiredInst &ri) {
+            if (!ri.inst.isLoad())
+                return;
+            auto it = load_ids.find(ri.pc);
+            if (it == load_ids.end())
+                return; // runtime (spill/prologue) load
+            int load_id = it->second;
+            // The profiler FSM must be consulted before it trains.
+            // AddressProfiler::observe does both and records the
+            // outcome in the per-load profile.
+            profiler.observe(load_id, ri.effAddr);
+        });
+
+    result.profile = profiler.profile();
+
+    // Aggregate per current classification. Per-load totals use the
+    // profile; correctness per class follows the paper's methodology
+    // (rates over dynamic executions of loads in that class).
+    for (const auto &kv : result.profile) {
+        auto spec_it = prog.specOf.find(kv.first);
+        isa::LoadSpec spec = spec_it == prog.specOf.end()
+                                 ? isa::LoadSpec::Normal
+                                 : spec_it->second;
+        ClassDynamics *dyn = &result.normal;
+        if (spec == isa::LoadSpec::Predict)
+            dyn = &result.predict;
+        else if (spec == isa::LoadSpec::EarlyCalc)
+            dyn = &result.earlyCalc;
+        dyn->executions += kv.second.executions;
+        dyn->predicted += kv.second.correct;
+    }
+    return result;
+}
+
+TimedResult
+runTimed(const CompiledProgram &prog,
+         const pipeline::MachineConfig &machine,
+         uint64_t max_instructions)
+{
+    TimedResult result;
+    pipeline::Pipeline pipe(machine);
+    Emulator emu(prog.code.program);
+    result.emulation =
+        emu.run(max_instructions,
+                [&](const pipeline::RetiredInst &ri) { pipe.retire(ri); });
+    result.pipe = pipe.finish();
+    return result;
+}
+
+double
+speedup(const TimedResult &baseline, const TimedResult &machine)
+{
+    if (machine.pipe.cycles == 0)
+        return 0.0;
+    return static_cast<double>(baseline.pipe.cycles) /
+           static_cast<double>(machine.pipe.cycles);
+}
+
+} // namespace sim
+} // namespace elag

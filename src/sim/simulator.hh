@@ -1,0 +1,120 @@
+/**
+ * @file
+ * High-level simulation façade: compile mini-C, classify loads, run
+ * functional/profiled/timed simulations, compute speedups.
+ *
+ * This is the public API the examples and the benchmark harness use:
+ *
+ *     auto prog = sim::compile(source);
+ *     auto timed = sim::runTimed(prog, pipeline::MachineConfig::proposed());
+ *     auto base  = sim::runTimed(prog, pipeline::MachineConfig::baseline());
+ *     double speedup = sim::speedup(base, timed);
+ */
+
+#ifndef ELAG_SIM_SIMULATOR_HH
+#define ELAG_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <string>
+
+#include "classify/classify.hh"
+#include "codegen/codegen.hh"
+#include "ir/ir.hh"
+#include "opt/pass.hh"
+#include "pipeline/pipeline.hh"
+#include "predict/profiler.hh"
+#include "sim/emulator.hh"
+
+namespace elag {
+namespace sim {
+
+/** Compilation options. */
+struct CompileOptions
+{
+    opt::OptConfig opt;
+    classify::ClassifyConfig classify;
+    /** Run the Section-4 classifier (false leaves every load ld_n). */
+    bool runClassifier = true;
+};
+
+/** A compiled program, retaining the IR for reclassification. */
+struct CompiledProgram
+{
+    std::unique_ptr<ir::Module> module;
+    codegen::CodegenResult code;
+    classify::ClassifyStats classStats;
+
+    /** Specifier of each static load, keyed by load id. */
+    std::map<int, isa::LoadSpec> specOf;
+
+    /** Rebuild machine code + spec map from the (modified) IR. */
+    void regenerate();
+};
+
+/** Compile mini-C source through the full pipeline. */
+CompiledProgram compile(const std::string &source,
+                        const CompileOptions &options = {});
+
+/** Per-specifier dynamic load counts and profiled prediction rates. */
+struct ClassDynamics
+{
+    uint64_t executions = 0;
+    /** Individual-operation stride predictions that were correct. */
+    uint64_t predicted = 0;
+
+    double
+    rate() const
+    {
+        return executions == 0
+                   ? 0.0
+                   : static_cast<double>(predicted) /
+                         static_cast<double>(executions);
+    }
+};
+
+/** Result of a profiling (functional) run. */
+struct ProfileResult
+{
+    EmulationResult emulation;
+    /** Raw per-load profile (drives Section 4.3 reclassification). */
+    classify::AddressProfile profile;
+    /** Aggregates by current static classification. */
+    ClassDynamics normal;
+    ClassDynamics predict;
+    ClassDynamics earlyCalc;
+
+    uint64_t
+    totalLoads() const
+    {
+        return normal.executions + predict.executions +
+               earlyCalc.executions;
+    }
+};
+
+/**
+ * Functional run with the unbounded per-load stride profiler — the
+ * "individual operation prediction" methodology behind the
+ * prediction-rate columns of Tables 2-4.
+ */
+ProfileResult runProfile(const CompiledProgram &prog,
+                         uint64_t max_instructions = 500'000'000);
+
+/** Result of a timed run. */
+struct TimedResult
+{
+    pipeline::PipelineStats pipe;
+    EmulationResult emulation;
+};
+
+/** Emulation-driven timed run on the given machine. */
+TimedResult runTimed(const CompiledProgram &prog,
+                     const pipeline::MachineConfig &machine,
+                     uint64_t max_instructions = 500'000'000);
+
+/** baseline cycles / machine cycles. */
+double speedup(const TimedResult &baseline, const TimedResult &machine);
+
+} // namespace sim
+} // namespace elag
+
+#endif // ELAG_SIM_SIMULATOR_HH

@@ -1,0 +1,61 @@
+#include "support/random.hh"
+
+#include "support/logging.hh"
+
+namespace elag {
+
+Pcg32::Pcg32(uint64_t seed, uint64_t seq)
+    : state(0), inc((seq << 1) | 1u)
+{
+    next();
+    state += seed;
+    next();
+}
+
+uint32_t
+Pcg32::next()
+{
+    uint64_t old = state;
+    state = old * 6364136223846793005ULL + inc;
+    uint32_t xorshifted =
+        static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+uint32_t
+Pcg32::nextBounded(uint32_t bound)
+{
+    elag_assert(bound > 0);
+    // Debiased modulo (Lemire-style rejection).
+    uint32_t threshold = (0u - bound) % bound;
+    for (;;) {
+        uint32_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int32_t
+Pcg32::nextRange(int32_t lo, int32_t hi)
+{
+    elag_assert(lo <= hi);
+    uint32_t span = static_cast<uint32_t>(hi - lo) + 1u;
+    if (span == 0) // full 32-bit range
+        return static_cast<int32_t>(next());
+    return lo + static_cast<int32_t>(nextBounded(span));
+}
+
+double
+Pcg32::nextDouble()
+{
+    return next() * (1.0 / 4294967296.0);
+}
+
+bool
+Pcg32::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+} // namespace elag

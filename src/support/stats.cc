@@ -1,0 +1,87 @@
+#include "support/stats.hh"
+
+#include "support/logging.hh"
+
+namespace elag {
+
+Histogram::Histogram(size_t num_buckets, uint64_t bucket_width)
+    : buckets(num_buckets, 0), width(bucket_width)
+{
+    elag_assert(num_buckets > 0 && bucket_width > 0);
+}
+
+void
+Histogram::sample(uint64_t value, uint64_t count)
+{
+    size_t idx = static_cast<size_t>(value / width);
+    if (idx < buckets.size())
+        buckets[idx] += count;
+    else
+        overflow_ += count;
+    samples_ += count;
+    total_ += value * count;
+}
+
+double
+Histogram::mean() const
+{
+    return samples_ == 0 ? 0.0
+                         : static_cast<double>(total_) /
+                               static_cast<double>(samples_);
+}
+
+uint64_t
+Histogram::bucket(size_t i) const
+{
+    elag_assert(i < buckets.size());
+    return buckets[i];
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets)
+        b = 0;
+    overflow_ = samples_ = total_ = 0;
+}
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters[name];
+}
+
+uint64_t
+StatGroup::value(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second.value();
+}
+
+double
+StatGroup::ratio(const std::string &a, const std::string &b) const
+{
+    uint64_t den = value(b);
+    if (den == 0)
+        return 0.0;
+    return static_cast<double>(value(a)) / static_cast<double>(den);
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+StatGroup::dump() const
+{
+    std::vector<std::pair<std::string, uint64_t>> out;
+    out.reserve(counters.size());
+    for (const auto &kv : counters)
+        out.emplace_back(kv.first, kv.second.value());
+    return out;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : counters)
+        kv.second.reset();
+}
+
+} // namespace elag

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Lightweight statistics primitives used by the simulator.
+ *
+ * Modeled loosely on gem5's stats package: named scalar counters,
+ * ratios (formulas over two counters), and fixed-bucket histograms,
+ * all registered in a StatGroup for uniform dumping.
+ */
+
+#ifndef ELAG_SUPPORT_STATS_HH
+#define ELAG_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace elag {
+
+/** A named monotonically increasing scalar counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++count_; return *this; }
+    Counter &operator+=(uint64_t n) { count_ += n; return *this; }
+
+    uint64_t value() const { return count_; }
+    void reset() { count_ = 0; }
+
+  private:
+    uint64_t count_ = 0;
+};
+
+/** A histogram with fixed-width buckets plus an overflow bucket. */
+class Histogram
+{
+  public:
+    /**
+     * @param num_buckets number of regular buckets
+     * @param bucket_width width of each bucket
+     */
+    Histogram(size_t num_buckets = 16, uint64_t bucket_width = 1);
+
+    /** Record a sample. */
+    void sample(uint64_t value, uint64_t count = 1);
+
+    uint64_t samples() const { return samples_; }
+    uint64_t total() const { return total_; }
+    double mean() const;
+    /** Count in regular bucket @p i. */
+    uint64_t bucket(size_t i) const;
+    /** Count of samples beyond the last regular bucket. */
+    uint64_t overflow() const { return overflow_; }
+    size_t numBuckets() const { return buckets.size(); }
+    void reset();
+
+  private:
+    std::vector<uint64_t> buckets;
+    uint64_t width;
+    uint64_t overflow_ = 0;
+    uint64_t samples_ = 0;
+    uint64_t total_ = 0;
+};
+
+/**
+ * A registry of named counters, used to dump all statistics for a
+ * simulation with stable names.
+ */
+class StatGroup
+{
+  public:
+    /** Get (creating if needed) a counter by name. */
+    Counter &counter(const std::string &name);
+
+    /** @return counter value, or 0 if never created. */
+    uint64_t value(const std::string &name) const;
+
+    /** @return ratio a/b, or 0 when b == 0. */
+    double ratio(const std::string &a, const std::string &b) const;
+
+    /** All (name, value) pairs in name order. */
+    std::vector<std::pair<std::string, uint64_t>> dump() const;
+
+    /** Reset all counters to zero. */
+    void reset();
+
+  private:
+    std::map<std::string, Counter> counters;
+};
+
+} // namespace elag
+
+#endif // ELAG_SUPPORT_STATS_HH

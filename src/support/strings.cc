@@ -1,0 +1,93 @@
+#include "support/strings.hh"
+
+#include <cctype>
+#include <cstdio>
+
+namespace elag {
+
+std::vector<std::string>
+splitString(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+trimString(const std::string &s)
+{
+    size_t b = 0;
+    size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::string
+joinStrings(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string
+padLeft(const std::string &s, size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+std::string
+formatDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return std::string(buf);
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    return formatDouble(fraction * 100.0, precision);
+}
+
+} // namespace elag

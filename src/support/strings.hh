@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Small string helpers shared across the toolchain.
+ */
+
+#ifndef ELAG_SUPPORT_STRINGS_HH
+#define ELAG_SUPPORT_STRINGS_HH
+
+#include <string>
+#include <vector>
+
+namespace elag {
+
+/** Split @p s on @p sep, keeping empty fields. */
+std::vector<std::string> splitString(const std::string &s, char sep);
+
+/** Strip leading and trailing whitespace. */
+std::string trimString(const std::string &s);
+
+/** Join strings with a separator. */
+std::string joinStrings(const std::vector<std::string> &parts,
+                        const std::string &sep);
+
+/** true if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** true if @p s ends with @p suffix. */
+bool endsWith(const std::string &s, const std::string &suffix);
+
+/** Left-pad with spaces to @p width. */
+std::string padLeft(const std::string &s, size_t width);
+
+/** Right-pad with spaces to @p width. */
+std::string padRight(const std::string &s, size_t width);
+
+/** Format a double with fixed precision. */
+std::string formatDouble(double v, int precision);
+
+/** Format a fraction (0..1) as a percentage string like "93.01". */
+std::string formatPercent(double fraction, int precision = 2);
+
+} // namespace elag
+
+#endif // ELAG_SUPPORT_STRINGS_HH

@@ -1,0 +1,78 @@
+#include "support/table.hh"
+
+#include "support/strings.hh"
+
+#include <algorithm>
+
+namespace elag {
+
+void
+TextTable::setHeader(const std::vector<std::string> &cols)
+{
+    header = cols;
+}
+
+void
+TextTable::addRow(const std::vector<std::string> &cols)
+{
+    Row r;
+    r.cells = cols;
+    rows.push_back(std::move(r));
+}
+
+void
+TextTable::addSeparator()
+{
+    Row r;
+    r.separator = true;
+    rows.push_back(std::move(r));
+}
+
+std::string
+TextTable::render() const
+{
+    size_t ncols = header.size();
+    for (const auto &r : rows)
+        ncols = std::max(ncols, r.cells.size());
+
+    std::vector<size_t> widths(ncols, 0);
+    auto measure = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    measure(header);
+    for (const auto &r : rows)
+        if (!r.separator)
+            measure(r.cells);
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (size_t i = 0; i < ncols; ++i) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            if (i == 0)
+                line += padRight(cell, widths[i]);
+            else
+                line += padLeft(cell, widths[i]);
+            if (i + 1 < ncols)
+                line += "  ";
+        }
+        return line + "\n";
+    };
+
+    size_t total = 0;
+    for (size_t i = 0; i < ncols; ++i)
+        total += widths[i] + (i + 1 < ncols ? 2 : 0);
+    std::string sep(total, '-');
+    sep += "\n";
+
+    std::string out;
+    if (!header.empty()) {
+        out += renderRow(header);
+        out += sep;
+    }
+    for (const auto &r : rows)
+        out += r.separator ? sep : renderRow(r.cells);
+    return out;
+}
+
+} // namespace elag

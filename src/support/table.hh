@@ -1,0 +1,46 @@
+/**
+ * @file
+ * ASCII table formatting for benchmark output.
+ *
+ * The benchmark harness prints tables shaped like the paper's
+ * Tables 2-4; this helper aligns columns and draws separators.
+ */
+
+#ifndef ELAG_SUPPORT_TABLE_HH
+#define ELAG_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace elag {
+
+/** A simple right-aligned-by-default text table. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(const std::vector<std::string> &cols);
+
+    /** Append a data row (may be ragged; missing cells are blank). */
+    void addRow(const std::vector<std::string> &cols);
+
+    /** Append a horizontal separator before the next row. */
+    void addSeparator();
+
+    /** Render the table to a string. First column is left-aligned. */
+    std::string render() const;
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+
+    std::vector<std::string> header;
+    std::vector<Row> rows;
+};
+
+} // namespace elag
+
+#endif // ELAG_SUPPORT_TABLE_HH

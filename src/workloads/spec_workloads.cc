@@ -1,0 +1,970 @@
+/**
+ * @file
+ * SPEC92/SPEC95-integer-like workloads.
+ *
+ * Each program reproduces the dominant memory behaviour of the SPEC
+ * benchmark it is named after (see DESIGN.md). All programs are
+ * deterministic and print a checksum so optimizer correctness can be
+ * cross-checked between configurations.
+ */
+
+#include "workloads/workloads.hh"
+
+namespace elag {
+namespace workloads {
+
+std::vector<Workload>
+makeSpecWorkloads()
+{
+    std::vector<Workload> list;
+
+    // 008.espresso: two-level logic minimization. Dominated by
+    // strided scans over cube bit-vectors with occasional indexed
+    // indirection through a column permutation.
+    // The cube cover is reached through a pointer reloaded inside
+    // store-containing loops, so the compiler conservatively marks
+    // those strided loads load-dependent (ld_n) — the exact
+    // misclassification the paper reports for espresso, which
+    // address profiling then repairs (Section 5.3).
+    list.push_back({"008.espresso", Suite::SpecInt, R"(
+int cubes[4096];
+int perm[64];
+int *g_cover;
+int litcount[256];
+int sharp[512];
+int unate[64];
+/* cofactor extraction: split the cover against a literal */
+int cofactor(int lit) {
+    int kept = 0;
+    for (int c = 0; c < 64; c++) {
+        int word = cubes[c * 64 + (lit >> 4)];
+        int bit = (word >> (lit & 15)) & 1;
+        if (bit) {
+            sharp[kept & 511] = word ^ lit;
+            kept++;
+        }
+        unate[c] = (unate[c] << 1) | bit;
+    }
+    return kept;
+}
+/* literal frequency counting over the cube matrix */
+int countLiterals() {
+    int max = 0;
+    for (int i = 0; i < 256; i++)
+        litcount[i] = 0;
+    for (int c = 0; c < 4096; c++) {
+        int w = cubes[c];
+        litcount[w & 255] += 1;
+        litcount[(w >> 8) & 255] += 1;
+    }
+    for (int i = 0; i < 256; i++) {
+        if (litcount[i] > litcount[max])
+            max = i;
+    }
+    return max;
+}
+/* sharp operation: subtract one cover row from another */
+int sharpOp(int a, int b) {
+    int produced = 0;
+    for (int i = 0; i < 64; i++) {
+        int x = cubes[a * 64 + i];
+        int y = cubes[b * 64 + i];
+        int d = x & ~y;
+        if (d) {
+            sharp[(produced + i) & 511] = d;
+            produced++;
+        }
+    }
+    return produced;
+}
+int main() {
+    g_cover = (int*)alloc(256);
+    int seed = 12345;
+    for (int i = 0; i < 4096; i++) {
+        seed = seed * 1103515245 + 12345;
+        cubes[i] = seed & 0xffff;
+    }
+    for (int i = 0; i < 64; i++)
+        perm[i] = (i * 37 + 11) % 64;
+    int onset = 0;
+    for (int pass = 0; pass < 6; pass++) {
+        /* cube intersection sweep: strided, cover via pointer */
+        for (int c = 0; c < 63; c++) {
+            int live = 0;
+            for (int i = 0; i < 64; i++) {
+                int a = cubes[c * 64 + i];
+                int b = cubes[c * 64 + 64 + i];
+                int meet = a & b;
+                if (meet)
+                    live++;
+                g_cover[i] = meet | (g_cover[i] >> 1);
+            }
+            onset += live;
+        }
+        /* column permutation: indexed */
+        for (int i = 0; i < 64; i++) {
+            int j = perm[i];
+            int t = g_cover[i];
+            g_cover[i] = g_cover[j] ^ t;
+        }
+        /* containment check: strided with early exit */
+        for (int c = 0; c < 64; c++) {
+            int contained = 1;
+            for (int i = 0; i < 64; i++) {
+                int cov = g_cover[i & 63];
+                if ((cubes[c * 64 + i] & cov) != cov) {
+                    contained = 0;
+                    break;
+                }
+            }
+            onset += contained;
+        }
+        onset += countLiterals();
+        onset += cofactor((pass * 29 + 5) & 255);
+        onset += sharpOp(pass & 63, (pass * 7 + 3) & 63);
+    }
+    print(onset);
+    return 0;
+}
+)", "bit-vector cube scans + pointer-reached cover rows", {}});
+
+    // 022.li: a lisp interpreter. Cons-cell pointer chasing through
+    // alloc()ed pairs dominates; the evaluator walks list structures
+    // built once and traversed many times.
+    list.push_back({"022.li", Suite::SpecInt, R"(
+int nil;
+int *freebuf[16];
+int freecount = 0;
+int rotor = 0;
+/* Cells come from a scrambled free buffer, like a real lisp heap
+   after garbage collection: successor addresses are not strided. */
+int *cell() {
+    if (freecount == 0) {
+        for (int i = 0; i < 16; i++)
+            freebuf[i] = (int*)alloc(8);
+        freecount = 16;
+    }
+    rotor = (rotor * 5 + 3) & 15;
+    while ((int)freebuf[rotor] == 0)
+        rotor = (rotor + 1) & 15;
+    int *c = freebuf[rotor];
+    freebuf[rotor] = (int*)0;
+    freecount--;
+    return c;
+}
+int *cons(int car, int cdr) {
+    int *c = cell();
+    c[0] = car;
+    c[1] = cdr;
+    return c;
+}
+int sumlist(int *p) {
+    int s = 0;
+    while ((int)p != nil) {
+        s += p[0];
+        p = (int*)p[1];
+    }
+    return s;
+}
+int revappend(int l, int acc) {
+    int *p = (int*)l;
+    while ((int)p != nil) {
+        acc = (int)cons(p[0], acc);
+        p = (int*)p[1];
+    }
+    return acc;
+}
+int main() {
+    nil = 0;
+    int total = 0;
+    for (int round = 0; round < 24; round++) {
+        int l = nil;
+        for (int i = 0; i < 200; i++)
+            l = (int)cons(i + round, l);
+        int r = revappend(l, nil);
+        total += sumlist((int*)l);
+        total -= sumlist((int*)r);
+        /* nested structure: list of lists */
+        int outer = nil;
+        for (int i = 0; i < 20; i++) {
+            int inner = nil;
+            for (int j = 0; j < 10; j++)
+                inner = (int)cons(i * j, inner);
+            outer = (int)cons((int)inner, outer);
+        }
+        int *q = (int*)outer;
+        while ((int)q != nil) {
+            total += sumlist((int*)q[0]);
+            q = (int*)q[1];
+        }
+    }
+    print(total);
+    return 0;
+}
+)", "cons-cell pointer chasing (lisp interpreter heaps)", {}});
+
+    // 023.eqntott: truth-table generation; overwhelmingly strided
+    // comparisons over large integer vectors (the qsort comparator).
+    list.push_back({"023.eqntott", Suite::SpecInt, R"(
+int table[8192];
+int tmp[8192];
+int main() {
+    int seed = 777;
+    int n = 8192;
+    for (int i = 0; i < n; i++) {
+        seed = seed * 1103515245 + 12345;
+        table[i] = (seed >> 8) & 0xffff;
+    }
+    /* bottom-up merge sort: long strided streams */
+    for (int width = 1; width < n; width = width * 2) {
+        for (int lo = 0; lo < n; lo += width * 2) {
+            int i = lo;
+            int mid = lo + width;
+            int j = mid;
+            int hi = lo + width * 2;
+            if (hi > n) hi = n;
+            if (mid > n) mid = n;
+            int k = lo;
+            while (i < mid && j < hi) {
+                if (table[i] <= table[j]) tmp[k++] = table[i++];
+                else tmp[k++] = table[j++];
+            }
+            while (i < mid) tmp[k++] = table[i++];
+            while (j < hi) tmp[k++] = table[j++];
+        }
+        for (int i = 0; i < n; i++)
+            table[i] = tmp[i];
+    }
+    int check = 0;
+    for (int i = 0; i < n; i++)
+        check += table[i] * (i & 15);
+    print(check);
+    return 0;
+}
+)", "merge-sorting large vectors (strided comparator streams)", {}});
+
+    // 026.compress: LZW compression; hash-table probes whose slots
+    // are data-dependent but re-visited, plus strided input scans.
+    list.push_back({"026.compress", Suite::SpecInt, R"(
+int htab[4096];
+int codetab[4096];
+char input[16384];
+int main() {
+    int seed = 99;
+    for (int i = 0; i < 16384; i++) {
+        seed = seed * 1103515245 + 12345;
+        input[i] = (char)((seed >> 16) & 63);
+    }
+    for (int i = 0; i < 4096; i++)
+        htab[i] = -1;
+    int next_code = 256;
+    int prefix = input[0];
+    int out = 0;
+    for (int i = 1; i < 16384; i++) {
+        int c = input[i];
+        int key = ((c << 6) ^ prefix) & 4095;
+        int probes = 0;
+        int found = -1;
+        while (probes < 6) {
+            int slot = htab[key];
+            if (slot == -1)
+                break;
+            if (slot == (prefix << 8) + c) {
+                found = codetab[key];
+                break;
+            }
+            key = (key + 61) & 4095;
+            probes++;
+        }
+        if (found >= 0) {
+            prefix = found;
+        } else {
+            out += prefix;
+            if (next_code < 65536) {
+                htab[key] = (prefix << 8) + c;
+                codetab[key] = next_code++;
+            }
+            prefix = c;
+        }
+    }
+    print(out);
+    print(next_code);
+    return 0;
+}
+)", "LZW hash probing + byte input scan", {}});
+
+    // 072.sc: spreadsheet recalculation over a sparse grid of cells
+    // linked by dependency pointers; mixed strided/pointer loads.
+    list.push_back({"072.sc", Suite::SpecInt, R"(
+int grid[2048];
+int colsum[16];
+int fmtwidth[16];
+char screen[2048];
+/* column range sums (SUM() formulas) */
+int rangeSums(int rows, int cols) {
+    int total = 0;
+    for (int c = 0; c < cols; c++) {
+        int acc = 0;
+        for (int r = 0; r < rows; r++)
+            acc += grid[(r * cols + c) * 4];
+        colsum[c] = acc;
+        total += acc;
+    }
+    return total;
+}
+/* render the sheet into a character screen buffer */
+int render(int rows, int cols) {
+    int painted = 0;
+    for (int r = 0; r < rows; r++) {
+        for (int c = 0; c < cols; c++) {
+            int v = grid[(r * cols + c) * 4];
+            int w = fmtwidth[c];
+            int pos = r * 64 + c * 4;
+            screen[pos] = (char)(32 + (v & 63));
+            if (w > 1)
+                screen[pos + 1] = (char)(32 + ((v >> 6) & 63));
+            painted++;
+        }
+    }
+    return painted;
+}
+/* topological dependency walk along the up-pointers */
+int topoWalk(int rows, int cols) {
+    int depth = 0;
+    for (int c = 0; c < cols; c++) {
+        int idx = ((rows - 1) * cols + c) * 4;
+        while (idx > 0 && grid[idx + 1] != 0) {
+            idx = grid[idx + 2];
+            depth++;
+            if (depth > 100000)
+                return depth;
+        }
+    }
+    return depth;
+}
+int main() {
+    /* each cell: value, formula kind, two dependency indices */
+    int rows = 32;
+    int cols = 16;
+    int seed = 4242;
+    for (int r = 0; r < rows; r++) {
+        for (int c = 0; c < cols; c++) {
+            int idx = (r * cols + c) * 4;
+            seed = seed * 1103515245 + 12345;
+            grid[idx] = (seed >> 20) & 255;
+            grid[idx + 1] = c == 0 ? 0 : ((seed >> 8) & 3);
+            grid[idx + 2] = r > 0 ? ((r - 1) * cols + c) * 4 : 0;
+            grid[idx + 3] = c > 0 ? (r * cols + c - 1) * 4 : 0;
+        }
+    }
+    int total = 0;
+    for (int pass = 0; pass < 200; pass++) {
+        for (int r = 0; r < rows; r++) {
+            for (int c = 0; c < cols; c++) {
+                int idx = (r * cols + c) * 4;
+                int kind = grid[idx + 1];
+                if (kind == 0)
+                    continue;
+                int *up = &grid[0] + grid[idx + 2];
+                int *left = &grid[0] + grid[idx + 3];
+                if (kind == 1)
+                    grid[idx] = up[0] + left[0];
+                else if (kind == 2)
+                    grid[idx] = up[0] - left[0];
+                else
+                    grid[idx] = (up[0] + left[0]) >> 1;
+            }
+        }
+        total += grid[(rows * cols - 1) * 4];
+        if ((pass & 7) == 0) {
+            for (int c = 0; c < cols; c++)
+                fmtwidth[c] = 1 + (c & 3);
+            total += rangeSums(rows, cols);
+            total += render(rows, cols);
+            total += topoWalk(rows, cols);
+        }
+    }
+    print(total);
+    return 0;
+}
+)", "spreadsheet recalc over dependency-linked cells", {}});
+
+    // 085.cc1: the gcc core; walks allocated tree/DAG nodes (parse
+    // trees, RTL) with moderate pointer chasing plus symbol-table
+    // array accesses.
+    list.push_back({"085.cc1", Suite::SpecInt, R"(
+int symtab[1024];
+char srcbuf[4096];
+int toktab[128];
+int code[2048];
+int interference[256];
+/* lexer: scan a byte buffer classifying characters */
+int lex() {
+    int tokens = 0;
+    int i = 0;
+    while (i < 4096) {
+        int c = srcbuf[i];
+        int klass = toktab[c & 127];
+        if (klass == 0) {
+            i++;
+        } else if (klass == 1) {
+            while (i < 4096 && toktab[srcbuf[i] & 127] == 1)
+                i++;
+            tokens++;
+        } else {
+            i++;
+            tokens++;
+        }
+    }
+    return tokens;
+}
+/* register allocation: interference bit matrix sweeps */
+int colorRegs() {
+    int spills = 0;
+    for (int v = 0; v < 256; v++) {
+        int row = interference[v];
+        int color = 0;
+        while (color < 16 && ((row >> color) & 1))
+            color++;
+        if (color == 16)
+            spills++;
+        interference[v] = row | (1 << (color & 15));
+    }
+    return spills;
+}
+/* peephole pass over a linear code array */
+int peephole() {
+    int rewrites = 0;
+    for (int i = 0; i + 1 < 2048; i++) {
+        int a = code[i];
+        int b = code[i + 1];
+        if ((a & 255) == (b & 255)) {
+            code[i] = a | 0x10000;
+            rewrites++;
+        }
+    }
+    return rewrites;
+}
+int *mknode(int kind, int value, int *l, int *r) {
+    int *n = (int*)alloc(16);
+    n[0] = kind;
+    n[1] = value;
+    n[2] = (int)l;
+    n[3] = (int)r;
+    return n;
+}
+int *build(int depth, int seed) {
+    if (depth == 0)
+        return mknode(0, seed & 255, (int*)0, (int*)0);
+    int s2 = seed * 1103515245 + 12345;
+    int *l = build(depth - 1, s2);
+    int *r = build(depth - 1, s2 * 31 + 7);
+    return mknode(1 + (s2 & 3), (s2 >> 8) & 255, l, r);
+}
+int eval(int *n) {
+    int kind = n[0];
+    if (kind == 0)
+        return n[1] + symtab[n[1] & 1023];
+    int a = eval((int*)n[2]);
+    int b = eval((int*)n[3]);
+    symtab[n[1] & 1023] = a;
+    if (kind == 1) return a + b;
+    if (kind == 2) return a - b;
+    if (kind == 3) return a ^ b;
+    return a + b - (a & b);
+}
+int main() {
+    for (int i = 0; i < 1024; i++)
+        symtab[i] = i * 17;
+    int seed = 11;
+    for (int i = 0; i < 4096; i++) {
+        seed = seed * 1103515245 + 12345;
+        srcbuf[i] = (char)((seed >> 16) & 127);
+    }
+    for (int i = 0; i < 128; i++)
+        toktab[i] = (i >= 97 && i <= 122) ? 1 : ((i & 3) == 0 ? 0 : 2);
+    for (int i = 0; i < 2048; i++) {
+        seed = seed * 1103515245 + 12345;
+        code[i] = seed & 0xffff;
+    }
+    int total = 0;
+    for (int fn = 0; fn < 40; fn++) {
+        int *tree = build(7, fn * 2654435761);
+        total += eval(tree);
+        total += eval(tree);
+        total += lex();
+        for (int i = 0; i < 256; i++)
+            interference[i] = (total >> (i & 7)) & 0xffff;
+        total += colorRegs();
+        total += peephole();
+    }
+    print(total);
+    return 0;
+}
+)", "AST construction + recursive evaluation (compiler IR walks)", {}});
+
+    // 124.m88ksim: a CPU simulator; fetch-decode-dispatch loop with
+    // strided instruction-memory reads and register-file indexing.
+    list.push_back({"124.m88ksim", Suite::SpecInt, R"(
+int imem[4096];
+int regs[32];
+int dmem[1024];
+int ctags[256];
+int tlb[64];
+int histo[64];
+/* simulated cache lookup: tag compare + LRU touch */
+int cacheProbe(int addr) {
+    int set = (addr >> 4) & 127;
+    int tag = addr >> 11;
+    int a = ctags[set * 2];
+    int b = ctags[set * 2 + 1];
+    if ((a & 0xffffff) == tag)
+        return 1;
+    if ((b & 0xffffff) == tag) {
+        ctags[set * 2 + 1] = a;
+        ctags[set * 2] = b;
+        return 1;
+    }
+    ctags[set * 2 + 1] = a;
+    ctags[set * 2] = tag;
+    return 0;
+}
+/* simulated TLB lookup */
+int tlbProbe(int addr) {
+    int vpn = (addr >> 12) & 63;
+    int entry = tlb[vpn];
+    if ((entry & 0xfff) == ((addr >> 12) & 0xfff))
+        return entry >> 12;
+    tlb[vpn] = ((addr >> 12) & 0xfff) | (addr << 12);
+    return 0;
+}
+int main() {
+    int seed = 31415;
+    for (int i = 0; i < 4096; i++) {
+        seed = seed * 1103515245 + 12345;
+        imem[i] = seed;
+    }
+    for (int i = 0; i < 32; i++)
+        regs[i] = i;
+    int pc = 0;
+    int retired = 0;
+    int check = 0;
+    while (retired < 120000) {
+        int inst = imem[pc & 4095];
+        int op = (inst >> 26) & 7;
+        int rd = (inst >> 21) & 31;
+        int ra = (inst >> 16) & 31;
+        int rb = (inst >> 11) & 31;
+        if (op == 0)
+            regs[rd] = regs[ra] + regs[rb];
+        else if (op == 1)
+            regs[rd] = regs[ra] - regs[rb];
+        else if (op == 2)
+            regs[rd] = regs[ra] & regs[rb];
+        else if (op == 3) {
+            int ea = (regs[ra] + inst) & 1023;
+            check += cacheProbe(ea * 4) + tlbProbe(ea * 64);
+            regs[rd] = dmem[ea];
+        } else if (op == 4) {
+            int ea = (regs[ra] + inst) & 1023;
+            check += cacheProbe(ea * 4);
+            dmem[ea] = regs[rb];
+        } else if (op == 5)
+            pc = pc + 2;
+        else
+            regs[rd] = inst >> 8;
+        regs[0] = 0;
+        histo[op * 8] += 1;
+        /* per-cycle bookkeeping: strided trace + stats reads */
+        check += imem[(pc + 1) & 4095] & 1;
+        check += dmem[retired & 1023] & 1;
+        pc++;
+        retired++;
+        check += regs[rd & 31];
+    }
+    for (int i = 0; i < 64; i++)
+        check += histo[i] * (i & 3);
+    print(check);
+    return 0;
+}
+)", "fetch/decode/dispatch CPU-simulator loop", {}});
+
+    // 129.compress: the SPEC95 compress; same LZW core as 026 but
+    // with a larger input and a decompression verification pass.
+    list.push_back({"129.compress", Suite::SpecInt, R"(
+int htab[8192];
+char buf[32768];
+int main() {
+    int seed = 555;
+    for (int i = 0; i < 32768; i++) {
+        seed = seed * 1103515245 + 12345;
+        /* skewed distribution: repetitive text-like input */
+        int v = (seed >> 16) & 255;
+        if (v > 64) v = v & 15;
+        buf[i] = (char)v;
+    }
+    for (int i = 0; i < 8192; i++)
+        htab[i] = 0;
+    int checksum = 0;
+    int state = buf[0];
+    for (int i = 1; i < 32768; i++) {
+        int c = buf[i];
+        int key = ((state * 33) ^ c) & 8191;
+        int h = htab[key];
+        if ((h >> 9) == ((state << 1) | (c & 1))) {
+            state = h & 511;
+        } else {
+            htab[key] = (((state << 1) | (c & 1)) << 9) | (c & 511);
+            checksum += state;
+            state = c;
+        }
+    }
+    print(checksum);
+    return 0;
+}
+)", "LZW with text-like skewed input (SPEC95 variant)", {}});
+
+    // 130.li: the SPEC95 xlisp; garbage-collected cons heaps with a
+    // mark phase (heavy pointer chasing, ~50% EC loads in the paper).
+    list.push_back({"130.li", Suite::SpecInt, R"(
+int nil;
+int *freelist;
+int *newbuf[8];
+int bufrot = 0;
+/* Fresh cells come from a scrambled batch buffer so heap order is
+   fragmented, as after real garbage collection. */
+int *freshcell() {
+    if ((int)newbuf[0] == 0) {
+        for (int i = 0; i < 8; i++)
+            newbuf[i] = (int*)alloc(12);
+    }
+    bufrot = (bufrot * 3 + 1) & 7;
+    int tries = 0;
+    while ((int)newbuf[bufrot] == 0 && tries < 8) {
+        bufrot = (bufrot + 1) & 7;
+        tries++;
+    }
+    int *c = newbuf[bufrot];
+    if ((int)c == 0)
+        c = (int*)alloc(12);
+    else
+        newbuf[bufrot] = (int*)0;
+    return c;
+}
+int *mkcell(int car, int cdr) {
+    int *c;
+    if ((int)freelist != nil) {
+        c = freelist;
+        freelist = (int*)c[1];
+    } else {
+        c = freshcell();
+    }
+    c[0] = car;
+    c[1] = cdr;
+    c[2] = 0;
+    return c;
+}
+int mark(int *p) {
+    int n = 0;
+    while ((int)p != nil) {
+        if (p[2])
+            break;
+        p[2] = 1;
+        n++;
+        p = (int*)p[1];
+    }
+    return n;
+}
+int sweep(int *p) {
+    int freed = 0;
+    while ((int)p != nil) {
+        int *next = (int*)p[1];
+        if (p[2] == 0) {
+            p[1] = (int)freelist;
+            freelist = p;
+            freed++;
+        } else {
+            p[2] = 0;
+        }
+        p = next;
+    }
+    return freed;
+}
+int main() {
+    nil = 0;
+    freelist = (int*)nil;
+    int total = 0;
+    int all = nil;
+    for (int gen = 0; gen < 60; gen++) {
+        int keep = nil;
+        for (int i = 0; i < 150; i++) {
+            int *c = mkcell(i ^ gen, keep);
+            keep = (int)c;
+        }
+        all = keep;
+        total += mark((int*)all);
+        /* unmark half so sweep recycles them */
+        int *p = (int*)all;
+        int k = 0;
+        while ((int)p != nil) {
+            if (k & 1)
+                p[2] = 0;
+            k++;
+            p = (int*)p[1];
+        }
+        total += sweep((int*)all);
+    }
+    print(total);
+    return 0;
+}
+)", "mark/sweep over cons heaps (xlisp GC)", {}});
+
+    // 132.ijpeg: JPEG coding; block DCT-like kernels over image
+    // arrays. Strided nested loops with small reused coefficient
+    // tables; some reg+reg indexing survives strength reduction.
+    list.push_back({"132.ijpeg", Suite::SpecInt, R"(
+int image[16384];
+int coef[64];
+int block[64];
+int out[64];
+int main() {
+    int seed = 271828;
+    for (int i = 0; i < 16384; i++) {
+        seed = seed * 1103515245 + 12345;
+        image[i] = (seed >> 12) & 255;
+    }
+    for (int i = 0; i < 64; i++)
+        coef[i] = ((i * 13) % 17) - 8;
+    int energy = 0;
+    for (int by = 0; by < 16; by++) {
+        for (int bx = 0; bx < 16; bx++) {
+            /* gather 8x8 block (strided rows) */
+            for (int y = 0; y < 8; y++)
+                for (int x = 0; x < 8; x++)
+                    block[y * 8 + x] = image[(by * 8 + y) * 128 + bx * 8 + x];
+            /* separable transform: rows then columns */
+            for (int y = 0; y < 8; y++) {
+                for (int u = 0; u < 8; u++) {
+                    int acc = 0;
+                    for (int x = 0; x < 8; x++)
+                        acc += block[y * 8 + x] * coef[(u * 8 + x) & 63];
+                    out[y * 8 + u] = acc >> 3;
+                }
+            }
+            for (int x = 0; x < 8; x++) {
+                for (int v = 0; v < 8; v++) {
+                    int acc = 0;
+                    for (int y = 0; y < 8; y++)
+                        acc += out[y * 8 + x] * coef[(v * 8 + y) & 63];
+                    block[v * 8 + x] = acc >> 6;
+                }
+            }
+            energy += block[0] + block[63];
+        }
+    }
+    print(energy);
+    return 0;
+}
+)", "8x8 block transforms over an image (JPEG DCT)", {}});
+
+    // 134.perl: bytecode interpreter with a hash-based symbol table;
+    // dispatch-table loads are strided/constant, hash-node walks are
+    // pointer loads.
+    list.push_back({"134.perl", Suite::SpecInt, R"(
+int prog[2048];
+int *buckets[256];
+char sbuf[1024];
+char pattern[16];
+int digits[10];
+/* string concatenation / case folding over byte buffers */
+int strops(int seed) {
+    int len = 64 + (seed & 63);
+    for (int i = 0; i < len; i++)
+        sbuf[i] = (char)(97 + ((seed >> (i & 15)) & 15));
+    int hash = 0;
+    for (int i = 0; i < len; i++) {
+        int c = sbuf[i];
+        if (c >= 97)
+            c -= 32;
+        sbuf[(i + len) & 1023] = (char)c;
+        hash = hash * 33 + c;
+    }
+    return hash;
+}
+/* naive substring matcher (regex literal scan) */
+int match(int len) {
+    int hits = 0;
+    for (int i = 0; i + 4 < len; i++) {
+        int j = 0;
+        while (j < 4 && sbuf[i + j] == pattern[j])
+            j++;
+        if (j == 4)
+            hits++;
+    }
+    return hits;
+}
+/* integer-to-decimal formatting (sprintf %d) */
+int format(int value) {
+    int n = 0;
+    if (value < 0)
+        value = -value;
+    while (value > 0 && n < 10) {
+        digits[n] = value % 10;
+        value /= 10;
+        n++;
+    }
+    int out = 0;
+    for (int i = n - 1; i >= 0; i--)
+        out = out * 10 + digits[i];
+    return out + n;
+}
+int *mkentry(int key, int val, int *next) {
+    int *e = (int*)alloc(12);
+    e[0] = key;
+    e[1] = val;
+    e[2] = (int)next;
+    return e;
+}
+int lookup(int key) {
+    int *e = buckets[key & 255];
+    while (e) {
+        if (e[0] == key)
+            return e[1];
+        e = (int*)e[2];
+    }
+    return 0;
+}
+int insert(int key, int val) {
+    int h = key & 255;
+    int *e = buckets[h];
+    while (e) {
+        if (e[0] == key) {
+            e[1] = val;
+            return 0;
+        }
+        e = (int*)e[2];
+    }
+    buckets[h] = mkentry(key, val, buckets[h]);
+    return 1;
+}
+int main() {
+    int seed = 13579;
+    for (int i = 0; i < 2048; i++) {
+        seed = seed * 1103515245 + 12345;
+        prog[i] = seed;
+    }
+    int acc = 0;
+    int pc = 0;
+    for (int steps = 0; steps < 60000; steps++) {
+        int inst = prog[pc & 2047];
+        int op = (inst >> 28) & 3;
+        int key = (inst >> 8) & 4095;
+        if (op == 0)
+            acc += lookup(key);
+        else if (op == 1)
+            insert(key, acc & 65535);
+        else if (op == 2) {
+            acc = (acc << 1) ^ key;
+            if ((steps & 255) == 0) {
+                acc += strops(inst);
+                pattern[0] = 'a'; pattern[1] = 'b';
+                pattern[2] = 'a'; pattern[3] = 'c';
+                acc += match(128);
+                acc += format(acc);
+            }
+        } else
+            pc += inst & 7;
+        pc++;
+    }
+    print(acc);
+    return 0;
+}
+)", "bytecode dispatch + chained hash symbol table", {}});
+
+    // 147.vortex: an object-oriented database; dominated by walks of
+    // allocated object graphs (the highest EC fraction in Table 2).
+    list.push_back({"147.vortex", Suite::SpecInt, R"(
+int *db[512];
+int btree[2048];
+char recbuf[512];
+/* sorted-index binary search (the Vortex keyed index) */
+int indexSearch(int key) {
+    int lo = 0;
+    int hi = 1023;
+    while (lo < hi) {
+        int mid = (lo + hi) >> 1;
+        if (btree[mid * 2] < key)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return btree[lo * 2 + 1];
+}
+/* pack an object into a flat record buffer (byte stores/loads) */
+int packRecord(int *o) {
+    int sum = 0;
+    for (int f = 0; f < 4; f++) {
+        int v = o[f];
+        recbuf[f * 4] = (char)(v & 255);
+        recbuf[f * 4 + 1] = (char)((v >> 8) & 255);
+        recbuf[f * 4 + 2] = (char)((v >> 16) & 255);
+        recbuf[f * 4 + 3] = (char)((v >> 24) & 255);
+    }
+    for (int i = 0; i < 16; i++)
+        sum += recbuf[i];
+    return sum;
+}
+int *mkobj(int id, int a, int b, int *link) {
+    int *o = (int*)alloc(20);
+    o[0] = id;
+    o[1] = a;
+    o[2] = b;
+    o[3] = (int)link;
+    o[4] = 0;
+    return o;
+}
+int main() {
+    int seed = 86420;
+    /* build 512 chains of small objects */
+    for (int c = 0; c < 512; c++) {
+        int *chain = (int*)0;
+        for (int i = 0; i < 12; i++) {
+            seed = seed * 1103515245 + 12345;
+            chain = mkobj(c * 16 + i, (seed >> 8) & 1023, seed & 255, chain);
+        }
+        db[c] = chain;
+    }
+    for (int i = 0; i < 1024; i++) {
+        btree[i * 2] = i * 3;
+        btree[i * 2 + 1] = i ^ 21;
+    }
+    int found = 0;
+    int sum = 0;
+    for (int q = 0; q < 12000; q++) {
+        seed = seed * 1103515245 + 12345;
+        int want = (seed >> 10) & 1023;
+        int *o = db[(seed >> 3) & 511];
+        while (o) {
+            if (o[1] == want) {
+                found++;
+                o[4] = o[4] + 1;
+                sum += o[2];
+                sum += packRecord(o);
+                break;
+            }
+            o = (int*)o[3];
+        }
+        if ((q & 7) == 0)
+            sum += indexSearch(want * 3);
+    }
+    print(found);
+    print(sum);
+    return 0;
+}
+)", "object-graph queries over chained records (OODB)", {}});
+
+    return list;
+}
+
+} // namespace workloads
+} // namespace elag

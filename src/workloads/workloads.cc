@@ -1,0 +1,39 @@
+#include "workloads/workloads.hh"
+
+namespace elag {
+namespace workloads {
+
+// Defined in spec_workloads.cc / media_workloads.cc.
+std::vector<Workload> makeSpecWorkloads();
+std::vector<Workload> makeMediaWorkloads();
+
+const std::vector<Workload> &
+specWorkloads()
+{
+    static const std::vector<Workload> list = makeSpecWorkloads();
+    return list;
+}
+
+const std::vector<Workload> &
+mediaWorkloads()
+{
+    static const std::vector<Workload> list = makeMediaWorkloads();
+    return list;
+}
+
+const Workload *
+findWorkload(const std::string &name)
+{
+    for (const auto &w : specWorkloads()) {
+        if (w.name == name)
+            return &w;
+    }
+    for (const auto &w : mediaWorkloads()) {
+        if (w.name == name)
+            return &w;
+    }
+    return nullptr;
+}
+
+} // namespace workloads
+} // namespace elag

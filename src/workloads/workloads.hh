@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Workload registry.
+ *
+ * The paper evaluates SPEC92/SPEC95 integer programs and the
+ * MediaBench suite; neither is redistributable here, so each
+ * benchmark is replaced by a mini-C program engineered to reproduce
+ * the dominant load behaviour of its namesake (see DESIGN.md,
+ * "Substitutions"). Every workload is a self-contained source string
+ * compiled by the elag toolchain at bench time.
+ */
+
+#ifndef ELAG_WORKLOADS_WORKLOADS_HH
+#define ELAG_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+namespace elag {
+namespace workloads {
+
+/** Which suite a workload imitates. */
+enum class Suite { SpecInt, MediaBench };
+
+/** One registered workload. */
+struct Workload
+{
+    /** Name styled after the benchmark it imitates. */
+    std::string name;
+    Suite suite;
+    /** Mini-C source. */
+    std::string source;
+    /** One-line description of the behaviour it reproduces. */
+    std::string description;
+    /** Expected print() output (checksums), for correctness tests. */
+    std::vector<int32_t> expectedOutput;
+};
+
+/** All SPEC-like workloads (Table 2 / Table 3 / Figure 5 inputs). */
+const std::vector<Workload> &specWorkloads();
+
+/** All MediaBench-like workloads (Table 4 inputs). */
+const std::vector<Workload> &mediaWorkloads();
+
+/** Look up a workload by name in both suites (null if absent). */
+const Workload *findWorkload(const std::string &name);
+
+} // namespace workloads
+} // namespace elag
+
+#endif // ELAG_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Load-classifier tests: the S_load closure and specifier assignment
+ * of paper Section 4, on programs shaped like the paper's Figure 4
+ * examples, plus the profile-guided reclassification of Section 4.3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "classify/classify.hh"
+#include "ir/printer.hh"
+#include "sim/simulator.hh"
+#include "support/logging.hh"
+
+using namespace elag;
+using isa::LoadSpec;
+
+namespace {
+
+sim::CompiledProgram
+compileQuiet(const std::string &src)
+{
+    setQuiet(true);
+    return sim::compile(src);
+}
+
+/** Count loads of each spec in the final machine code. */
+struct SpecCount
+{
+    int n = 0, p = 0, e = 0;
+};
+
+SpecCount
+machineSpecs(const sim::CompiledProgram &prog)
+{
+    SpecCount c;
+    for (const auto &inst : prog.code.program.code) {
+        if (!inst.isLoad())
+            continue;
+        switch (inst.spec) {
+          case LoadSpec::Normal: ++c.n; break;
+          case LoadSpec::Predict: ++c.p; break;
+          case LoadSpec::EarlyCalc: ++c.e; break;
+        }
+    }
+    return c;
+}
+
+} // namespace
+
+TEST(Classify, Figure4aForLoopGetsPredict)
+{
+    // for (i...) { .. = arr2[i]; } : induction-driven loads are
+    // arithmetic-dependent -> ld_p (paper Figure 4a/4b, op4).
+    auto prog = compileQuiet(R"(
+        int arr2[128];
+        int main() {
+            int total = 0;
+            for (int i = 0; i < 128; i++)
+                total += arr2[i];
+            print(total);
+            return 0;
+        }
+    )");
+    EXPECT_GT(prog.classStats.numPredict, 0);
+    EXPECT_EQ(prog.classStats.numEarlyCalc, 0);
+}
+
+TEST(Classify, Figure4cWhileLoopGetsEarlyCalc)
+{
+    // Pointer chasing: p->f1, p->f2, p->next all use the loaded base
+    // p -> the largest group binds R_addr (paper Figure 4c/4d).
+    auto prog = compileQuiet(R"(
+        int main() {
+            int *head = (int*)0;
+            for (int i = 0; i < 10; i++) {
+                int *n = (int*)alloc(12);
+                n[0] = i;
+                n[1] = 2 * i;
+                n[2] = (int)head;
+                head = n;
+            }
+            int total = 0;
+            int *p = head;
+            while (p) {
+                total += p[0];
+                total += p[1];
+                p = (int*)p[2];
+            }
+            print(total);
+            return 0;
+        }
+    )");
+    // The three chase loads should be ld_e.
+    EXPECT_GE(prog.classStats.numEarlyCalc, 3);
+}
+
+TEST(Classify, IndexedLoadDependentLoadIsNormal)
+{
+    // arr1[ind[i]]: the outer load's index comes from a load, and it
+    // is register+register -> ld_n (paper Figure 4b, op3).
+    auto prog = compileQuiet(R"(
+        int arr1[256];
+        int ind[256];
+        int main() {
+            int total = 0;
+            for (int i = 0; i < 256; i++)
+                total += arr1[ind[i]];
+            print(total);
+            return 0;
+        }
+    )");
+    EXPECT_GT(prog.classStats.numNormal, 0);  // arr1[ind[i]]
+    EXPECT_GT(prog.classStats.numPredict, 0); // ind[i]
+}
+
+TEST(Classify, LargestGroupWinsRaddr)
+{
+    // Two load-dependent groups: base p (3 loads) and base q (1
+    // load). Only the larger group gets ld_e; the other gets ld_n.
+    auto prog = compileQuiet(R"(
+        int main() {
+            int *p = (int*)alloc(64);
+            int *q = (int*)alloc(64);
+            for (int i = 0; i < 16; i++) { p[i & 7] = i; q[i & 7] = i; }
+            int total = 0;
+            int *a = p;
+            int *b = q;
+            for (int i = 0; i < 50; i++) {
+                a = (int*)((int)p + (a[0] & 16));
+                total += a[1];
+                total += a[2];
+                b = (int*)((int)q + (b[3] & 16));
+            }
+            print(total);
+            return 0;
+        }
+    )");
+    EXPECT_GT(prog.classStats.numEarlyCalc, 0);
+    EXPECT_GT(prog.classStats.numNormal, 0);
+}
+
+TEST(Classify, AcyclicAbsoluteLoadsArePredict)
+{
+    // Straight-line loads from globals are "absolute" -> ld_p
+    // (Section 4.2).
+    auto prog = compileQuiet(R"(
+        int a;
+        int b;
+        int main() {
+            print(a + b);
+            return 0;
+        }
+    )");
+    EXPECT_EQ(prog.classStats.numNormal + prog.classStats.numEarlyCalc,
+              0);
+    EXPECT_GE(prog.classStats.numPredict, 2);
+}
+
+TEST(Classify, ClearClassificationResetsAll)
+{
+    auto prog = compileQuiet(R"(
+        int arr[64];
+        int main() {
+            int t = 0;
+            for (int i = 0; i < 64; i++) t += arr[i];
+            print(t);
+            return 0;
+        }
+    )");
+    classify::clearClassification(*prog.module);
+    prog.regenerate();
+    SpecCount c = machineSpecs(prog);
+    EXPECT_EQ(c.p, 0);
+    EXPECT_EQ(c.e, 0);
+    EXPECT_GT(c.n, 0);
+}
+
+TEST(Classify, ProfileUpgradesOnlyAboveThreshold)
+{
+    ir::Module mod; // minimal module with two ld_n loads
+    auto fn = std::make_unique<ir::Function>("f");
+    ir::BasicBlock *bb = fn->newBlock();
+    for (int i = 0; i < 2; ++i) {
+        ir::IrInst ld;
+        ld.op = ir::IrOpcode::Load;
+        ld.dest = fn->newVReg();
+        int base = fn->newVReg();
+        ld.a = ir::Operand::makeReg(base);
+        ld.b = ir::Operand::makeImm(0);
+        ld.spec = LoadSpec::Normal;
+        ld.loadId = i + 1;
+        bb->insts.push_back(ld);
+    }
+    ir::IrInst r;
+    r.op = ir::IrOpcode::Ret;
+    bb->insts.push_back(r);
+    mod.functions.push_back(std::move(fn));
+
+    classify::AddressProfile profile;
+    profile[1] = {100, 90}; // 90% predictable -> upgrade
+    profile[2] = {100, 30}; // 30% -> stays ld_n
+    int upgraded = classify::applyAddressProfile(mod, profile, 0.60);
+    EXPECT_EQ(upgraded, 1);
+    const auto &insts = mod.functions[0]->blocks()[0]->insts;
+    EXPECT_EQ(insts[0].spec, LoadSpec::Predict);
+    EXPECT_EQ(insts[1].spec, LoadSpec::Normal);
+}
+
+TEST(Classify, ProfileNeverDowngradesPredictOrEarly)
+{
+    ir::Module mod;
+    auto fn = std::make_unique<ir::Function>("f");
+    ir::BasicBlock *bb = fn->newBlock();
+    ir::IrInst ld;
+    ld.op = ir::IrOpcode::Load;
+    ld.dest = fn->newVReg();
+    ld.a = ir::Operand::makeReg(fn->newVReg());
+    ld.b = ir::Operand::makeImm(0);
+    ld.spec = LoadSpec::EarlyCalc;
+    ld.loadId = 1;
+    bb->insts.push_back(ld);
+    ir::IrInst r;
+    r.op = ir::IrOpcode::Ret;
+    bb->insts.push_back(r);
+    mod.functions.push_back(std::move(fn));
+
+    classify::AddressProfile profile;
+    profile[1] = {100, 0}; // completely unpredictable
+    EXPECT_EQ(classify::applyAddressProfile(mod, profile, 0.60), 0);
+    EXPECT_EQ(mod.functions[0]->blocks()[0]->insts[0].spec,
+              LoadSpec::EarlyCalc);
+}
+
+TEST(Classify, EspressoStoryEndToEnd)
+{
+    // A strided loop whose base pointer is reloaded every iteration
+    // (store in loop prevents hoisting): classified ld_n, but the
+    // profile shows the dereferences are strided, so they upgrade to
+    // ld_p (the paper's espresso case, Section 5.3).
+    auto prog = compileQuiet(R"(
+        int *buf;
+        int main() {
+            buf = (int*)alloc(1024);
+            int total = 0;
+            for (int r = 0; r < 20; r++) {
+                for (int i = 0; i < 256; i++) {
+                    buf[i] = buf[i] + i;
+                    total += buf[i];
+                }
+            }
+            print(total);
+            return 0;
+        }
+    )");
+    SpecCount before = machineSpecs(prog);
+    EXPECT_GT(before.n, 0) << "expected conservative ld_n loads";
+
+    auto profile = sim::runProfile(prog);
+    int upgraded = classify::applyAddressProfile(
+        *prog.module, profile.profile, 0.60);
+    EXPECT_GT(upgraded, 0) << "profiling found no upgradable loads";
+    prog.regenerate();
+    SpecCount after = machineSpecs(prog);
+    EXPECT_LT(after.n, before.n);
+    EXPECT_GT(after.p, before.p);
+}
+
+TEST(Classify, DisabledClassifierLeavesLoadsNormal)
+{
+    setQuiet(true);
+    sim::CompileOptions options;
+    options.runClassifier = false;
+    auto prog = sim::compile(R"(
+        int arr[32];
+        int main() {
+            int t = 0;
+            for (int i = 0; i < 32; i++) t += arr[i];
+            print(t);
+            return 0;
+        }
+    )",
+                             options);
+    SpecCount c = machineSpecs(prog);
+    EXPECT_EQ(c.p + c.e, 0);
+}

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Code-generation tests: register allocation under pressure
+ * (spilling), the calling convention, frame handling, branch layout,
+ * and a randomized differential fuzz test that compares compiled
+ * programs against a reference evaluator with 32-bit C semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "isa/registers.hh"
+#include "sim/simulator.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+
+using namespace elag;
+
+namespace {
+
+int32_t
+runOne(const std::string &src,
+       const sim::CompileOptions &options = {})
+{
+    setQuiet(true);
+    auto prog = sim::compile(src, options);
+    sim::Emulator emu(prog.code.program);
+    auto result = emu.run(100'000'000);
+    EXPECT_TRUE(result.halted);
+    return result.output.empty() ? result.exitValue
+                                 : result.output.front();
+}
+
+} // namespace
+
+TEST(Codegen, HighRegisterPressureSpills)
+{
+    // 70 live values exceed the 50-ish allocatable registers and
+    // force spilling; the result must still be exact.
+    std::string src = "int main() {\n";
+    int64_t expected = 0;
+    for (int i = 0; i < 70; ++i) {
+        src += "    int v" + std::to_string(i) + " = " +
+               std::to_string(i * 3 + 1) + ";\n";
+        expected += i * 3 + 1;
+    }
+    src += "    int total = 0;\n";
+    // Keep all values live until here by summing at the end.
+    for (int i = 0; i < 70; ++i)
+        src += "    total += v" + std::to_string(i) + ";\n";
+    src += "    print(total);\n    return 0;\n}\n";
+    EXPECT_EQ(runOne(src), expected);
+}
+
+TEST(Codegen, ValuesLiveAcrossCallsSurvive)
+{
+    EXPECT_EQ(runOne(R"(
+        int id(int x) { return x; }
+        int main() {
+            int a = 5;
+            int b = 7;
+            int c = id(100);
+            print(a + b + c);
+            return 0;
+        }
+    )",
+                     [] {
+                         sim::CompileOptions o;
+                         o.opt = opt::OptConfig::noneEnabled();
+                         return o;
+                     }()),
+              112);
+}
+
+TEST(Codegen, EightArgumentsPassCorrectly)
+{
+    EXPECT_EQ(runOne(R"(
+        int sum8(int a, int b, int c, int d,
+                 int e, int f, int g, int h) {
+            return a + 2*b + 3*c + 4*d + 5*e + 6*f + 7*g + 8*h;
+        }
+        int main() {
+            print(sum8(1, 2, 3, 4, 5, 6, 7, 8));
+            return 0;
+        }
+    )"),
+              1 + 4 + 9 + 16 + 25 + 36 + 49 + 64);
+}
+
+TEST(Codegen, DeepRecursionUsesStackFrames)
+{
+    EXPECT_EQ(runOne(R"(
+        int depth(int n) {
+            int local = n * 2;
+            if (n == 0) return 0;
+            return local + depth(n - 1);
+        }
+        int main() {
+            print(depth(200));
+            return 0;
+        }
+    )"),
+              2 * 200 * 201 / 2);
+}
+
+TEST(Codegen, LocalArraysOnStackAreIndependentPerFrame)
+{
+    EXPECT_EQ(runOne(R"(
+        int f(int n) {
+            int buf[4];
+            for (int i = 0; i < 4; i++)
+                buf[i] = n * 10 + i;
+            if (n > 0) {
+                int sub = f(n - 1);
+                return buf[n & 3] + sub;
+            }
+            return buf[0];
+        }
+        int main() {
+            print(f(3));
+            return 0;
+        }
+    )"),
+              33 + 22 + 11 + 0);
+}
+
+TEST(Codegen, LoadSpecSurvivesToMachineCode)
+{
+    setQuiet(true);
+    auto prog = sim::compile(R"(
+        int arr[128];
+        int main() {
+            int t = 0;
+            for (int i = 0; i < 128; i++)
+                t += arr[i];
+            print(t);
+            return 0;
+        }
+    )");
+    bool saw_ldp = false;
+    for (const auto &inst : prog.code.program.code)
+        saw_ldp |= inst.isLoad() && inst.spec == isa::LoadSpec::Predict;
+    EXPECT_TRUE(saw_ldp);
+    // Every ld_p machine load maps back to an IR load id.
+    for (const auto &kv : prog.code.loadIdOf)
+        EXPECT_GT(kv.second, 0);
+}
+
+TEST(Codegen, SpillReloadsAreNormalLoads)
+{
+    // Compiler-inserted spill reloads must be ld_n so they never
+    // pollute the prediction table or R_addr.
+    setQuiet(true);
+    std::string src = "int main() {\n";
+    for (int i = 0; i < 80; ++i)
+        src += "    int v" + std::to_string(i) + " = " +
+               std::to_string(i) + ";\n";
+    src += "    int t = 0;\n";
+    for (int i = 0; i < 80; ++i)
+        src += "    t += v" + std::to_string(i) + ";\n";
+    src += "    print(t);\n    return 0;\n}\n";
+    auto prog = sim::compile(src);
+    for (const auto &inst : prog.code.program.code) {
+        if (inst.isLoad() && inst.rs1 == isa::reg::Sp) {
+            EXPECT_EQ(inst.spec, isa::LoadSpec::Normal);
+        }
+    }
+}
+
+TEST(Codegen, GeneratedProgramsAlwaysVerify)
+{
+    setQuiet(true);
+    for (const char *src : {
+             "int main() { return 0; }",
+             "int main() { int a = 1; while (a < 100) a *= 2; "
+             "return a; }",
+             "int f(int n) { return n < 2 ? n : f(n-1) + f(n-2); } "
+             "int main() { return f(12); }",
+         }) {
+        auto prog = sim::compile(src);
+        EXPECT_NO_THROW(prog.code.program.verify());
+    }
+}
+
+// ---------------------------------------------------------------
+// Differential fuzzing: random expression programs versus a
+// reference evaluator with int32 wrap semantics.
+// ---------------------------------------------------------------
+
+namespace {
+
+struct ExprGen
+{
+    Pcg32 rng;
+    std::vector<int32_t> varValues;
+
+    explicit ExprGen(uint64_t seed) : rng(seed)
+    {
+        for (int i = 0; i < 6; ++i)
+            varValues.push_back(rng.nextRange(-1000, 1000));
+    }
+
+    /** Generate an expression string and its reference value. */
+    std::pair<std::string, int32_t>
+    gen(int depth)
+    {
+        if (depth == 0 || rng.nextBool(0.3)) {
+            if (rng.nextBool(0.5)) {
+                int v = static_cast<int>(
+                    rng.nextBounded(
+                        static_cast<uint32_t>(varValues.size())));
+                return {"v" + std::to_string(v), varValues[v]};
+            }
+            int32_t lit = rng.nextRange(-100, 100);
+            if (lit < 0)
+                return {"(" + std::to_string(lit) + ")", lit};
+            return {std::to_string(lit), lit};
+        }
+        auto [ls, lv] = gen(depth - 1);
+        auto [rs, rv] = gen(depth - 1);
+        uint32_t ul = static_cast<uint32_t>(lv);
+        uint32_t ur = static_cast<uint32_t>(rv);
+        switch (rng.nextBounded(8)) {
+          case 0:
+            return {"(" + ls + " + " + rs + ")",
+                    static_cast<int32_t>(ul + ur)};
+          case 1:
+            return {"(" + ls + " - " + rs + ")",
+                    static_cast<int32_t>(ul - ur)};
+          case 2:
+            return {"(" + ls + " * " + rs + ")",
+                    static_cast<int32_t>(ul * ur)};
+          case 3:
+            return {"(" + ls + " & " + rs + ")", lv & rv};
+          case 4:
+            return {"(" + ls + " | " + rs + ")", lv | rv};
+          case 5:
+            return {"(" + ls + " ^ " + rs + ")", lv ^ rv};
+          case 6:
+            return {"((" + ls + ") << (" + rs + " & 7))",
+                    static_cast<int32_t>(ul << (ur & 7))};
+          default:
+            return {"(" + ls + " < " + rs + ")", lv < rv ? 1 : 0};
+        }
+    }
+};
+
+} // namespace
+
+TEST(CodegenFuzz, RandomExpressionsMatchReference)
+{
+    setQuiet(true);
+    for (uint64_t seed = 1; seed <= 60; ++seed) {
+        ExprGen gen(seed);
+        std::string src = "int main() {\n";
+        for (size_t i = 0; i < gen.varValues.size(); ++i) {
+            src += "    int v" + std::to_string(i) + " = " +
+                   std::to_string(gen.varValues[i]) + ";\n";
+        }
+        auto [expr, expected] = gen.gen(4);
+        src += "    print(" + expr + ");\n    return 0;\n}\n";
+
+        SCOPED_TRACE("seed " + std::to_string(seed) + ": " + expr);
+        // Both with and without the optimizer.
+        EXPECT_EQ(runOne(src), expected);
+        sim::CompileOptions no_opt;
+        no_opt.opt = opt::OptConfig::noneEnabled();
+        EXPECT_EQ(runOne(src, no_opt), expected);
+    }
+}
+
+TEST(CodegenFuzz, RandomLoopAccumulationsMatchReference)
+{
+    setQuiet(true);
+    for (uint64_t seed = 100; seed < 120; ++seed) {
+        Pcg32 rng(seed);
+        int n = 1 + static_cast<int>(rng.nextBounded(40));
+        int step = 1 + static_cast<int>(rng.nextBounded(5));
+        int scale = rng.nextRange(-6, 6);
+        int64_t expected = 0;
+        for (int i = 0; i < n; i += step)
+            expected = static_cast<int32_t>(
+                expected + static_cast<int32_t>(i * scale + (i & 3)));
+
+        std::string src = "int main() {\n    int total = 0;\n";
+        src += "    for (int i = 0; i < " + std::to_string(n) +
+               "; i += " + std::to_string(step) + ")\n";
+        src += "        total += i * (" + std::to_string(scale) +
+               ") + (i & 3);\n";
+        src += "    print(total);\n    return 0;\n}\n";
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        EXPECT_EQ(runOne(src), static_cast<int32_t>(expected));
+    }
+}

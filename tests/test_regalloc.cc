@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Register-allocator unit tests: coloring, call-crossing constraints
+ * (callee-saved classes), spilling under pressure, and the
+ * disjointness invariants of the produced Allocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codegen/regalloc.hh"
+#include "ir/ir.hh"
+#include "isa/registers.hh"
+
+using namespace elag;
+using namespace elag::codegen;
+using namespace elag::ir;
+
+namespace {
+
+IrInst
+movImm(int dest, int64_t v)
+{
+    IrInst i;
+    i.op = IrOpcode::Mov;
+    i.dest = dest;
+    i.a = Operand::makeImm(v);
+    return i;
+}
+
+IrInst
+addRegs(int dest, int a, int b)
+{
+    IrInst i;
+    i.op = IrOpcode::Add;
+    i.dest = dest;
+    i.a = Operand::makeReg(a);
+    i.b = Operand::makeReg(b);
+    return i;
+}
+
+IrInst
+callVoid(const std::string &name)
+{
+    IrInst i;
+    i.op = IrOpcode::Call;
+    i.callee = name;
+    return i;
+}
+
+IrInst
+retReg(int r)
+{
+    IrInst i;
+    i.op = IrOpcode::Ret;
+    i.a = Operand::makeReg(r);
+    return i;
+}
+
+} // namespace
+
+TEST(RegAlloc, DisjointShortLivedValuesShareRegisters)
+{
+    Function fn("f");
+    BasicBlock *bb = fn.newBlock();
+    // 100 values, each dead immediately: 2 registers suffice.
+    int last = 0;
+    for (int i = 0; i < 100; ++i) {
+        int v = fn.newVReg();
+        bb->insts.push_back(movImm(v, i));
+        int w = fn.newVReg();
+        bb->insts.push_back(addRegs(w, v, v));
+        last = w;
+    }
+    bb->insts.push_back(retReg(last));
+    fn.recomputeCfg();
+    auto alloc = allocateRegisters(fn, fn.rpo());
+    EXPECT_EQ(alloc.numSpillSlots, 0);
+    // All assigned registers come from the allocatable range.
+    for (const auto &kv : alloc.assignment) {
+        EXPECT_GE(kv.second, AllocCallerFirst);
+        EXPECT_LE(kv.second, isa::reg::CalleeSavedLast);
+    }
+}
+
+TEST(RegAlloc, SimultaneouslyLiveValuesGetDistinctRegisters)
+{
+    Function fn("f");
+    BasicBlock *bb = fn.newBlock();
+    std::vector<int> vregs;
+    for (int i = 0; i < 20; ++i) {
+        int v = fn.newVReg();
+        vregs.push_back(v);
+        bb->insts.push_back(movImm(v, i));
+    }
+    // All used together at the end: all 20 live simultaneously.
+    int acc = vregs[0];
+    for (int i = 1; i < 20; ++i) {
+        int next = fn.newVReg();
+        bb->insts.push_back(addRegs(next, acc, vregs[i]));
+        acc = next;
+    }
+    bb->insts.push_back(retReg(acc));
+    fn.recomputeCfg();
+    auto alloc = allocateRegisters(fn, fn.rpo());
+
+    std::set<int> used;
+    for (int v : vregs) {
+        int phys = alloc.regFor(v);
+        ASSERT_GE(phys, 0) << "v" << v << " spilled unexpectedly";
+        EXPECT_TRUE(used.insert(phys).second)
+            << "register reused for overlapping values";
+    }
+}
+
+TEST(RegAlloc, CallCrossingValuesUseCalleeSaved)
+{
+    Function fn("f");
+    BasicBlock *bb = fn.newBlock();
+    int v = fn.newVReg();
+    bb->insts.push_back(movImm(v, 7));
+    bb->insts.push_back(callVoid("g"));
+    bb->insts.push_back(retReg(v)); // live across the call
+    fn.recomputeCfg();
+    auto alloc = allocateRegisters(fn, fn.rpo());
+    int phys = alloc.regFor(v);
+    ASSERT_GE(phys, 0);
+    EXPECT_GE(phys, isa::reg::CalleeSavedFirst);
+    EXPECT_TRUE(alloc.usedCalleeSaved.count(phys));
+}
+
+TEST(RegAlloc, ValueNotCrossingCallMayUseCallerSaved)
+{
+    Function fn("f");
+    BasicBlock *bb = fn.newBlock();
+    int v = fn.newVReg();
+    bb->insts.push_back(movImm(v, 7));
+    int w = fn.newVReg();
+    bb->insts.push_back(addRegs(w, v, v)); // v dies here
+    bb->insts.push_back(callVoid("g"));
+    IrInst r;
+    r.op = IrOpcode::Ret;
+    bb->insts.push_back(r);
+    fn.recomputeCfg();
+    auto alloc = allocateRegisters(fn, fn.rpo());
+    int phys = alloc.regFor(v);
+    ASSERT_GE(phys, 0);
+    EXPECT_LT(phys, isa::reg::CalleeSavedFirst);
+}
+
+TEST(RegAlloc, ExtremePressureSpills)
+{
+    Function fn("f");
+    BasicBlock *bb = fn.newBlock();
+    std::vector<int> vregs;
+    // More simultaneously live values than physical registers.
+    for (int i = 0; i < 80; ++i) {
+        int v = fn.newVReg();
+        vregs.push_back(v);
+        bb->insts.push_back(movImm(v, i));
+    }
+    int acc = vregs[0];
+    for (int i = 1; i < 80; ++i) {
+        int next = fn.newVReg();
+        bb->insts.push_back(addRegs(next, acc, vregs[i]));
+        acc = next;
+    }
+    bb->insts.push_back(retReg(acc));
+    fn.recomputeCfg();
+    auto alloc = allocateRegisters(fn, fn.rpo());
+    EXPECT_GT(alloc.numSpillSlots, 0);
+
+    // Invariant: no vreg is both colored and spilled; slots unique.
+    std::set<int> slots;
+    for (const auto &kv : alloc.spillSlots) {
+        EXPECT_EQ(alloc.regFor(kv.first), -1);
+        EXPECT_TRUE(slots.insert(kv.second).second);
+        EXPECT_LT(kv.second, alloc.numSpillSlots);
+    }
+}
+
+TEST(RegAlloc, ParametersReceiveHomes)
+{
+    Function fn("f");
+    BasicBlock *bb = fn.newBlock();
+    int p0 = fn.newVReg();
+    int p1 = fn.newVReg();
+    fn.params = {p0, p1};
+    int s = fn.newVReg();
+    bb->insts.push_back(addRegs(s, p0, p1));
+    bb->insts.push_back(retReg(s));
+    fn.recomputeCfg();
+    auto alloc = allocateRegisters(fn, fn.rpo());
+    EXPECT_TRUE(alloc.regFor(p0) >= 0 || alloc.isSpilled(p0));
+    EXPECT_TRUE(alloc.regFor(p1) >= 0 || alloc.isSpilled(p1));
+}
+
+TEST(RegAlloc, LoopCarriedValueSpansTheLoop)
+{
+    // A value defined before a loop and used after it must not share
+    // a register with values defined inside the loop.
+    Function fn("f");
+    BasicBlock *entry = fn.newBlock();
+    BasicBlock *header = fn.newBlock();
+    BasicBlock *body = fn.newBlock();
+    BasicBlock *exit = fn.newBlock();
+
+    int outer = fn.newVReg();
+    int iv = fn.newVReg();
+    entry->insts.push_back(movImm(outer, 42));
+    entry->insts.push_back(movImm(iv, 0));
+    IrInst j;
+    j.op = IrOpcode::Jump;
+    j.taken = header;
+    entry->insts.push_back(j);
+
+    IrInst br;
+    br.op = IrOpcode::Br;
+    br.cond = CondCode::Lt;
+    br.a = Operand::makeReg(iv);
+    br.b = Operand::makeImm(10);
+    br.taken = body;
+    br.notTaken = exit;
+    header->insts.push_back(br);
+
+    int tmp = fn.newVReg();
+    body->insts.push_back(movImm(tmp, 5));
+    IrInst inc;
+    inc.op = IrOpcode::Add;
+    inc.dest = iv;
+    inc.a = Operand::makeReg(iv);
+    inc.b = Operand::makeReg(tmp);
+    body->insts.push_back(inc);
+    IrInst j2;
+    j2.op = IrOpcode::Jump;
+    j2.taken = header;
+    body->insts.push_back(j2);
+
+    exit->insts.push_back(retReg(outer));
+    fn.recomputeCfg();
+
+    auto alloc = allocateRegisters(fn, fn.rpo());
+    int r_outer = alloc.regFor(outer);
+    int r_tmp = alloc.regFor(tmp);
+    ASSERT_GE(r_outer, 0);
+    ASSERT_GE(r_tmp, 0);
+    EXPECT_NE(r_outer, r_tmp);
+    EXPECT_NE(r_outer, alloc.regFor(iv));
+}

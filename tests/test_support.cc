@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the support library: logging, RNG, stats, strings,
+ * and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+#include "support/stats.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+using namespace elag;
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("boom %d", 42), PanicError);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user error %s", "x"), FatalError);
+}
+
+TEST(Logging, MessagesAreFormatted)
+{
+    try {
+        fatal("value=%d name=%s", 7, "seven");
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "fatal: value=7 name=seven");
+    }
+}
+
+TEST(Logging, AssertMacroThrowsOnFailure)
+{
+    EXPECT_THROW([] { elag_assert(1 == 2); }(), PanicError);
+    EXPECT_NO_THROW([] { elag_assert(2 == 2); }());
+}
+
+TEST(Random, Deterministic)
+{
+    Pcg32 a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Pcg32 a(1), b(2);
+    int differ = 0;
+    for (int i = 0; i < 32; ++i)
+        differ += a.next() != b.next();
+    EXPECT_GT(differ, 16);
+}
+
+TEST(Random, BoundedStaysInBounds)
+{
+    Pcg32 rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        uint32_t v = rng.nextBounded(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Random, RangeIsInclusive)
+{
+    Pcg32 rng(9);
+    std::set<int32_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        int32_t v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit
+}
+
+TEST(Random, DoubleInUnitInterval)
+{
+    Pcg32 rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, HistogramBucketsAndOverflow)
+{
+    Histogram h(4, 10); // buckets [0,10) [10,20) [20,30) [30,40)
+    h.sample(5);
+    h.sample(10);
+    h.sample(39);
+    h.sample(40); // overflow
+    h.sample(1000); // overflow
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_DOUBLE_EQ(h.mean(), (5 + 10 + 39 + 40 + 1000) / 5.0);
+}
+
+TEST(Stats, StatGroupRatio)
+{
+    StatGroup g;
+    g.counter("hits") += 3;
+    g.counter("total") += 4;
+    EXPECT_DOUBLE_EQ(g.ratio("hits", "total"), 0.75);
+    EXPECT_DOUBLE_EQ(g.ratio("hits", "missing"), 0.0);
+    EXPECT_EQ(g.value("missing"), 0u);
+}
+
+TEST(Stats, StatGroupDumpSorted)
+{
+    StatGroup g;
+    g.counter("b") += 2;
+    g.counter("a") += 1;
+    auto dump = g.dump();
+    ASSERT_EQ(dump.size(), 2u);
+    EXPECT_EQ(dump[0].first, "a");
+    EXPECT_EQ(dump[1].first, "b");
+}
+
+TEST(Strings, SplitKeepsEmptyFields)
+{
+    auto parts = splitString("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, TrimBothEnds)
+{
+    EXPECT_EQ(trimString("  x y \t\n"), "x y");
+    EXPECT_EQ(trimString(""), "");
+    EXPECT_EQ(trimString("   "), "");
+}
+
+TEST(Strings, JoinRoundTripsSplit)
+{
+    std::vector<std::string> parts{"a", "b", "c"};
+    EXPECT_EQ(joinStrings(parts, "-"), "a-b-c");
+    EXPECT_EQ(splitString("a-b-c", '-'), parts);
+}
+
+TEST(Strings, Padding)
+{
+    EXPECT_EQ(padLeft("x", 3), "  x");
+    EXPECT_EQ(padRight("x", 3), "x  ");
+    EXPECT_EQ(padLeft("long", 2), "long");
+}
+
+TEST(Strings, PrefixSuffix)
+{
+    EXPECT_TRUE(startsWith("ld_p", "ld"));
+    EXPECT_FALSE(startsWith("ld", "ld_p"));
+    EXPECT_TRUE(endsWith("bench_fig5a", "5a"));
+}
+
+TEST(Strings, FormatPercent)
+{
+    EXPECT_EQ(formatPercent(0.9301), "93.01");
+    EXPECT_EQ(formatDouble(1.375, 2), "1.38");
+    EXPECT_EQ(formatDouble(2.0, 3), "2.000");
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable t;
+    t.setHeader({"name", "v"});
+    t.addRow({"a", "1"});
+    t.addRow({"bbbb", "22"});
+    std::string out = t.render();
+    // Header, separator, and both rows are present.
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("bbbb"), std::string::npos);
+    // All lines have equal width columns (right-aligned second col).
+    EXPECT_NE(out.find(" 1"), std::string::npos);
+}
+
+TEST(Table, HandlesRaggedRows)
+{
+    TextTable t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"x"});
+    EXPECT_NO_THROW(t.render());
+}

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * elagc — command-line driver for the elag toolchain.
+ *
+ * Compile a mini-C source file, optionally disassemble it, run it
+ * functionally, profile it, or time it on a configurable machine.
+ *
+ *   elagc prog.c                      compile + run, print output
+ *   elagc --disasm prog.c             dump classified assembly
+ *   elagc --stats prog.c              timing stats on the proposed machine
+ *   elagc --machine=baseline prog.c   pick the machine model
+ *   elagc --profile prog.c            address-profile report per load
+ *   elagc --no-opt prog.c             disable the optimizer
+ *   elagc --no-classify prog.c        leave every load ld_n
+ *   elagc --table=N --regs=N          hardware sizing
+ *   elagc --selection=compiler|ev|all-predict|all-early
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "isa/disasm.hh"
+#include "sim/simulator.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+using namespace elag;
+
+namespace {
+
+struct Options
+{
+    std::string file;
+    bool disasm = false;
+    bool stats = false;
+    bool profile = false;
+    bool noOpt = false;
+    bool noClassify = false;
+    std::string machine = "proposed";
+    std::string selection;
+    uint32_t table = 0;
+    uint32_t regs = 0;
+    uint64_t maxInst = 500'000'000;
+};
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: elagc [--disasm] [--stats] [--profile]\n"
+                 "             [--no-opt] [--no-classify]\n"
+                 "             [--machine=baseline|proposed]\n"
+                 "             [--selection=compiler|ev|all-predict|"
+                 "all-early]\n"
+                 "             [--table=N] [--regs=N] [--max-inst=N]"
+                 " file.c\n");
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opts)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *prefix) {
+            return arg.substr(std::strlen(prefix));
+        };
+        if (arg == "--disasm") {
+            opts.disasm = true;
+        } else if (arg == "--stats") {
+            opts.stats = true;
+        } else if (arg == "--profile") {
+            opts.profile = true;
+        } else if (arg == "--no-opt") {
+            opts.noOpt = true;
+        } else if (arg == "--no-classify") {
+            opts.noClassify = true;
+        } else if (startsWith(arg, "--machine=")) {
+            opts.machine = value("--machine=");
+        } else if (startsWith(arg, "--selection=")) {
+            opts.selection = value("--selection=");
+        } else if (startsWith(arg, "--table=")) {
+            opts.table = static_cast<uint32_t>(
+                std::stoul(value("--table=")));
+        } else if (startsWith(arg, "--regs=")) {
+            opts.regs = static_cast<uint32_t>(
+                std::stoul(value("--regs=")));
+        } else if (startsWith(arg, "--max-inst=")) {
+            opts.maxInst = std::stoull(value("--max-inst="));
+        } else if (!startsWith(arg, "--")) {
+            opts.file = arg;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return false;
+        }
+    }
+    return !opts.file.empty();
+}
+
+pipeline::MachineConfig
+machineFor(const Options &opts)
+{
+    pipeline::MachineConfig cfg =
+        opts.machine == "baseline"
+            ? pipeline::MachineConfig::baseline()
+            : pipeline::MachineConfig::proposed();
+    if (opts.table) {
+        cfg.addressTableEnabled = true;
+        cfg.addressTableEntries = opts.table;
+    }
+    if (opts.regs) {
+        cfg.earlyCalcEnabled = true;
+        cfg.registerCacheSize = opts.regs;
+    }
+    if (opts.selection == "compiler")
+        cfg.selection = pipeline::SelectionPolicy::CompilerSpec;
+    else if (opts.selection == "ev")
+        cfg.selection = pipeline::SelectionPolicy::EvSelect;
+    else if (opts.selection == "all-predict")
+        cfg.selection = pipeline::SelectionPolicy::AllPredict;
+    else if (opts.selection == "all-early")
+        cfg.selection = pipeline::SelectionPolicy::AllEarlyCalc;
+    else if (!opts.selection.empty())
+        fatal("unknown selection policy '%s'", opts.selection.c_str());
+    return cfg;
+}
+
+void
+printSpecCounters(const char *label, const pipeline::SpecCounters &c)
+{
+    std::printf("  %-10s executed %-10llu speculated %-10llu "
+                "forwarded %llu\n",
+                label, static_cast<unsigned long long>(c.executed),
+                static_cast<unsigned long long>(c.speculated),
+                static_cast<unsigned long long>(c.forwarded));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseArgs(argc, argv, opts)) {
+        usage();
+        return 2;
+    }
+
+    std::ifstream in(opts.file);
+    if (!in) {
+        std::fprintf(stderr, "elagc: cannot open '%s'\n",
+                     opts.file.c_str());
+        return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    try {
+        sim::CompileOptions copts;
+        if (opts.noOpt)
+            copts.opt = opt::OptConfig::noneEnabled();
+        copts.runClassifier = !opts.noClassify;
+
+        sim::CompiledProgram prog = sim::compile(buffer.str(), copts);
+        std::printf("compiled: %zu instructions, %d static loads "
+                    "(ld_n %d, ld_p %d, ld_e %d)\n",
+                    prog.code.program.code.size(),
+                    prog.classStats.total(),
+                    prog.classStats.numNormal,
+                    prog.classStats.numPredict,
+                    prog.classStats.numEarlyCalc);
+
+        if (opts.disasm) {
+            std::printf("%s",
+                        isa::disassemble(prog.code.program).c_str());
+            return 0;
+        }
+
+        if (opts.profile) {
+            auto profile = sim::runProfile(prog, opts.maxInst);
+            std::printf("\nper-load address profile "
+                        "(individual operation prediction):\n");
+            std::printf("%8s %12s %12s %8s\n", "load", "executions",
+                        "correct", "rate");
+            for (const auto &kv : profile.profile) {
+                std::printf(
+                    "%8d %12llu %12llu %7.1f%%\n", kv.first,
+                    static_cast<unsigned long long>(
+                        kv.second.executions),
+                    static_cast<unsigned long long>(kv.second.correct),
+                    100.0 * kv.second.rate());
+            }
+            return 0;
+        }
+
+        if (opts.stats) {
+            auto base = sim::runTimed(
+                prog, pipeline::MachineConfig::baseline(),
+                opts.maxInst);
+            auto timed =
+                sim::runTimed(prog, machineFor(opts), opts.maxInst);
+            const auto &p = timed.pipe;
+            std::printf("\ninstructions  %llu\n",
+                        static_cast<unsigned long long>(
+                            p.instructions));
+            std::printf("cycles        %llu (baseline %llu, "
+                        "speedup %.3f)\n",
+                        static_cast<unsigned long long>(p.cycles),
+                        static_cast<unsigned long long>(
+                            base.pipe.cycles),
+                        sim::speedup(base, timed));
+            std::printf("IPC           %.3f\n", p.ipc());
+            std::printf("loads/stores  %llu / %llu\n",
+                        static_cast<unsigned long long>(p.loads),
+                        static_cast<unsigned long long>(p.stores));
+            std::printf("branches      %llu (%llu mispredicted)\n",
+                        static_cast<unsigned long long>(p.branches),
+                        static_cast<unsigned long long>(
+                            p.mispredicts));
+            std::printf("cache misses  I %llu / D %llu, extra "
+                        "speculative accesses %llu\n",
+                        static_cast<unsigned long long>(
+                            p.icacheMisses),
+                        static_cast<unsigned long long>(
+                            p.dcacheMisses),
+                        static_cast<unsigned long long>(
+                            p.extraAccesses));
+            printSpecCounters("normal", p.normal);
+            printSpecCounters("ld_p", p.predict);
+            printSpecCounters("ld_e", p.earlyCalc);
+            return 0;
+        }
+
+        // Default: functional run.
+        sim::Emulator emu(prog.code.program);
+        auto result = emu.run(opts.maxInst);
+        for (int32_t v : result.output)
+            std::printf("%d\n", v);
+        if (!result.halted) {
+            std::fprintf(stderr,
+                         "elagc: instruction cap reached\n");
+            return 3;
+        }
+        return result.exitValue;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "elagc: %s\n", e.what());
+        return 1;
+    }
+}
