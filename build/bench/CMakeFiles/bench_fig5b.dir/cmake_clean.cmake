@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b.dir/bench_fig5b.cc.o"
+  "CMakeFiles/bench_fig5b.dir/bench_fig5b.cc.o.d"
+  "bench_fig5b"
+  "bench_fig5b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

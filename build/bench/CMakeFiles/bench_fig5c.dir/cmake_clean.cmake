@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5c.dir/bench_fig5c.cc.o"
+  "CMakeFiles/bench_fig5c.dir/bench_fig5c.cc.o.d"
+  "bench_fig5c"
+  "bench_fig5c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3.cc" "bench/CMakeFiles/bench_table3.dir/bench_table3.cc.o" "gcc" "bench/CMakeFiles/bench_table3.dir/bench_table3.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/elag_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/elag_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/elag_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/elag_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/irgen/CMakeFiles/elag_irgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/elag_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/elag_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/elag_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/elag_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/elag_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/elag_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/elag_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/elag_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/elag_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

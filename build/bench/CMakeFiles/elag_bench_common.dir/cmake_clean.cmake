@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elag_bench_common.dir/common.cc.o"
+  "CMakeFiles/elag_bench_common.dir/common.cc.o.d"
+  "libelag_bench_common.a"
+  "libelag_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elag_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

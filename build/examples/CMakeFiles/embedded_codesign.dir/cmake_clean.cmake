@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_codesign.dir/embedded_codesign.cpp.o"
+  "CMakeFiles/embedded_codesign.dir/embedded_codesign.cpp.o.d"
+  "embedded_codesign"
+  "embedded_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_anatomy.dir/pipeline_anatomy.cpp.o"
+  "CMakeFiles/pipeline_anatomy.dir/pipeline_anatomy.cpp.o.d"
+  "pipeline_anatomy"
+  "pipeline_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointer_chase_vs_stride.dir/pointer_chase_vs_stride.cpp.o"
+  "CMakeFiles/pointer_chase_vs_stride.dir/pointer_chase_vs_stride.cpp.o.d"
+  "pointer_chase_vs_stride"
+  "pointer_chase_vs_stride.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointer_chase_vs_stride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

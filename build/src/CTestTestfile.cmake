@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("isa")
+subdirs("lang")
+subdirs("ir")
+subdirs("irgen")
+subdirs("opt")
+subdirs("classify")
+subdirs("codegen")
+subdirs("mem")
+subdirs("predict")
+subdirs("pipeline")
+subdirs("sim")
+subdirs("workloads")

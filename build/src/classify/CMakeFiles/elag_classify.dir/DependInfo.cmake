@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/classify.cc" "src/classify/CMakeFiles/elag_classify.dir/classify.cc.o" "gcc" "src/classify/CMakeFiles/elag_classify.dir/classify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/elag_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/elag_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/elag_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/elag_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elag_classify.dir/classify.cc.o"
+  "CMakeFiles/elag_classify.dir/classify.cc.o.d"
+  "libelag_classify.a"
+  "libelag_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elag_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

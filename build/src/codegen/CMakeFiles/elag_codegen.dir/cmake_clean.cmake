@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elag_codegen.dir/codegen.cc.o"
+  "CMakeFiles/elag_codegen.dir/codegen.cc.o.d"
+  "CMakeFiles/elag_codegen.dir/regalloc.cc.o"
+  "CMakeFiles/elag_codegen.dir/regalloc.cc.o.d"
+  "libelag_codegen.a"
+  "libelag_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elag_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

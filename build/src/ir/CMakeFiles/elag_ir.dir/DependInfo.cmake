@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/dominators.cc" "src/ir/CMakeFiles/elag_ir.dir/dominators.cc.o" "gcc" "src/ir/CMakeFiles/elag_ir.dir/dominators.cc.o.d"
+  "/root/repo/src/ir/ir.cc" "src/ir/CMakeFiles/elag_ir.dir/ir.cc.o" "gcc" "src/ir/CMakeFiles/elag_ir.dir/ir.cc.o.d"
+  "/root/repo/src/ir/liveness.cc" "src/ir/CMakeFiles/elag_ir.dir/liveness.cc.o" "gcc" "src/ir/CMakeFiles/elag_ir.dir/liveness.cc.o.d"
+  "/root/repo/src/ir/loops.cc" "src/ir/CMakeFiles/elag_ir.dir/loops.cc.o" "gcc" "src/ir/CMakeFiles/elag_ir.dir/loops.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/ir/CMakeFiles/elag_ir.dir/printer.cc.o" "gcc" "src/ir/CMakeFiles/elag_ir.dir/printer.cc.o.d"
+  "/root/repo/src/ir/verify.cc" "src/ir/CMakeFiles/elag_ir.dir/verify.cc.o" "gcc" "src/ir/CMakeFiles/elag_ir.dir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/elag_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/elag_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

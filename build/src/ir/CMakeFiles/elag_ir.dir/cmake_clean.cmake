@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elag_ir.dir/dominators.cc.o"
+  "CMakeFiles/elag_ir.dir/dominators.cc.o.d"
+  "CMakeFiles/elag_ir.dir/ir.cc.o"
+  "CMakeFiles/elag_ir.dir/ir.cc.o.d"
+  "CMakeFiles/elag_ir.dir/liveness.cc.o"
+  "CMakeFiles/elag_ir.dir/liveness.cc.o.d"
+  "CMakeFiles/elag_ir.dir/loops.cc.o"
+  "CMakeFiles/elag_ir.dir/loops.cc.o.d"
+  "CMakeFiles/elag_ir.dir/printer.cc.o"
+  "CMakeFiles/elag_ir.dir/printer.cc.o.d"
+  "CMakeFiles/elag_ir.dir/verify.cc.o"
+  "CMakeFiles/elag_ir.dir/verify.cc.o.d"
+  "libelag_ir.a"
+  "libelag_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elag_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elag_irgen.dir/irgen.cc.o"
+  "CMakeFiles/elag_irgen.dir/irgen.cc.o.d"
+  "libelag_irgen.a"
+  "libelag_irgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elag_irgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elag_isa.dir/disasm.cc.o"
+  "CMakeFiles/elag_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/elag_isa.dir/encoding.cc.o"
+  "CMakeFiles/elag_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/elag_isa.dir/instruction.cc.o"
+  "CMakeFiles/elag_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/elag_isa.dir/program.cc.o"
+  "CMakeFiles/elag_isa.dir/program.cc.o.d"
+  "CMakeFiles/elag_isa.dir/registers.cc.o"
+  "CMakeFiles/elag_isa.dir/registers.cc.o.d"
+  "libelag_isa.a"
+  "libelag_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elag_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

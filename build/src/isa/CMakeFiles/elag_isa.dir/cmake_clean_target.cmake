@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libelag_isa.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elag_lang.dir/ast.cc.o"
+  "CMakeFiles/elag_lang.dir/ast.cc.o.d"
+  "CMakeFiles/elag_lang.dir/lexer.cc.o"
+  "CMakeFiles/elag_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/elag_lang.dir/parser.cc.o"
+  "CMakeFiles/elag_lang.dir/parser.cc.o.d"
+  "CMakeFiles/elag_lang.dir/sema.cc.o"
+  "CMakeFiles/elag_lang.dir/sema.cc.o.d"
+  "CMakeFiles/elag_lang.dir/type.cc.o"
+  "CMakeFiles/elag_lang.dir/type.cc.o.d"
+  "libelag_lang.a"
+  "libelag_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elag_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

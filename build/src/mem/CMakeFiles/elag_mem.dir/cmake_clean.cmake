@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elag_mem.dir/cache.cc.o"
+  "CMakeFiles/elag_mem.dir/cache.cc.o.d"
+  "CMakeFiles/elag_mem.dir/memory.cc.o"
+  "CMakeFiles/elag_mem.dir/memory.cc.o.d"
+  "libelag_mem.a"
+  "libelag_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elag_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/inline.cc" "src/opt/CMakeFiles/elag_opt.dir/inline.cc.o" "gcc" "src/opt/CMakeFiles/elag_opt.dir/inline.cc.o.d"
+  "/root/repo/src/opt/loop_opts.cc" "src/opt/CMakeFiles/elag_opt.dir/loop_opts.cc.o" "gcc" "src/opt/CMakeFiles/elag_opt.dir/loop_opts.cc.o.d"
+  "/root/repo/src/opt/pipeline.cc" "src/opt/CMakeFiles/elag_opt.dir/pipeline.cc.o" "gcc" "src/opt/CMakeFiles/elag_opt.dir/pipeline.cc.o.d"
+  "/root/repo/src/opt/scalar.cc" "src/opt/CMakeFiles/elag_opt.dir/scalar.cc.o" "gcc" "src/opt/CMakeFiles/elag_opt.dir/scalar.cc.o.d"
+  "/root/repo/src/opt/simplify_cfg.cc" "src/opt/CMakeFiles/elag_opt.dir/simplify_cfg.cc.o" "gcc" "src/opt/CMakeFiles/elag_opt.dir/simplify_cfg.cc.o.d"
+  "/root/repo/src/opt/util.cc" "src/opt/CMakeFiles/elag_opt.dir/util.cc.o" "gcc" "src/opt/CMakeFiles/elag_opt.dir/util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/elag_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/elag_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/elag_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elag_opt.dir/inline.cc.o"
+  "CMakeFiles/elag_opt.dir/inline.cc.o.d"
+  "CMakeFiles/elag_opt.dir/loop_opts.cc.o"
+  "CMakeFiles/elag_opt.dir/loop_opts.cc.o.d"
+  "CMakeFiles/elag_opt.dir/pipeline.cc.o"
+  "CMakeFiles/elag_opt.dir/pipeline.cc.o.d"
+  "CMakeFiles/elag_opt.dir/scalar.cc.o"
+  "CMakeFiles/elag_opt.dir/scalar.cc.o.d"
+  "CMakeFiles/elag_opt.dir/simplify_cfg.cc.o"
+  "CMakeFiles/elag_opt.dir/simplify_cfg.cc.o.d"
+  "CMakeFiles/elag_opt.dir/util.cc.o"
+  "CMakeFiles/elag_opt.dir/util.cc.o.d"
+  "libelag_opt.a"
+  "libelag_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elag_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elag_pipeline.dir/pipeline.cc.o"
+  "CMakeFiles/elag_pipeline.dir/pipeline.cc.o.d"
+  "libelag_pipeline.a"
+  "libelag_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elag_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

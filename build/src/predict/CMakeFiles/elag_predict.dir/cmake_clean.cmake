@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elag_predict.dir/address_table.cc.o"
+  "CMakeFiles/elag_predict.dir/address_table.cc.o.d"
+  "CMakeFiles/elag_predict.dir/profiler.cc.o"
+  "CMakeFiles/elag_predict.dir/profiler.cc.o.d"
+  "CMakeFiles/elag_predict.dir/register_cache.cc.o"
+  "CMakeFiles/elag_predict.dir/register_cache.cc.o.d"
+  "libelag_predict.a"
+  "libelag_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elag_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

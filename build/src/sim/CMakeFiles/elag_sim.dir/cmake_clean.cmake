@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elag_sim.dir/emulator.cc.o"
+  "CMakeFiles/elag_sim.dir/emulator.cc.o.d"
+  "CMakeFiles/elag_sim.dir/simulator.cc.o"
+  "CMakeFiles/elag_sim.dir/simulator.cc.o.d"
+  "libelag_sim.a"
+  "libelag_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elag_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elag_support.dir/logging.cc.o"
+  "CMakeFiles/elag_support.dir/logging.cc.o.d"
+  "CMakeFiles/elag_support.dir/random.cc.o"
+  "CMakeFiles/elag_support.dir/random.cc.o.d"
+  "CMakeFiles/elag_support.dir/stats.cc.o"
+  "CMakeFiles/elag_support.dir/stats.cc.o.d"
+  "CMakeFiles/elag_support.dir/strings.cc.o"
+  "CMakeFiles/elag_support.dir/strings.cc.o.d"
+  "CMakeFiles/elag_support.dir/table.cc.o"
+  "CMakeFiles/elag_support.dir/table.cc.o.d"
+  "libelag_support.a"
+  "libelag_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elag_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elag_workloads.dir/media_workloads.cc.o"
+  "CMakeFiles/elag_workloads.dir/media_workloads.cc.o.d"
+  "CMakeFiles/elag_workloads.dir/spec_workloads.cc.o"
+  "CMakeFiles/elag_workloads.dir/spec_workloads.cc.o.d"
+  "CMakeFiles/elag_workloads.dir/workloads.cc.o"
+  "CMakeFiles/elag_workloads.dir/workloads.cc.o.d"
+  "libelag_workloads.a"
+  "libelag_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elag_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

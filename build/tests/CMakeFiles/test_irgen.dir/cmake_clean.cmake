@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_irgen.dir/test_irgen.cc.o"
+  "CMakeFiles/test_irgen.dir/test_irgen.cc.o.d"
+  "test_irgen"
+  "test_irgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_irgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elagc.dir/elagc.cc.o"
+  "CMakeFiles/elagc.dir/elagc.cc.o.d"
+  "elagc"
+  "elagc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elagc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
