@@ -23,16 +23,18 @@ using pipeline::MachineConfig;
 using pipeline::SelectionPolicy;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader("Ablation studies (extensions)",
-                       "DESIGN.md per-experiment index, 'Ablations'");
+    bench::Report report(bench::parseBenchArgs(argc, argv), "ablation",
+                         "Ablation studies (extensions)",
+                         "DESIGN.md per-experiment index, 'Ablations'");
 
     auto suite = bench::prepareSuite(workloads::Suite::SpecInt);
 
     // --- 1. Table-size sweep -------------------------------------
-    std::printf("1) Prediction-table size sweep (table-only machine, "
-                "average speedup)\n\n");
+    if (!report.json())
+        std::printf("1) Prediction-table size sweep (table-only "
+                    "machine, average speedup)\n\n");
     {
         TextTable table;
         table.setHeader({"Entries", "hardware-only", "compiler-directed"});
@@ -51,12 +53,13 @@ main()
                           bench::fmtSpeedup(bench::mean(hw)),
                           bench::fmtSpeedup(bench::mean(cc))});
         }
-        std::printf("%s\n", table.render().c_str());
+        report.section("table_size_sweep", table);
     }
 
     // --- 2. Stride-confidence ablation ---------------------------
-    std::printf("2) Stride-confidence (STC) ablation "
-                "(proposed dual-path machine)\n\n");
+    if (!report.json())
+        std::printf("2) Stride-confidence (STC) ablation "
+                    "(proposed dual-path machine)\n\n");
     {
         TextTable table;
         table.setHeader({"Benchmark", "with STC", "without STC",
@@ -84,15 +87,16 @@ main()
                       bench::fmtSpeedup(bench::mean(with_stc)),
                       bench::fmtSpeedup(bench::mean(without_stc)), "",
                       ""});
-        std::printf("%s\n", table.render().c_str());
-        std::printf("Expectation: disabling confidence wastes cache "
+        report.section("stride_confidence", table);
+        report.note("Expectation: disabling confidence wastes cache "
                     "bandwidth on wrong-address\nspeculation without "
                     "improving coverage much.\n\n");
     }
 
     // --- 3. Cache-port sensitivity --------------------------------
-    std::printf("3) Data-cache / memory-port sensitivity "
-                "(proposed machine, average)\n\n");
+    if (!report.json())
+        std::printf("3) Data-cache / memory-port sensitivity "
+                    "(proposed machine, average)\n\n");
     {
         TextTable table;
         table.setHeader({"Ports", "baseline IPC-avg", "dual-cc speedup",
@@ -118,10 +122,11 @@ main()
                           bench::fmtSpeedup(bench::mean(sp)),
                           std::to_string(denied)});
         }
-        std::printf("%s\n", table.render().c_str());
-        std::printf("Expectation: with one port, speculative accesses "
+        report.section("cache_ports", table);
+        report.note("Expectation: with one port, speculative accesses "
                     "contend with normal\ntraffic (Port_Allocated "
                     "fails more often), shrinking the benefit.\n");
     }
+    report.finish();
     return 0;
 }

@@ -36,9 +36,10 @@ tableOnly(uint32_t entries, bool compiler_directed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Report report(
+        bench::parseBenchArgs(argc, argv), "fig5a",
         "Figure 5a: speedup, table-based address prediction only",
         "Cheng, Connors & Hwu, MICRO-31 1998, Figure 5(a)");
 
@@ -80,13 +81,14 @@ main()
     }
     table.addRow(avg);
 
-    std::printf("%s\n", table.render().c_str());
-    std::printf(
+    report.section("speedups", table);
+    report.note(
         "Paper's qualitative claims: (1) larger tables help both\n"
         "schemes; (2) compiler-directed allocation matches or beats\n"
         "hardware-only at each size because fewer table conflicts are\n"
         "generated; (3) the hardware-only scheme needs a much larger\n"
         "(1024-entry) table to consistently surpass the 256-entry\n"
         "compiler-directed configuration.\n");
+    report.finish();
     return 0;
 }

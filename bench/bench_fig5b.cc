@@ -31,9 +31,10 @@ earlyOnly(uint32_t cached_regs)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Report report(
+        bench::parseBenchArgs(argc, argv), "fig5b",
         "Figure 5b: speedup, early address calculation only",
         "Cheng, Connors & Hwu, MICRO-31 1998, Figure 5(b)");
 
@@ -64,11 +65,12 @@ main()
                   bench::fmtSpeedup(bench::mean(col8)),
                   bench::fmtSpeedup(bench::mean(col16))});
 
-    std::printf("%s\n", table.render().c_str());
-    std::printf(
+    report.section("speedups", table);
+    report.note(
         "Paper's qualitative claims: more cached registers help, but\n"
         "the gain slows from 8 to 16 because address-use hazards (base\n"
         "registers written shortly before the load) bound how often\n"
         "early calculation can forward, regardless of cache size.\n");
+    report.finish();
     return 0;
 }

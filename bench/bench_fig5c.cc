@@ -40,9 +40,10 @@ dualPath(SelectionPolicy selection)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Report report(
+        bench::parseBenchArgs(argc, argv), "fig5c",
         "Figure 5c: dual-path early address generation",
         "Cheng, Connors & Hwu, MICRO-31 1998, Figure 5(c)");
 
@@ -105,12 +106,13 @@ main()
                   bench::fmtSpeedup(bench::mean(c4)),
                   bench::fmtSpeedup(bench::mean(c5))});
 
-    std::printf("%s\n", table.render().c_str());
-    std::printf(
+    report.section("speedups", table);
+    report.note(
         "Paper's qualitative claims: neither single-path scheme wins\n"
         "everywhere; the dual-path scheme beats both; the compiler-\n"
-        "directed dual path (paper: 34%%) beats run-time hardware\n"
-        "selection (paper: 26%%) with far less hardware, and address\n"
-        "profiling adds a few points more (paper: 38%%).\n");
+        "directed dual path (paper: 34%) beats run-time hardware\n"
+        "selection (paper: 26%) with far less hardware, and address\n"
+        "profiling adds a few points more (paper: 38%).\n");
+    report.finish();
     return 0;
 }

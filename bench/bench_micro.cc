@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "mem/cache.hh"
 #include "pipeline/pipeline.hh"
 #include "predict/address_table.hh"
@@ -114,4 +117,25 @@ BENCHMARK(BM_CompilePipeline)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Like BENCHMARK_MAIN(), but accepts the same --json flag as the
+ * table/figure benches by rewriting it to google-benchmark's native
+ * --benchmark_format=json.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args(argv, argv + argc);
+    static char json_fmt[] = "--benchmark_format=json";
+    for (char *&arg : args) {
+        if (std::strcmp(arg, "--json") == 0)
+            arg = json_fmt;
+    }
+    int count = static_cast<int>(args.size());
+    benchmark::Initialize(&count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(count, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

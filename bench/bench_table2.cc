@@ -19,9 +19,10 @@
 using namespace elag;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Report report(
+        bench::parseBenchArgs(argc, argv), "table2",
         "Table 2: load classification and prediction characteristics",
         "Cheng, Connors & Hwu, MICRO-31 1998, Table 2");
 
@@ -87,10 +88,11 @@ main()
          formatDouble(bench::mean(rate_nt), 2),
          formatDouble(bench::mean(rate_pd), 2)});
 
-    std::printf("%s\n", table.render().c_str());
-    std::printf(
+    report.section("classification", table);
+    report.note(
         "Paper's qualitative claim: PD loads predict much better than\n"
-        "NT loads (paper: 93.01%% vs 70.81%% on SPEC; the gap, not the\n"
+        "NT loads (paper: 93.01% vs 70.81% on SPEC; the gap, not the\n"
         "absolute numbers, is the reproduced result).\n");
+    report.finish();
     return 0;
 }

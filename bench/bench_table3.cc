@@ -16,9 +16,10 @@ using pipeline::MachineConfig;
 using pipeline::SelectionPolicy;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Report report(
+        bench::parseBenchArgs(argc, argv), "table3",
         "Table 3: profile-assisted load classification",
         "Cheng, Connors & Hwu, MICRO-31 1998, Table 3");
 
@@ -84,13 +85,14 @@ main()
                   formatDouble(bench::mean(rate_nt), 2),
                   formatDouble(bench::mean(rate_pd), 2), ""});
 
-    std::printf("%s\n", table.render().c_str());
-    std::printf(
+    report.section("profiled", table);
+    report.note(
         "Paper's qualitative claims: profiling raises PD coverage\n"
-        "(paper: static 48.44%%, dynamic 64.95%% PD) and drains the\n"
+        "(paper: static 48.44%, dynamic 64.95% PD) and drains the\n"
         "predictable loads out of the NT class, so the NT prediction\n"
-        "rate drops sharply (paper: 70.81%% -> 29.60%%) while the PD\n"
-        "rate stays high (paper: 92.13%%), and average speedup rises\n"
+        "rate drops sharply (paper: 70.81% -> 29.60%) while the PD\n"
+        "rate stays high (paper: 92.13%), and average speedup rises\n"
         "(paper: 1.34 -> 1.38).\n");
+    report.finish();
     return 0;
 }

@@ -13,9 +13,10 @@
 using namespace elag;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Report report(
+        bench::parseBenchArgs(argc, argv), "table4",
         "Table 4: MediaBench characteristics and speedup",
         "Cheng, Connors & Hwu, MICRO-31 1998, Table 4");
 
@@ -82,12 +83,13 @@ main()
          formatDouble(bench::mean(rate_pd), 2),
          bench::fmtSpeedup(bench::mean(speedups))});
 
-    std::printf("%s\n", table.render().c_str());
-    std::printf(
+    report.section("mediabench", table);
+    report.note(
         "Paper's qualitative claims: embedded media kernels have a\n"
-        "larger dynamic PD fraction than SPEC (paper: 79.31%% vs\n"
-        "58.06%%) because their loads are dominated by strided DSP\n"
+        "larger dynamic PD fraction than SPEC (paper: 79.31% vs\n"
+        "58.06%) because their loads are dominated by strided DSP\n"
         "loops, while the overall speedup is smaller (paper: 1.19)\n"
         "because loads are a smaller share of the instruction mix.\n");
+    report.finish();
     return 0;
 }

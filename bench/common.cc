@@ -1,7 +1,11 @@
 #include "bench/common.hh"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
 
+#include "support/json.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 
@@ -76,6 +80,111 @@ printHeader(const std::string &title, const std::string &paper_ref)
     std::printf("Machine: 6-issue in-order, 64K I/D caches, 12-cycle miss,\n");
     std::printf("         1K-entry BTB (paper Section 5.1)\n");
     std::printf("==============================================================\n\n");
+}
+
+BenchOptions
+parseBenchArgs(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            opts.json = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--json]\n", argv[0]);
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+Report::Report(const BenchOptions &opts, std::string bench,
+               std::string title, std::string paper_ref)
+    : opts(opts), bench(std::move(bench)), title(std::move(title)),
+      paperRef(std::move(paper_ref))
+{
+    if (!this->opts.json)
+        printHeader(this->title, this->paperRef);
+}
+
+void
+Report::section(const std::string &name, const TextTable &table)
+{
+    if (opts.json) {
+        sections.emplace_back(name, table);
+    } else {
+        std::printf("%s\n", table.render().c_str());
+    }
+}
+
+void
+Report::note(const std::string &text)
+{
+    if (opts.json)
+        notes.push_back(text);
+    else
+        std::printf("%s", text.c_str());
+}
+
+namespace {
+
+/** Emit @p cell as a JSON number when it parses fully as one. */
+void
+writeCell(JsonWriter &w, const std::string &cell)
+{
+    if (!cell.empty()) {
+        char *end = nullptr;
+        double value = std::strtod(cell.c_str(), &end);
+        if (end && *end == '\0') {
+            w.value(value);
+            return;
+        }
+    }
+    w.value(cell);
+}
+
+} // anonymous namespace
+
+void
+Report::finish()
+{
+    if (finished)
+        return;
+    finished = true;
+    if (!opts.json)
+        return;
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("bench", bench);
+    w.field("title", title);
+    w.field("paper_ref", paperRef);
+    w.key("sections").beginObject();
+    for (const auto &sec : sections) {
+        const auto &header = sec.second.headerCells();
+        w.key(sec.first).beginArray();
+        for (const auto &row : sec.second.dataRows()) {
+            w.beginObject();
+            for (size_t c = 0; c < row.size(); ++c) {
+                std::string key = c < header.size() && !header[c].empty()
+                                      ? header[c]
+                                      : "col" + std::to_string(c);
+                w.key(key);
+                writeCell(w, row[c]);
+            }
+            w.endObject();
+        }
+        w.endArray();
+    }
+    w.endObject();
+    w.key("notes").beginArray();
+    for (const auto &n : notes)
+        w.value(n);
+    w.endArray();
+    w.endObject();
+
+    std::string doc = w.str();
+    std::fwrite(doc.data(), 1, doc.size(), stdout);
+    std::fputc('\n', stdout);
 }
 
 } // namespace bench

@@ -53,6 +53,60 @@ std::string fmtSpeedup(double value);
 /** Print a header line for a bench binary. */
 void printHeader(const std::string &title, const std::string &paper_ref);
 
+/** Command-line options shared by the table/figure bench binaries. */
+struct BenchOptions
+{
+    bool json = false; ///< emit the report as JSON instead of text
+};
+
+/**
+ * Parse bench argv (--json; anything else errors and exits). Every
+ * table/figure bench accepts the same flags so scripted regeneration
+ * of the paper's results can treat them uniformly.
+ */
+BenchOptions parseBenchArgs(int argc, char **argv);
+
+/**
+ * A bench report: one or more named tables plus free-form notes.
+ *
+ * In text mode, sections print as they are added (header first),
+ * exactly as the binaries always did. In JSON mode nothing prints
+ * until finish(), which emits a single document to stdout:
+ *
+ *     {"bench": ..., "title": ..., "paper_ref": ...,
+ *      "sections": {name: [{col: value, ...}, ...]},
+ *      "notes": [...]}
+ *
+ * Table cells that parse fully as numbers are emitted as JSON
+ * numbers, everything else as strings.
+ */
+class Report
+{
+  public:
+    Report(const BenchOptions &opts, std::string bench,
+           std::string title, std::string paper_ref);
+
+    bool json() const { return opts.json; }
+
+    /** Add a named table (prints immediately in text mode). */
+    void section(const std::string &name, const TextTable &table);
+
+    /** Add a free-form note (printed after its section in text mode). */
+    void note(const std::string &text);
+
+    /** Finish the report (emits the JSON document in JSON mode). */
+    void finish();
+
+  private:
+    BenchOptions opts;
+    std::string bench;
+    std::string title;
+    std::string paperRef;
+    std::vector<std::pair<std::string, TextTable>> sections;
+    std::vector<std::string> notes;
+    bool finished = false;
+};
+
 } // namespace bench
 } // namespace elag
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "isa/disasm.hh"
 #include "support/logging.hh"
 
 namespace elag {
@@ -19,8 +20,27 @@ Pipeline::Pipeline(const MachineConfig &config)
       table(config.addressTableEntries,
             config.tablePredictsWhileLearning),
       regCache(config.registerCacheSize),
-      books(BookRingSize)
+      books(BookRingSize),
+      tcPipeline(trace::channel("pipeline")),
+      tcPredict(trace::channel("predict")),
+      tcRaddr(trace::channel("raddr")),
+      tcCache(trace::channel("cache"))
 {
+}
+
+void
+Pipeline::attach(Observer *observer)
+{
+    if (observer)
+        observers.push_back(observer);
+}
+
+void
+Pipeline::notifyStall(const RetiredInst &ri, StallKind kind,
+                      uint64_t cycles)
+{
+    for (Observer *o : observers)
+        o->onStall(ri, kind, cycles);
 }
 
 Pipeline::CycleUse &
@@ -128,12 +148,103 @@ Pipeline::fetchConstraint(const RetiredInst &ri)
     }
     mem::CacheAccessResult res = icache.access(ri.pc * 4, f);
     if (!res.hit && res.readyCycle > f) {
+        ELAG_TRACE_EVT(tcCache, f, "I$ miss pc=%u fill ready %llu",
+                       ri.pc,
+                       static_cast<unsigned long long>(res.readyCycle));
+        notifyStall(ri, StallKind::IcacheMiss, res.readyCycle - f);
         f = res.readyCycle;
         fetchedThisCycle = 0;
     }
     ++fetchedThisCycle;
     nextFetch = f;
     return f + 3;
+}
+
+LoadPath
+Pipeline::routeLoad(const Instruction &inst, uint64_t id1, int base,
+                    int index) const
+{
+    switch (cfg.selection) {
+      case SelectionPolicy::CompilerSpec:
+        if (inst.spec == isa::LoadSpec::Predict &&
+            cfg.addressTableEnabled) {
+            return LoadPath::Predict;
+        }
+        if (inst.spec == isa::LoadSpec::EarlyCalc &&
+            cfg.earlyCalcEnabled) {
+            return LoadPath::EarlyCalc;
+        }
+        break;
+      case SelectionPolicy::AllPredict:
+        if (cfg.addressTableEnabled)
+            return LoadPath::Predict;
+        break;
+      case SelectionPolicy::AllEarlyCalc:
+        if (cfg.earlyCalcEnabled)
+            return LoadPath::EarlyCalc;
+        break;
+      case SelectionPolicy::EvSelect: {
+        // Eickemeyer-Vassiliadis: loads whose address registers are
+        // interlocked go to the prediction table, others calculate
+        // early.
+        bool interlocked =
+            (base > 0 && intReady[base] > id1) ||
+            (index > 0 && intReady[index] > id1);
+        if (interlocked && cfg.addressTableEnabled)
+            return LoadPath::Predict;
+        if (cfg.earlyCalcEnabled)
+            return LoadPath::EarlyCalc;
+        break;
+      }
+    }
+    return LoadPath::Normal;
+}
+
+SpecCounters &
+Pipeline::countersFor(LoadPath path)
+{
+    switch (path) {
+      case LoadPath::Predict:
+        return stats_.predict;
+      case LoadPath::EarlyCalc:
+        return stats_.earlyCalc;
+      case LoadPath::Normal:
+        break;
+    }
+    return stats_.normal;
+}
+
+void
+Pipeline::bumpOutcome(SpecCounters &ctr, SpecOutcome outcome)
+{
+    switch (outcome) {
+      case SpecOutcome::NotAttempted:
+        break;
+      case SpecOutcome::Forwarded:
+        ++ctr.forwarded;
+        break;
+      case SpecOutcome::NoPrediction:
+        ++ctr.noPrediction;
+        break;
+      case SpecOutcome::NotBound:
+        ++ctr.notBound;
+        break;
+      case SpecOutcome::PortDenied:
+        ++ctr.portDenied;
+        break;
+      case SpecOutcome::RegInterlock:
+        ++ctr.regInterlock;
+        break;
+      case SpecOutcome::MemInterlock:
+        ++ctr.memInterlock;
+        break;
+      case SpecOutcome::WrongAddress:
+        ++ctr.wrongAddress;
+        break;
+      case SpecOutcome::CacheMiss:
+        ++ctr.cacheMiss;
+        break;
+    }
 }
 
 uint64_t
@@ -147,76 +258,47 @@ Pipeline::handleLoad(const RetiredInst &ri, uint64_t e)
     int base = inst.baseReg();
     int index = inst.indexReg();
 
-    // Route the load to a path.
-    enum class Path { Normal, Predict, EarlyCalc };
-    Path path = Path::Normal;
-    switch (cfg.selection) {
-      case SelectionPolicy::CompilerSpec:
-        if (inst.spec == isa::LoadSpec::Predict &&
-            cfg.addressTableEnabled) {
-            path = Path::Predict;
-        } else if (inst.spec == isa::LoadSpec::EarlyCalc &&
-                   cfg.earlyCalcEnabled) {
-            path = Path::EarlyCalc;
-        }
-        break;
-      case SelectionPolicy::AllPredict:
-        if (cfg.addressTableEnabled)
-            path = Path::Predict;
-        break;
-      case SelectionPolicy::AllEarlyCalc:
-        if (cfg.earlyCalcEnabled)
-            path = Path::EarlyCalc;
-        break;
-      case SelectionPolicy::EvSelect: {
-        // Eickemeyer-Vassiliadis: loads whose address registers are
-        // interlocked go to the prediction table, others calculate
-        // early.
-        bool interlocked =
-            (base > 0 && intReady[base] > id1) ||
-            (index > 0 && intReady[index] > id1);
-        if (interlocked && cfg.addressTableEnabled)
-            path = Path::Predict;
-        else if (cfg.earlyCalcEnabled)
-            path = Path::EarlyCalc;
-        break;
-      }
-    }
+    LoadPath path = routeLoad(inst, id1, base, index);
+    SpecCounters &ctr = countersFor(path);
+    ++ctr.executed;
 
-    SpecCounters *ctr = &stats_.normal;
-    if (path == Path::Predict)
-        ctr = &stats_.predict;
-    else if (path == Path::EarlyCalc)
-        ctr = &stats_.earlyCalc;
-    ++ctr->executed;
-
-    bool forwarded = false;
+    // Every executed load gets exactly one verdict; the failure
+    // counters and the observer stream both derive from it, so the
+    // aggregate SpecCounters and per-PC telemetry cannot diverge.
+    SpecOutcome outcome = SpecOutcome::NotAttempted;
     uint64_t ready = 0;
 
-    if (path == Path::Predict) {
+    if (path == LoadPath::Predict) {
         std::optional<uint32_t> predicted = table.probe(ri.pc);
+        ELAG_TRACE_EVT(tcPredict, id2,
+                       "probe pc=%u -> %s (ca=0x%x)", ri.pc,
+                       predicted ? "hit" : "miss", ca);
         if (!predicted) {
-            ++ctr->noPrediction;
+            outcome = SpecOutcome::NoPrediction;
         } else if (use(id2).dcachePorts >= cfg.memPorts) {
-            ++ctr->portDenied;
+            outcome = SpecOutcome::PortDenied;
         } else {
             ++use(id2).dcachePorts;
-            ++ctr->speculated;
+            ++ctr.speculated;
+            for (Observer *o : observers)
+                o->onSpecDispatch(ri, path, *predicted, id2);
             mem::CacheAccessResult acc = dcache.access(*predicted, id2);
+            ELAG_TRACE_EVT(tcCache, id2,
+                           "D$ spec access pc=%u addr=0x%x %s", ri.pc,
+                           *predicted, acc.hit ? "hit" : "miss");
             bool addr_ok = *predicted == ca;
             bool mem_lock = memInterlock(ca, bytes, id2);
-            if (!addr_ok) {
-                ++ctr->wrongAddress;
-            } else if (mem_lock) {
-                ++ctr->memInterlock;
-            } else if (!acc.hit) {
-                ++ctr->cacheMiss;
-            } else {
-                forwarded = true;
-                ++ctr->forwarded;
+            if (!addr_ok)
+                outcome = SpecOutcome::WrongAddress;
+            else if (mem_lock)
+                outcome = SpecOutcome::MemInterlock;
+            else if (!acc.hit)
+                outcome = SpecOutcome::CacheMiss;
+            else {
+                outcome = SpecOutcome::Forwarded;
                 ready = e + 1;
             }
-            if (!forwarded)
+            if (outcome != SpecOutcome::Forwarded)
                 ++stats_.extraAccesses;
         }
         // Train / allocate in MEM, per the allocation policy.
@@ -234,35 +316,45 @@ Pipeline::handleLoad(const RetiredInst &ri, uint64_t e)
           default:
             break;
         }
-        if (update)
+        if (update) {
             table.update(ri.pc, ca);
-    } else if (path == Path::EarlyCalc) {
+            ELAG_TRACE_EVT(tcPredict, e + 1, "train pc=%u ca=0x%x",
+                           ri.pc, ca);
+        }
+    } else if (path == LoadPath::EarlyCalc) {
         bool bound = base > 0 && regCache.isBound(base);
         bool interlock =
             (base > 0 && intReady[base] > id1) ||
             (index > 0 && intReady[index] > id1);
+        ELAG_TRACE_EVT(tcRaddr, id1, "probe pc=%u base=r%d -> %s%s",
+                       ri.pc, base, bound ? "bound" : "not bound",
+                       interlock ? " (interlocked)" : "");
         if (!bound) {
-            ++ctr->notBound;
+            outcome = SpecOutcome::NotBound;
         } else if (use(id1).dcachePorts >= cfg.memPorts) {
-            ++ctr->portDenied;
+            outcome = SpecOutcome::PortDenied;
         } else {
             ++use(id1).dcachePorts;
-            ++ctr->speculated;
+            ++ctr.speculated;
+            for (Observer *o : observers)
+                o->onSpecDispatch(ri, path, ca, id1);
             // With an interlock the speculative address is stale; the
             // access still consumes a port and cache bandwidth. The
             // stale address is approximated by the current one for
             // cache-content purposes.
             mem::CacheAccessResult acc = dcache.access(ca, id1);
+            ELAG_TRACE_EVT(tcCache, id1,
+                           "D$ spec access pc=%u addr=0x%x %s", ri.pc,
+                           ca, acc.hit ? "hit" : "miss");
             bool mem_lock = memInterlock(ca, bytes, id1);
-            if (interlock) {
-                ++ctr->regInterlock;
-            } else if (mem_lock) {
-                ++ctr->memInterlock;
-            } else if (!acc.hit) {
-                ++ctr->cacheMiss;
-            } else {
-                forwarded = true;
-                ++ctr->forwarded;
+            if (interlock)
+                outcome = SpecOutcome::RegInterlock;
+            else if (mem_lock)
+                outcome = SpecOutcome::MemInterlock;
+            else if (!acc.hit)
+                outcome = SpecOutcome::CacheMiss;
+            else {
+                outcome = SpecOutcome::Forwarded;
                 // register+offset: the R_addr full adder finishes in
                 // ID1, so data is back for EXE (latency 0).
                 // register+register needs the second register read,
@@ -273,7 +365,7 @@ Pipeline::handleLoad(const RetiredInst &ri, uint64_t e)
                             ? e
                             : e + 1;
             }
-            if (!forwarded)
+            if (outcome != SpecOutcome::Forwarded)
                 ++stats_.extraAccesses;
         }
         // The ld_e opcode (or the hardware allocation policy) binds
@@ -283,17 +375,36 @@ Pipeline::handleLoad(const RetiredInst &ri, uint64_t e)
                 inst.mode == isa::AddrMode::BaseOffset
                     ? ca - static_cast<uint32_t>(inst.imm)
                     : 0;
-            regCache.bind(base, base_value);
+            regCache.bind(base, base_value, id1);
+            ELAG_TRACE_EVT(tcRaddr, id1, "bind r%d=0x%x pc=%u", base,
+                           base_value, ri.pc);
         }
     }
 
-    if (!forwarded) {
+    bumpOutcome(ctr, outcome);
+    for (Observer *o : observers)
+        o->onVerify(ri, path, outcome, e);
+
+    if (outcome == SpecOutcome::Forwarded) {
+        for (Observer *o : observers)
+            o->onForward(ri, path, static_cast<int>(ready - e), ready);
+    } else {
         // Normal path: EA in EXE, cache in MEM. A speculative miss
         // has already started the fill and the accesses merge.
         ++use(e + 1).dcachePorts;
         mem::CacheAccessResult acc = dcache.access(ca, e + 1);
+        ELAG_TRACE_EVT(tcCache, e + 1, "D$ access pc=%u addr=0x%x %s",
+                       ri.pc, ca, acc.hit ? "hit" : "miss");
+        if (!acc.hit && acc.readyCycle > e + 1)
+            notifyStall(ri, StallKind::DcacheMiss,
+                        acc.readyCycle - (e + 1));
         ready = acc.readyCycle + 1;
     }
+
+    stats_.loadLatency.sample(ready - e);
+    ELAG_TRACE_EVT(tcPipeline, e, "load pc=%u path=%s %s ready=%llu",
+                   ri.pc, name(path), name(outcome),
+                   static_cast<unsigned long long>(ready));
     return ready;
 }
 
@@ -318,6 +429,10 @@ Pipeline::handleBranch(const RetiredInst &ri, uint64_t e)
             }
         } else {
             ++stats_.mispredicts;
+            ELAG_TRACE_EVT(tcPipeline, e, "mispredict pc=%u -> %u",
+                           ri.pc, ri.nextPc);
+            notifyStall(ri, StallKind::BranchMispredict,
+                        e + 1 - cur_fetch);
             nextFetch = e + 1;
             fetchedThisCycle = 0;
         }
@@ -343,6 +458,8 @@ Pipeline::handleBranch(const RetiredInst &ri, uint64_t e)
             nextFetch = cur_fetch + 1;
         } else {
             ++stats_.mispredicts;
+            notifyStall(ri, StallKind::BranchMispredict,
+                        e + 1 - cur_fetch);
             nextFetch = e + 1;
         }
         fetchedThisCycle = 0;
@@ -362,6 +479,7 @@ Pipeline::retire(const RetiredInst &ri)
 
     uint64_t e = fetchConstraint(ri);
     e = std::max(e, nextIssue);
+    uint64_t ready_to_issue = e;
 
     // Integer source dependences.
     int s1, s2;
@@ -386,7 +504,13 @@ Pipeline::retire(const RetiredInst &ri)
         break;
     }
 
+    if (e > ready_to_issue && !observers.empty())
+        notifyStall(ri, StallKind::RegInterlock, e - ready_to_issue);
+
     e = scheduleIssue(e, inst.fuClass());
+
+    ELAG_TRACE_EVT(tcPipeline, e, "retire pc=%u %s", ri.pc,
+                   isa::disassemble(inst).c_str());
 
     uint64_t completion = e + 2; // WB
 
@@ -431,6 +555,8 @@ Pipeline::finish()
         stats_.cycles = lastCompletion;
         stats_.icacheMisses = icache.misses();
         stats_.dcacheMisses = dcache.misses();
+        stats_.strideConfidence = table.confidenceHistogram();
+        stats_.bindLifetime = regCache.lifetimeHistogram();
     }
     return stats_;
 }

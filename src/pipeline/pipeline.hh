@@ -36,9 +36,11 @@
 #include "isa/instruction.hh"
 #include "mem/cache.hh"
 #include "pipeline/config.hh"
+#include "pipeline/observer.hh"
 #include "pipeline/stats.hh"
 #include "predict/address_table.hh"
 #include "predict/register_cache.hh"
+#include "support/trace.hh"
 
 namespace elag {
 namespace pipeline {
@@ -67,6 +69,13 @@ class Pipeline
 
     /** Finalize and return statistics. */
     const PipelineStats &finish();
+
+    /**
+     * Attach an event observer (tracing, telemetry, tooling). Not
+     * owned; must outlive the pipeline. May be called between
+     * retires.
+     */
+    void attach(Observer *observer);
 
     const PipelineStats &stats() const { return stats_; }
     const MachineConfig &config() const { return cfg; }
@@ -110,9 +119,18 @@ class Pipeline
                       uint64_t cycle) const;
     /** Handle fetch timing; returns earliest EXE cycle from fetch. */
     uint64_t fetchConstraint(const RetiredInst &ri);
+    /** Route a load to a path per the selection policy. */
+    LoadPath routeLoad(const isa::Instruction &inst, uint64_t id1,
+                       int base, int index) const;
+    /** The aggregate counter block for @p path. */
+    SpecCounters &countersFor(LoadPath path);
+    /** Book one verdict into @p ctr (failure cause or forward). */
+    static void bumpOutcome(SpecCounters &ctr, SpecOutcome outcome);
     /** Process load speculation; returns dest-ready cycle. */
     uint64_t handleLoad(const RetiredInst &ri, uint64_t e);
     void handleBranch(const RetiredInst &ri, uint64_t e);
+    void notifyStall(const RetiredInst &ri, StallKind kind,
+                     uint64_t cycles);
 
     MachineConfig cfg;
     PipelineStats stats_;
@@ -137,6 +155,15 @@ class Pipeline
     static constexpr size_t BookRingSize = 1024;
     std::vector<BookSlot> books;
     std::deque<InFlightStore> inFlightStores;
+
+    /** Attached event sinks (not owned). */
+    std::vector<Observer *> observers;
+
+    // Trace channels (process-lifetime registry references).
+    trace::Channel &tcPipeline;
+    trace::Channel &tcPredict;
+    trace::Channel &tcRaddr;
+    trace::Channel &tcCache;
 
     uint64_t intReady[isa::NumIntRegs] = {};
     uint64_t fpReady[isa::NumFpRegs] = {};

@@ -1,0 +1,57 @@
+#include "pipeline/stats.hh"
+
+#include "support/json.hh"
+
+namespace elag {
+namespace pipeline {
+
+void
+writeJson(JsonWriter &w, const SpecCounters &c)
+{
+    w.beginObject();
+    w.field("executed", c.executed);
+    w.field("speculated", c.speculated);
+    w.field("forwarded", c.forwarded);
+    w.field("no_prediction", c.noPrediction);
+    w.field("not_bound", c.notBound);
+    w.field("port_denied", c.portDenied);
+    w.field("reg_interlock", c.regInterlock);
+    w.field("mem_interlock", c.memInterlock);
+    w.field("wrong_address", c.wrongAddress);
+    w.field("cache_miss", c.cacheMiss);
+    w.endObject();
+}
+
+void
+writeJson(JsonWriter &w, const PipelineStats &s)
+{
+    w.beginObject();
+    w.field("cycles", s.cycles);
+    w.field("instructions", s.instructions);
+    w.field("ipc", s.ipc());
+    w.field("loads", s.loads);
+    w.field("stores", s.stores);
+    w.field("branches", s.branches);
+    w.field("mispredicts", s.mispredicts);
+    w.field("icache_misses", s.icacheMisses);
+    w.field("dcache_misses", s.dcacheMisses);
+    w.field("extra_accesses", s.extraAccesses);
+    w.key("normal");
+    writeJson(w, s.normal);
+    w.key("predict");
+    writeJson(w, s.predict);
+    w.key("early_calc");
+    writeJson(w, s.earlyCalc);
+    w.key("histograms").beginObject();
+    w.key("load_latency");
+    writeJson(w, s.loadLatency);
+    w.key("stride_confidence");
+    writeJson(w, s.strideConfidence);
+    w.key("bind_lifetime");
+    writeJson(w, s.bindLifetime);
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace pipeline
+} // namespace elag

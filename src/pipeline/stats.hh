@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "support/stats.hh"
+
 namespace elag {
 namespace pipeline {
 
@@ -48,6 +50,19 @@ struct PipelineStats
     SpecCounters predict;
     SpecCounters earlyCalc;
 
+    /** Load-use latency (dest-ready minus EXE cycle) per load. */
+    Histogram loadLatency{16, 1};
+    /**
+     * Address-table confident-streak distribution (copied from
+     * AddressTable::confidenceHistogram at finish()).
+     */
+    Histogram strideConfidence{16, 4};
+    /**
+     * R_addr binding lifetime in cycles (copied from
+     * RegisterCache::lifetimeHistogram at finish()).
+     */
+    Histogram bindLifetime{16, 16};
+
     double
     ipc() const
     {
@@ -56,6 +71,20 @@ struct PipelineStats
                                  static_cast<double>(cycles);
     }
 };
+
+/**
+ * Serialize one specifier-path counter block as a JSON object with
+ * stable snake_case keys (executed, speculated, forwarded, and the
+ * failure causes). JsonWriter is forward-declared by support/stats.
+ */
+void writeJson(JsonWriter &w, const SpecCounters &c);
+
+/**
+ * Serialize a full stats record: scalar counters, the three
+ * SpecCounters blocks (normal / predict / early_calc) and the
+ * histograms, suitable for elagc --json-stats and bench --json.
+ */
+void writeJson(JsonWriter &w, const PipelineStats &s);
 
 } // namespace pipeline
 } // namespace elag

@@ -1,0 +1,57 @@
+#include "pipeline/telemetry.hh"
+
+#include "pipeline/pipeline.hh"
+
+namespace elag {
+namespace pipeline {
+
+SpecOutcome
+LoadRecord::dominantFailure() const
+{
+    SpecOutcome best = SpecOutcome::Forwarded;
+    uint64_t best_count = 0;
+    for (size_t i = 0; i < NumSpecOutcomes; ++i) {
+        SpecOutcome outcome = static_cast<SpecOutcome>(i);
+        if (outcome == SpecOutcome::Forwarded)
+            continue;
+        if (outcomes[i] > best_count) {
+            best_count = outcomes[i];
+            best = outcome;
+        }
+    }
+    return best;
+}
+
+void
+LoadTelemetry::onSpecDispatch(const RetiredInst &ri, LoadPath path,
+                              uint32_t specAddr, uint64_t cycle)
+{
+    (void)specAddr;
+    (void)cycle;
+    LoadRecord &rec = loads_[ri.pc];
+    rec.path = path;
+    ++rec.speculated;
+}
+
+void
+LoadTelemetry::onVerify(const RetiredInst &ri, LoadPath path,
+                        SpecOutcome outcome, uint64_t exeCycle)
+{
+    (void)exeCycle;
+    LoadRecord &rec = loads_[ri.pc];
+    rec.path = path;
+    ++rec.executed;
+    ++rec.outcomes[static_cast<size_t>(outcome)];
+}
+
+uint64_t
+LoadTelemetry::totalExecuted() const
+{
+    uint64_t total = 0;
+    for (const auto &kv : loads_)
+        total += kv.second.executed;
+    return total;
+}
+
+} // namespace pipeline
+} // namespace elag

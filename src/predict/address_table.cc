@@ -45,9 +45,12 @@ AddressTable::update(uint32_t pc, uint32_t ca)
         entry.valid = true;
         entry.tag = tag;
         entry.fsm.allocate(ca);
+        confHist.sample(0);
         return false;
     }
-    return entry.fsm.update(ca);
+    bool correct = entry.fsm.update(ca);
+    confHist.sample(entry.fsm.confidentStreak());
+    return correct;
 }
 
 void
@@ -55,6 +58,7 @@ AddressTable::reset()
 {
     for (auto &entry : table)
         entry = Entry();
+    confHist.reset();
     numProbes = numProbeHits = numReplacements = 0;
 }
 

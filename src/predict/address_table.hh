@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "predict/stride_fsm.hh"
+#include "support/stats.hh"
 
 namespace elag {
 namespace predict {
@@ -59,6 +60,14 @@ class AddressTable
     uint64_t probeHits() const { return numProbeHits; }
     uint64_t replacements() const { return numReplacements; }
 
+    /**
+     * Distribution of the trained entry's confident-prediction
+     * streak, sampled on every update: mass near zero means entries
+     * keep relearning strides, mass to the right means settled
+     * strided loads (the Figure-3 FSM spends its life Functioning).
+     */
+    const Histogram &confidenceHistogram() const { return confHist; }
+
     void reset();
 
   private:
@@ -75,6 +84,7 @@ class AddressTable
     uint32_t entries;
     bool predictWhileLearning;
     std::vector<Entry> table;
+    Histogram confHist{16, 4};
     mutable uint64_t numProbes = 0;
     mutable uint64_t numProbeHits = 0;
     uint64_t numReplacements = 0;

@@ -25,15 +25,19 @@ RegisterCache::lookup(int reg) const
 }
 
 void
-RegisterCache::bind(int reg, uint32_t value)
+RegisterCache::bind(int reg, uint32_t value, uint64_t cycle)
 {
     ++tick;
     ++numBindings;
     Slot *victim = nullptr;
     for (Slot &slot : slots) {
         if (slot.valid && slot.reg == reg) {
+            // Rebinding the same register ends the old binding.
+            if (cycle > slot.boundCycle)
+                lifeHist.sample(cycle - slot.boundCycle);
             slot.value = value;
             slot.lastUsed = tick;
+            slot.boundCycle = cycle;
             return;
         }
         if (!slot.valid) {
@@ -46,10 +50,13 @@ RegisterCache::bind(int reg, uint32_t value)
         }
     }
     elag_assert(victim != nullptr);
+    if (victim->valid && cycle > victim->boundCycle)
+        lifeHist.sample(cycle - victim->boundCycle);
     victim->valid = true;
     victim->reg = reg;
     victim->value = value;
     victim->lastUsed = tick;
+    victim->boundCycle = cycle;
 }
 
 void
@@ -66,6 +73,7 @@ RegisterCache::reset()
 {
     for (Slot &slot : slots)
         slot = Slot();
+    lifeHist.reset();
     tick = 0;
     numLookups = numHits = numBindings = 0;
 }

@@ -17,6 +17,8 @@
 #include <optional>
 #include <vector>
 
+#include "support/stats.hh"
+
 namespace elag {
 namespace predict {
 
@@ -38,9 +40,11 @@ class RegisterCache
 
     /**
      * Bind @p reg with @p value (the ld_e binding, or a hardware
-     * allocation on any load's base register). Evicts LRU.
+     * allocation on any load's base register). Evicts LRU. @p cycle
+     * (the binding pipeline cycle, when the caller has one) stamps
+     * the slot so rebinds can record the old binding's lifetime.
      */
-    void bind(int reg, uint32_t value);
+    void bind(int reg, uint32_t value, uint64_t cycle = 0);
 
     /**
      * Multicast write: a completing instruction wrote @p reg; cached
@@ -56,6 +60,14 @@ class RegisterCache
     uint64_t lookupHits() const { return numHits; }
     uint64_t bindings() const { return numBindings; }
 
+    /**
+     * Distribution of binding lifetimes in cycles: how long each
+     * binding survived before a rebind of the same register or an
+     * eviction replaced it. For capacity 1 this is the R_addr
+     * residency the compiler's grouping heuristic tries to maximize.
+     */
+    const Histogram &lifetimeHistogram() const { return lifeHist; }
+
     void reset();
 
   private:
@@ -65,10 +77,12 @@ class RegisterCache
         int reg = 0;
         uint32_t value = 0;
         uint64_t lastUsed = 0;
+        uint64_t boundCycle = 0;
     };
 
     uint32_t cap;
     std::vector<Slot> slots;
+    Histogram lifeHist{16, 16};
     uint64_t tick = 0;
     mutable uint64_t numLookups = 0;
     mutable uint64_t numHits = 0;

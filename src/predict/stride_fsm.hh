@@ -38,6 +38,7 @@ class StrideFsm
         pa_ = ca;
         stride_ = 0;
         confident_ = true;
+        streak_ = 0;
         // After allocation the next access to the same address
         // matches PA (constant-location loads predict immediately).
     }
@@ -62,11 +63,13 @@ class StrideFsm
         if (confident_) {
             if (pa_ == ca) {
                 pa_ = ca + stride_;          // Correct
+                ++streak_;
                 return true;
             }
             stride_ = ca - pa_;              // New_Stride
             pa_ = ca;
             confident_ = false;
+            streak_ = 0;
             return false;
         }
         if (ca - pa_ == stride_) {
@@ -81,9 +84,17 @@ class StrideFsm
 
     uint32_t stride() const { return stride_; }
 
+    /**
+     * Consecutive correct predictions since confidence was last
+     * (re)established — the observable "how settled is this entry"
+     * signal behind the stride-confidence distribution.
+     */
+    uint32_t confidentStreak() const { return streak_; }
+
   private:
     uint32_t pa_ = 0;
     uint32_t stride_ = 0;
+    uint32_t streak_ = 0;
     bool confident_ = false;
 };
 

@@ -3,7 +3,10 @@
 #include "irgen/irgen.hh"
 #include "lang/parser.hh"
 #include "lang/sema.hh"
+#include "support/json.hh"
 #include "support/logging.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
 
 namespace elag {
 namespace sim {
@@ -115,14 +118,171 @@ runTimed(const CompiledProgram &prog,
          const pipeline::MachineConfig &machine,
          uint64_t max_instructions)
 {
+    return runTimed(prog, machine, max_instructions, {});
+}
+
+TimedResult
+runTimed(const CompiledProgram &prog,
+         const pipeline::MachineConfig &machine,
+         uint64_t max_instructions,
+         const std::vector<pipeline::Observer *> &observers)
+{
     TimedResult result;
     pipeline::Pipeline pipe(machine);
+    for (pipeline::Observer *observer : observers)
+        pipe.attach(observer);
     Emulator emu(prog.code.program);
     result.emulation =
         emu.run(max_instructions,
                 [&](const pipeline::RetiredInst &ri) { pipe.retire(ri); });
     result.pipe = pipe.finish();
     return result;
+}
+
+namespace {
+
+const char *
+specName(isa::LoadSpec spec)
+{
+    switch (spec) {
+      case isa::LoadSpec::Normal:
+        return "ld_n";
+      case isa::LoadSpec::Predict:
+        return "ld_p";
+      case isa::LoadSpec::EarlyCalc:
+        return "ld_e";
+    }
+    return "?";
+}
+
+pipeline::LoadPath
+expectedPath(isa::LoadSpec spec)
+{
+    switch (spec) {
+      case isa::LoadSpec::Predict:
+        return pipeline::LoadPath::Predict;
+      case isa::LoadSpec::EarlyCalc:
+        return pipeline::LoadPath::EarlyCalc;
+      case isa::LoadSpec::Normal:
+        break;
+    }
+    return pipeline::LoadPath::Normal;
+}
+
+/** One resolved report row: telemetry + compiler cross-reference. */
+struct ReportSite
+{
+    uint32_t pc;
+    const pipeline::LoadRecord *rec;
+    int loadId = -1;            ///< -1 for runtime (spill/prologue) loads
+    bool classified = false;    ///< has a compiler specifier
+    isa::LoadSpec spec = isa::LoadSpec::Normal;
+    bool mismatch = false;      ///< runtime path != compiler specifier
+};
+
+std::vector<ReportSite>
+resolveSites(const CompiledProgram &prog,
+             const pipeline::LoadTelemetry &telemetry)
+{
+    std::vector<ReportSite> sites;
+    sites.reserve(telemetry.loads().size());
+    for (const auto &kv : telemetry.loads()) {
+        ReportSite site;
+        site.pc = kv.first;
+        site.rec = &kv.second;
+        auto id_it = prog.code.loadIdOf.find(kv.first);
+        if (id_it != prog.code.loadIdOf.end()) {
+            site.loadId = id_it->second;
+            auto spec_it = prog.specOf.find(site.loadId);
+            if (spec_it != prog.specOf.end()) {
+                site.classified = true;
+                site.spec = spec_it->second;
+                site.mismatch =
+                    expectedPath(site.spec) != kv.second.path;
+            }
+        }
+        sites.push_back(site);
+    }
+    return sites;
+}
+
+} // anonymous namespace
+
+std::string
+loadReportText(const CompiledProgram &prog,
+               const pipeline::LoadTelemetry &telemetry)
+{
+    TextTable table;
+    table.setHeader({"pc", "load", "spec", "path", "executed",
+                     "spec'd", "fwd", "fwd%", "dominant-failure", ""});
+    uint64_t executed = 0, speculated = 0, forwarded = 0;
+    for (const ReportSite &site : resolveSites(prog, telemetry)) {
+        const pipeline::LoadRecord &rec = *site.rec;
+        executed += rec.executed;
+        speculated += rec.speculated;
+        forwarded += rec.forwarded();
+        std::string failure =
+            rec.forwarded() == rec.executed
+                ? "-"
+                : pipeline::name(rec.dominantFailure());
+        table.addRow(
+            {std::to_string(site.pc),
+             site.loadId >= 0 ? std::to_string(site.loadId) : "-",
+             site.classified ? specName(site.spec) : "-",
+             pipeline::name(rec.path), std::to_string(rec.executed),
+             std::to_string(rec.speculated),
+             std::to_string(rec.forwarded()),
+             formatPercent(rec.forwardRate()), failure,
+             site.mismatch ? "*" : ""});
+    }
+    table.addSeparator();
+    table.addRow({"total", "", "", "", std::to_string(executed),
+                  std::to_string(speculated),
+                  std::to_string(forwarded),
+                  formatPercent(executed == 0
+                                    ? 0.0
+                                    : static_cast<double>(forwarded) /
+                                          static_cast<double>(executed)),
+                  "", ""});
+    return table.render();
+}
+
+void
+loadReportJson(JsonWriter &w, const CompiledProgram &prog,
+               const pipeline::LoadTelemetry &telemetry)
+{
+    w.beginArray();
+    for (const ReportSite &site : resolveSites(prog, telemetry)) {
+        const pipeline::LoadRecord &rec = *site.rec;
+        w.beginObject();
+        w.field("pc", site.pc);
+        if (site.loadId >= 0)
+            w.field("load_id", site.loadId);
+        else
+            w.key("load_id").nullValue();
+        if (site.classified)
+            w.field("compiler_spec", specName(site.spec));
+        else
+            w.key("compiler_spec").nullValue();
+        w.field("path", pipeline::name(rec.path));
+        w.field("mismatch", site.mismatch);
+        w.field("executed", rec.executed);
+        w.field("speculated", rec.speculated);
+        w.field("forwarded", rec.forwarded());
+        w.field("forward_rate", rec.forwardRate());
+        w.field("dominant_failure",
+                pipeline::name(rec.dominantFailure()));
+        w.key("outcomes").beginObject();
+        for (size_t i = 0; i < pipeline::NumSpecOutcomes; ++i) {
+            pipeline::SpecOutcome outcome =
+                static_cast<pipeline::SpecOutcome>(i);
+            if (rec.count(outcome) > 0)
+                w.field(pipeline::name(outcome), rec.count(outcome));
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
 }
 
 double

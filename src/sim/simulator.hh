@@ -16,12 +16,14 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "classify/classify.hh"
 #include "codegen/codegen.hh"
 #include "ir/ir.hh"
 #include "opt/pass.hh"
 #include "pipeline/pipeline.hh"
+#include "pipeline/telemetry.hh"
 #include "predict/profiler.hh"
 #include "sim/emulator.hh"
 
@@ -111,8 +113,36 @@ TimedResult runTimed(const CompiledProgram &prog,
                      const pipeline::MachineConfig &machine,
                      uint64_t max_instructions = 500'000'000);
 
+/**
+ * Timed run with pipeline observers attached (telemetry, custom
+ * tooling). Observers must outlive the call; they receive every
+ * pipeline event of the run.
+ */
+TimedResult runTimed(const CompiledProgram &prog,
+                     const pipeline::MachineConfig &machine,
+                     uint64_t max_instructions,
+                     const std::vector<pipeline::Observer *> &observers);
+
 /** baseline cycles / machine cycles. */
 double speedup(const TimedResult &baseline, const TimedResult &machine);
+
+/**
+ * Render per-PC load telemetry as an aligned text table, cross-
+ * referencing each site against the compiler's static classification
+ * (a `*` note marks sites whose runtime path disagrees with the
+ * compiler's specifier — e.g. disabled hardware or hardware-only
+ * selection policies).
+ */
+std::string loadReportText(const CompiledProgram &prog,
+                           const pipeline::LoadTelemetry &telemetry);
+
+/**
+ * Serialize the same per-PC report as a JSON array of site objects
+ * (pc, load_id, compiler_spec, path, executed, speculated,
+ * forwarded, forward_rate, dominant_failure, outcome breakdown).
+ */
+void loadReportJson(JsonWriter &w, const CompiledProgram &prog,
+                    const pipeline::LoadTelemetry &telemetry);
 
 } // namespace sim
 } // namespace elag

@@ -1,0 +1,447 @@
+#include "support/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace elag {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+// --- validator -------------------------------------------------------
+
+namespace {
+
+/** Recursive-descent JSON syntax checker (no value materialization). */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s(text) {}
+
+    bool
+    check()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos == s.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (depth > 256 || pos >= s.size())
+            return false;
+        switch (s[pos]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++depth;
+        ++pos; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos;
+            --depth;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos;
+                --depth;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++depth;
+        ++pos; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos;
+            --depth;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos;
+                --depth;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos;
+        while (pos < s.size()) {
+            unsigned char c = static_cast<unsigned char>(s[pos]);
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c < 0x20)
+                return false; // raw control character
+            if (c == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    return false;
+                char e = s[pos];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos + i >= s.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                s[pos + i]))) {
+                            return false;
+                        }
+                    }
+                    pos += 4;
+                } else if (!std::strchr("\"\\/bfnrt", e)) {
+                    return false;
+                }
+            }
+            ++pos;
+        }
+        return false; // unterminated
+    }
+
+    bool
+    number()
+    {
+        size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        if (!std::isdigit(peekByte()))
+            return false;
+        if (s[pos] == '0')
+            ++pos;
+        else
+            while (std::isdigit(peekByte()))
+                ++pos;
+        if (peek() == '.') {
+            ++pos;
+            if (!std::isdigit(peekByte()))
+                return false;
+            while (std::isdigit(peekByte()))
+                ++pos;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos;
+            if (peek() == '+' || peek() == '-')
+                ++pos;
+            if (!std::isdigit(peekByte()))
+                return false;
+            while (std::isdigit(peekByte()))
+                ++pos;
+        }
+        return pos > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t len = std::strlen(word);
+        if (s.compare(pos, len, word) != 0)
+            return false;
+        pos += len;
+        return true;
+    }
+
+    char peek() const { return pos < s.size() ? s[pos] : '\0'; }
+    unsigned char
+    peekByte() const
+    {
+        return static_cast<unsigned char>(peek());
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    const std::string &s;
+    size_t pos = 0;
+    int depth = 0;
+};
+
+} // anonymous namespace
+
+bool
+jsonValid(const std::string &text)
+{
+    return JsonChecker(text).check();
+}
+
+// --- writer ----------------------------------------------------------
+
+JsonWriter::JsonWriter(int indent) : indentWidth(indent) {}
+
+void
+JsonWriter::newline()
+{
+    if (indentWidth <= 0)
+        return;
+    out += '\n';
+    out.append(stack.size() * static_cast<size_t>(indentWidth), ' ');
+}
+
+void
+JsonWriter::prepare(bool is_key)
+{
+    elag_assert(!done);
+    if (keyPending) {
+        elag_assert(!is_key); // two key() calls in a row
+        keyPending = false;
+        return; // separator already emitted with the key
+    }
+    if (!stack.empty()) {
+        Level &level = stack.back();
+        elag_assert(level.object == is_key ||
+                    (!level.object && !is_key));
+        if (!level.first)
+            out += ',';
+        level.first = false;
+        newline();
+    } else {
+        elag_assert(out.empty()); // one top-level value only
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    prepare(false);
+    out += '{';
+    stack.push_back({true, true});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    elag_assert(!stack.empty() && stack.back().object && !keyPending);
+    bool empty = stack.back().first;
+    stack.pop_back();
+    if (!empty)
+        newline();
+    out += '}';
+    if (stack.empty())
+        done = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    prepare(false);
+    out += '[';
+    stack.push_back({false, true});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    elag_assert(!stack.empty() && !stack.back().object);
+    bool empty = stack.back().first;
+    stack.pop_back();
+    if (!empty)
+        newline();
+    out += ']';
+    if (stack.empty())
+        done = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    elag_assert(!stack.empty() && stack.back().object);
+    prepare(true);
+    out += '"';
+    out += jsonEscape(k);
+    out += indentWidth > 0 ? "\": " : "\":";
+    keyPending = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    prepare(false);
+    out += '"';
+    out += jsonEscape(v);
+    out += '"';
+    if (stack.empty())
+        done = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    prepare(false);
+    if (!std::isfinite(v)) {
+        out += "null"; // JSON has no NaN/Inf
+    } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.12g", v);
+        out += buf;
+        // %g never emits a decimal point for integral values; that is
+        // still valid JSON, so leave it as-is.
+    }
+    if (stack.empty())
+        done = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    prepare(false);
+    out += std::to_string(v);
+    if (stack.empty())
+        done = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    prepare(false);
+    out += std::to_string(v);
+    if (stack.empty())
+        done = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    prepare(false);
+    out += v ? "true" : "false";
+    if (stack.empty())
+        done = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::nullValue()
+{
+    prepare(false);
+    out += "null";
+    if (stack.empty())
+        done = true;
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    elag_assert(done && stack.empty());
+    return out;
+}
+
+} // namespace elag

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Minimal JSON emission for machine-readable statistics.
+ *
+ * JsonWriter is a push-style serializer: begin/end nesting calls plus
+ * typed value calls, with commas and indentation handled internally.
+ * It covers exactly what the stats exporters need (objects, arrays,
+ * strings, numbers, booleans, null) with no external dependency.
+ * jsonValid() is a structural validator used by tests and tools to
+ * assert that emitted documents parse.
+ */
+
+#ifndef ELAG_SUPPORT_JSON_HH
+#define ELAG_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elag {
+
+/** Escape @p s for inclusion in a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/** @return true if @p text is one complete, valid JSON value. */
+bool jsonValid(const std::string &text);
+
+/**
+ * Incremental JSON document writer.
+ *
+ * Usage:
+ *     JsonWriter w;
+ *     w.beginObject();
+ *     w.field("cycles", stats.cycles);
+ *     w.key("ipc").value(stats.ipc());
+ *     w.endObject();
+ *     std::string doc = w.str();
+ *
+ * Misuse (a value with no pending key inside an object, unbalanced
+ * end calls, str() on an unfinished document) reports through
+ * panic().
+ */
+class JsonWriter
+{
+  public:
+    /** @param indent spaces per nesting level; 0 emits compact JSON */
+    explicit JsonWriter(int indent = 2);
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object member key; the next call must emit its value. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(uint32_t v) { return value(uint64_t{v}); }
+    JsonWriter &value(int v) { return value(int64_t{v}); }
+    JsonWriter &value(bool v);
+    JsonWriter &nullValue();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** The finished document; panics if nesting is still open. */
+    std::string str() const;
+
+  private:
+    struct Level
+    {
+        bool object = false;
+        bool first = true;
+    };
+
+    /** Emit separators/indent before a value or key. */
+    void prepare(bool is_key);
+    void newline();
+
+    std::string out;
+    std::vector<Level> stack;
+    int indentWidth;
+    bool keyPending = false;
+    bool done = false;
+};
+
+} // namespace elag
+
+#endif // ELAG_SUPPORT_JSON_HH

@@ -1,5 +1,6 @@
 #include "support/stats.hh"
 
+#include "support/json.hh"
 #include "support/logging.hh"
 
 namespace elag {
@@ -8,18 +9,8 @@ Histogram::Histogram(size_t num_buckets, uint64_t bucket_width)
     : buckets(num_buckets, 0), width(bucket_width)
 {
     elag_assert(num_buckets > 0 && bucket_width > 0);
-}
-
-void
-Histogram::sample(uint64_t value, uint64_t count)
-{
-    size_t idx = static_cast<size_t>(value / width);
-    if (idx < buckets.size())
-        buckets[idx] += count;
-    else
-        overflow_ += count;
-    samples_ += count;
-    total_ += value * count;
+    if ((width & (width - 1)) == 0)
+        shift = __builtin_ctzll(width);
 }
 
 double
@@ -82,6 +73,30 @@ StatGroup::reset()
 {
     for (auto &kv : counters)
         kv.second.reset();
+}
+
+void
+writeJson(JsonWriter &w, const Histogram &h)
+{
+    w.beginObject();
+    w.field("samples", h.samples());
+    w.field("mean", h.mean());
+    w.field("bucket_width", h.bucketWidth());
+    w.key("buckets").beginArray();
+    for (size_t i = 0; i < h.numBuckets(); ++i)
+        w.value(h.bucket(i));
+    w.endArray();
+    w.field("overflow", h.overflow());
+    w.endObject();
+}
+
+void
+writeJson(JsonWriter &w, const StatGroup &g)
+{
+    w.beginObject();
+    for (const auto &kv : g.dump())
+        w.field(kv.first, kv.second);
+    w.endObject();
 }
 
 } // namespace elag

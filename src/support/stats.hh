@@ -17,6 +17,8 @@
 
 namespace elag {
 
+class JsonWriter;
+
 /** A named monotonically increasing scalar counter. */
 class Counter
 {
@@ -43,8 +45,22 @@ class Histogram
      */
     Histogram(size_t num_buckets = 16, uint64_t bucket_width = 1);
 
-    /** Record a sample. */
-    void sample(uint64_t value, uint64_t count = 1);
+    /**
+     * Record a sample. Inline and division-free for power-of-two
+     * bucket widths: this sits on the timing model's per-load path.
+     */
+    void
+    sample(uint64_t value, uint64_t count = 1)
+    {
+        size_t idx = static_cast<size_t>(
+            shift >= 0 ? value >> shift : value / width);
+        if (idx < buckets.size())
+            buckets[idx] += count;
+        else
+            overflow_ += count;
+        samples_ += count;
+        total_ += value * count;
+    }
 
     uint64_t samples() const { return samples_; }
     uint64_t total() const { return total_; }
@@ -54,11 +70,13 @@ class Histogram
     /** Count of samples beyond the last regular bucket. */
     uint64_t overflow() const { return overflow_; }
     size_t numBuckets() const { return buckets.size(); }
+    uint64_t bucketWidth() const { return width; }
     void reset();
 
   private:
     std::vector<uint64_t> buckets;
     uint64_t width;
+    int shift = -1; ///< log2(width) when width is a power of two
     uint64_t overflow_ = 0;
     uint64_t samples_ = 0;
     uint64_t total_ = 0;
@@ -89,6 +107,15 @@ class StatGroup
   private:
     std::map<std::string, Counter> counters;
 };
+
+/**
+ * Serialize a histogram as an object:
+ * {"samples", "mean", "bucket_width", "buckets": [...], "overflow"}.
+ */
+void writeJson(JsonWriter &w, const Histogram &h);
+
+/** Serialize a stat group as an object of name -> value members. */
+void writeJson(JsonWriter &w, const StatGroup &g);
 
 } // namespace elag
 

@@ -28,6 +28,17 @@ TextTable::addSeparator()
     rows.push_back(std::move(r));
 }
 
+std::vector<std::vector<std::string>>
+TextTable::dataRows() const
+{
+    std::vector<std::vector<std::string>> out;
+    out.reserve(rows.size());
+    for (const auto &r : rows)
+        if (!r.separator)
+            out.push_back(r.cells);
+    return out;
+}
+
 std::string
 TextTable::render() const
 {

@@ -30,6 +30,15 @@ class TextTable
     /** Render the table to a string. First column is left-aligned. */
     std::string render() const;
 
+    /** Header cells (empty until setHeader). */
+    const std::vector<std::string> &headerCells() const
+    {
+        return header;
+    }
+
+    /** Data rows in insertion order, separators omitted. */
+    std::vector<std::vector<std::string>> dataRows() const;
+
   private:
     struct Row
     {

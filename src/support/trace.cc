@@ -1,0 +1,158 @@
+#include "support/trace.hh"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace elag {
+namespace trace {
+
+/** Process-wide channel registry (function-local singleton). */
+class Registry
+{
+  public:
+    static Registry &
+    instance()
+    {
+        static Registry registry;
+        return registry;
+    }
+
+    Channel &
+    get(const std::string &name)
+    {
+        auto it = channels.find(name);
+        if (it == channels.end()) {
+            it = channels
+                     .emplace(name, std::unique_ptr<Channel>(
+                                        new Channel(name)))
+                     .first;
+            it->second->enabled_ = allEnabled;
+        }
+        return *it->second;
+    }
+
+    void
+    enable(const std::string &name, bool on)
+    {
+        if (name == "all") {
+            allEnabled = on;
+            for (auto &kv : channels)
+                kv.second->enabled_ = on;
+            return;
+        }
+        get(name).enabled_ = on;
+    }
+
+    void
+    disableAll()
+    {
+        allEnabled = false;
+        for (auto &kv : channels)
+            kv.second->enabled_ = false;
+    }
+
+    void
+    applyEnvironment()
+    {
+        if (envApplied)
+            return;
+        envApplied = true;
+        const char *spec = std::getenv("ELAG_TRACE");
+        if (!spec || !*spec)
+            return;
+        for (const std::string &name : splitString(spec, ',')) {
+            std::string trimmed = trimString(name);
+            if (!trimmed.empty())
+                enable(trimmed, true);
+        }
+    }
+
+    std::vector<std::string>
+    names() const
+    {
+        std::vector<std::string> out;
+        out.reserve(channels.size());
+        for (const auto &kv : channels)
+            out.push_back(kv.first); // map keeps them sorted
+        return out;
+    }
+
+    std::FILE *out() const { return output ? output : stderr; }
+    void setOutput(std::FILE *file) { output = file; }
+
+  private:
+    Registry() { applyEnvironment(); }
+
+    std::map<std::string, std::unique_ptr<Channel>> channels;
+    bool allEnabled = false;
+    bool envApplied = false;
+    std::FILE *output = nullptr;
+};
+
+void
+Channel::log(uint64_t cycle, const char *fmt, ...)
+{
+    if (!enabled_)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformatString(fmt, ap);
+    va_end(ap);
+    std::fprintf(Registry::instance().out(), "%10llu: %s: %s\n",
+                 static_cast<unsigned long long>(cycle),
+                 name_.c_str(), msg.c_str());
+}
+
+Channel &
+channel(const std::string &name)
+{
+    return Registry::instance().get(name);
+}
+
+void
+enable(const std::string &name, bool on)
+{
+    Registry::instance().enable(name, on);
+}
+
+void
+enableSpec(const std::string &spec)
+{
+    for (const std::string &name : splitString(spec, ',')) {
+        std::string trimmed = trimString(name);
+        if (!trimmed.empty())
+            enable(trimmed, true);
+    }
+}
+
+void
+disableAll()
+{
+    Registry::instance().disableAll();
+}
+
+void
+applyEnvironment()
+{
+    Registry::instance().applyEnvironment();
+}
+
+std::vector<std::string>
+channelNames()
+{
+    return Registry::instance().names();
+}
+
+void
+setOutput(std::FILE *out)
+{
+    Registry::instance().setOutput(out);
+}
+
+} // namespace trace
+} // namespace elag

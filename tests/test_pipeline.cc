@@ -11,6 +11,7 @@
 
 #include "isa/builder.hh"
 #include "pipeline/pipeline.hh"
+#include "pipeline/telemetry.hh"
 
 using namespace elag;
 using namespace elag::pipeline;
@@ -406,4 +407,183 @@ TEST(Timing, InstructionAndLoadCountsAreExact)
     EXPECT_EQ(f.pipe.stats().instructions, 4u);
     EXPECT_EQ(f.pipe.stats().loads, 1u);
     EXPECT_EQ(f.pipe.stats().stores, 1u);
+}
+
+namespace {
+
+/** Counts every observer callback, for wiring checks. */
+struct CountingObserver : Observer
+{
+    uint64_t dispatches = 0;
+    uint64_t verifies = 0;
+    uint64_t forwards = 0;
+    uint64_t stalls = 0;
+    uint64_t forwardedOutcomes = 0;
+
+    void
+    onSpecDispatch(const RetiredInst &, LoadPath, uint32_t,
+                   uint64_t) override
+    {
+        ++dispatches;
+    }
+
+    void
+    onVerify(const RetiredInst &, LoadPath, SpecOutcome outcome,
+             uint64_t) override
+    {
+        ++verifies;
+        if (outcome == SpecOutcome::Forwarded)
+            ++forwardedOutcomes;
+    }
+
+    void
+    onForward(const RetiredInst &, LoadPath, int, uint64_t) override
+    {
+        ++forwards;
+    }
+
+    void
+    onStall(const RetiredInst &, StallKind, uint64_t) override
+    {
+        ++stalls;
+    }
+};
+
+/** The strided ld_p loop from PredictedLoadSavesOneCycle. */
+void
+runStridedLoop(StreamFeeder &f, LoadSpec spec, int iters = 50)
+{
+    for (int i = 0; i < iters; ++i) {
+        RetiredInst ld;
+        ld.pc = 100;
+        ld.inst = build::load(spec, 10, 1, 0);
+        ld.effAddr = 0x1000 + static_cast<uint32_t>(i) * 4;
+        ld.nextPc = 101;
+        f.pipe.retire(ld);
+        RetiredInst use;
+        use.pc = 101;
+        use.inst = build::add(11, 10, 10);
+        use.nextPc = 102;
+        f.pipe.retire(use);
+        RetiredInst br;
+        br.pc = 102;
+        br.inst = build::branch(Opcode::BLT, 5, 6, 100);
+        br.taken = i + 1 < iters;
+        br.nextPc = br.taken ? 100 : 103;
+        f.pipe.retire(br);
+    }
+}
+
+} // namespace
+
+TEST(Observer, TelemetryRecordsPerPcOutcomes)
+{
+    MachineConfig cfg = MachineConfig::proposed();
+    StreamFeeder f(cfg);
+    LoadTelemetry telemetry;
+    f.pipe.attach(&telemetry);
+    runStridedLoop(f, LoadSpec::Predict);
+    f.pipe.finish();
+
+    ASSERT_EQ(telemetry.loads().size(), 1u);
+    const LoadRecord &rec = telemetry.loads().at(100);
+    EXPECT_EQ(rec.path, LoadPath::Predict);
+    EXPECT_EQ(rec.executed, 50u);
+    EXPECT_GT(rec.forwarded(), 30u);
+    EXPECT_GT(rec.forwardRate(), 0.6);
+    // Telemetry agrees with the aggregate counters exactly.
+    EXPECT_EQ(rec.executed, f.pipe.stats().predict.executed);
+    EXPECT_EQ(rec.speculated, f.pipe.stats().predict.speculated);
+    EXPECT_EQ(rec.forwarded(), f.pipe.stats().predict.forwarded);
+    EXPECT_EQ(telemetry.totalExecuted(), f.pipe.stats().loads);
+}
+
+TEST(Observer, TelemetryDominantFailureForUnboundBase)
+{
+    MachineConfig cfg = MachineConfig::proposed();
+    StreamFeeder f(cfg);
+    LoadTelemetry telemetry;
+    f.pipe.attach(&telemetry);
+    // First ld_e: R_addr empty; second at another PC with a different
+    // base register: still not bound to it.
+    f.feed(build::load(LoadSpec::EarlyCalc, 10, 1, 0), 0x100);
+    f.feed(build::load(LoadSpec::EarlyCalc, 11, 2, 0), 0x200);
+    f.pipe.finish();
+
+    ASSERT_EQ(telemetry.loads().size(), 2u);
+    for (const auto &kv : telemetry.loads()) {
+        EXPECT_EQ(kv.second.path, LoadPath::EarlyCalc);
+        EXPECT_EQ(kv.second.count(SpecOutcome::NotBound), 1u);
+        EXPECT_EQ(kv.second.dominantFailure(), SpecOutcome::NotBound);
+        EXPECT_EQ(kv.second.forwarded(), 0u);
+    }
+}
+
+TEST(Observer, CallbacksMatchAggregateCounters)
+{
+    MachineConfig cfg = MachineConfig::proposed();
+    StreamFeeder f(cfg);
+    CountingObserver counter;
+    f.pipe.attach(&counter);
+    runStridedLoop(f, LoadSpec::Predict);
+    f.pipe.finish();
+
+    const PipelineStats &s = f.pipe.stats();
+    // Every executed load gets exactly one verify verdict.
+    EXPECT_EQ(counter.verifies, s.loads);
+    // Every speculative dispatch and forward is reported.
+    EXPECT_EQ(counter.dispatches, s.predict.speculated);
+    EXPECT_EQ(counter.forwards, s.predict.forwarded);
+    EXPECT_EQ(counter.forwardedOutcomes, counter.forwards);
+}
+
+TEST(Observer, MultipleObserversAllReceiveEvents)
+{
+    MachineConfig cfg = MachineConfig::proposed();
+    StreamFeeder f(cfg);
+    CountingObserver a, b;
+    LoadTelemetry telemetry;
+    f.pipe.attach(&a);
+    f.pipe.attach(&b);
+    f.pipe.attach(&telemetry);
+    runStridedLoop(f, LoadSpec::Predict, 20);
+    f.pipe.finish();
+
+    EXPECT_GT(a.verifies, 0u);
+    EXPECT_EQ(a.verifies, b.verifies);
+    EXPECT_EQ(a.forwards, b.forwards);
+    EXPECT_EQ(telemetry.totalExecuted(), a.verifies);
+}
+
+TEST(Observer, HistogramsPopulatedByTimedRun)
+{
+    MachineConfig cfg = MachineConfig::proposed();
+    StreamFeeder f(cfg);
+    runStridedLoop(f, LoadSpec::Predict);
+    const PipelineStats &s = f.pipe.finish();
+
+    // One latency sample per executed load.
+    EXPECT_EQ(s.loadLatency.samples(), s.loads);
+    // Forwarded ld_p loads have latency 1: bucket 1 is populated.
+    EXPECT_GE(s.loadLatency.bucket(1), s.predict.forwarded);
+    // The table trained on a steady stride: confidence streaks grew.
+    EXPECT_GT(s.strideConfidence.samples(), 0u);
+    EXPECT_GT(s.strideConfidence.mean(), 0.0);
+}
+
+TEST(Observer, BindLifetimeHistogramTracksRaddrResidency)
+{
+    MachineConfig cfg = MachineConfig::proposed();
+    StreamFeeder f(cfg);
+    // Rebind R_addr repeatedly with spaced ld_e loads on the same
+    // base register; each rebind samples the previous residency.
+    for (int i = 0; i < 10; ++i) {
+        f.feed(build::load(LoadSpec::EarlyCalc, 10, 1,
+                           static_cast<int16_t>(i * 4)),
+               0x100 + static_cast<uint32_t>(i) * 4);
+        for (int j = 0; j < 4; ++j)
+            f.feed(build::add(20, 20, 2));
+    }
+    const PipelineStats &s = f.pipe.finish();
+    EXPECT_GT(s.bindLifetime.samples(), 0u);
 }

@@ -6,13 +6,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <functional>
 #include <set>
 
+#include "support/json.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
 #include "support/stats.hh"
 #include "support/strings.hh"
 #include "support/table.hh"
+#include "support/trace.hh"
 
 using namespace elag;
 
@@ -201,4 +206,198 @@ TEST(Table, HandlesRaggedRows)
     t.setHeader({"a", "b", "c"});
     t.addRow({"x"});
     EXPECT_NO_THROW(t.render());
+}
+
+TEST(Table, ExposesHeaderAndDataRows)
+{
+    TextTable t;
+    t.setHeader({"name", "v"});
+    t.addRow({"a", "1"});
+    t.addSeparator();
+    t.addRow({"total", "1"});
+    ASSERT_EQ(t.headerCells().size(), 2u);
+    EXPECT_EQ(t.headerCells()[0], "name");
+    auto rows = t.dataRows(); // separators are dropped
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[1][0], "total");
+}
+
+TEST(Json, EscapesControlAndSpecialCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("x\n\t"), "x\\n\\t");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, WriterProducesValidDocument)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("name", "elag");
+    w.field("cycles", uint64_t{12345});
+    w.field("ipc", 1.5);
+    w.field("ok", true);
+    w.key("missing").nullValue();
+    w.key("list").beginArray();
+    w.value(1);
+    w.value(2);
+    w.endArray();
+    w.key("nested").beginObject();
+    w.field("depth", 2);
+    w.endObject();
+    w.endObject();
+    std::string doc = w.str();
+    EXPECT_TRUE(jsonValid(doc));
+    EXPECT_NE(doc.find("\"cycles\": 12345"), std::string::npos);
+    EXPECT_NE(doc.find("\"ipc\": 1.5"), std::string::npos);
+}
+
+TEST(Json, CompactModeHasNoWhitespace)
+{
+    JsonWriter w(0);
+    w.beginObject();
+    w.field("a", 1);
+    w.field("b", 2);
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"a\":1,\"b\":2}");
+    EXPECT_TRUE(jsonValid(w.str()));
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull)
+{
+    JsonWriter w(0);
+    w.beginArray();
+    w.value(0.0 / 0.0);
+    w.value(1e308 * 10);
+    w.endArray();
+    EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(Json, ValidatorAcceptsAndRejects)
+{
+    EXPECT_TRUE(jsonValid("{}"));
+    EXPECT_TRUE(jsonValid("[1, 2.5, -3e2, \"s\", true, false, null]"));
+    EXPECT_TRUE(jsonValid("{\"a\": {\"b\": []}}"));
+    EXPECT_FALSE(jsonValid(""));
+    EXPECT_FALSE(jsonValid("{"));
+    EXPECT_FALSE(jsonValid("{} extra"));
+    EXPECT_FALSE(jsonValid("{'a': 1}"));
+    EXPECT_FALSE(jsonValid("[1,]"));
+    EXPECT_FALSE(jsonValid("{\"a\" 1}"));
+    EXPECT_FALSE(jsonValid("\"unterminated"));
+}
+
+TEST(Json, WriterMisusePanics)
+{
+    JsonWriter w;
+    w.beginObject();
+    EXPECT_THROW(w.value(1), PanicError); // value with no key
+    JsonWriter w2;
+    EXPECT_THROW(w2.endObject(), PanicError); // unbalanced end
+}
+
+TEST(Json, HistogramAndStatGroupSerialize)
+{
+    Histogram h(4, 10);
+    h.sample(5);
+    h.sample(45); // overflow
+    JsonWriter w(0);
+    writeJson(w, h);
+    std::string doc = w.str();
+    EXPECT_TRUE(jsonValid(doc));
+    EXPECT_NE(doc.find("\"samples\":2"), std::string::npos);
+    EXPECT_NE(doc.find("\"overflow\":1"), std::string::npos);
+
+    StatGroup g;
+    g.counter("hits") += 3;
+    JsonWriter w2(0);
+    writeJson(w2, g);
+    EXPECT_TRUE(jsonValid(w2.str()));
+    EXPECT_NE(w2.str().find("\"hits\":3"), std::string::npos);
+}
+
+namespace {
+
+/** Capture trace output into a buffer via a tmpfile. */
+std::string
+captureTrace(const std::function<void()> &body)
+{
+    std::FILE *tmp = std::tmpfile();
+    trace::setOutput(tmp);
+    body();
+    trace::setOutput(nullptr);
+    std::fflush(tmp);
+    std::rewind(tmp);
+    std::string text;
+    char buf[256];
+    while (std::fgets(buf, sizeof(buf), tmp))
+        text += buf;
+    std::fclose(tmp);
+    return text;
+}
+
+} // namespace
+
+TEST(Trace, DisabledChannelEmitsNothing)
+{
+    trace::disableAll();
+    auto &chan = trace::channel("test_off");
+    EXPECT_FALSE(chan.enabled());
+    std::string out = captureTrace(
+        [&] { ELAG_TRACE_EVT(chan, 1, "should not appear %d", 7); });
+    EXPECT_EQ(out, "");
+}
+
+TEST(Trace, DisabledChannelSkipsArgumentEvaluation)
+{
+    trace::disableAll();
+    auto &chan = trace::channel("test_lazy");
+    int evaluations = 0;
+    auto count = [&] { return ++evaluations; };
+    ELAG_TRACE_EVT(chan, 1, "%d", count());
+    EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Trace, EnabledChannelFormatsCycleStampedLines)
+{
+    trace::disableAll();
+    trace::enable("test_fmt");
+    auto &chan = trace::channel("test_fmt");
+    ASSERT_TRUE(chan.enabled());
+    std::string out = captureTrace(
+        [&] { ELAG_TRACE_EVT(chan, 42, "pc=%u hit=%d", 7u, 1); });
+    EXPECT_NE(out.find("42:"), std::string::npos);
+    EXPECT_NE(out.find("test_fmt:"), std::string::npos);
+    EXPECT_NE(out.find("pc=7 hit=1"), std::string::npos);
+    trace::disableAll();
+}
+
+TEST(Trace, EnableSpecHandlesListsAndAll)
+{
+    trace::disableAll();
+    trace::channel("test_a");
+    trace::channel("test_b");
+    trace::enableSpec("test_a,test_b");
+    EXPECT_TRUE(trace::channel("test_a").enabled());
+    EXPECT_TRUE(trace::channel("test_b").enabled());
+    trace::disableAll();
+    EXPECT_FALSE(trace::channel("test_a").enabled());
+
+    trace::enableSpec("all");
+    EXPECT_TRUE(trace::channel("test_a").enabled());
+    // "all" also covers channels created afterwards.
+    EXPECT_TRUE(trace::channel("test_created_later").enabled());
+    trace::disableAll();
+}
+
+TEST(Trace, ChannelNamesAreSortedAndStable)
+{
+    trace::channel("test_zz");
+    trace::channel("test_aa");
+    auto names = trace::channelNames();
+    ASSERT_GE(names.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    // Same name returns the same channel object.
+    EXPECT_EQ(&trace::channel("test_zz"), &trace::channel("test_zz"));
 }

@@ -14,6 +14,16 @@
  *   elagc --no-classify prog.c        leave every load ld_n
  *   elagc --table=N --regs=N          hardware sizing
  *   elagc --selection=compiler|ev|all-predict|all-early
+ *
+ * Observability:
+ *   elagc --json-stats=FILE prog.c    timed run, JSON stats to FILE ('-'
+ *                                     for stdout)
+ *   elagc --load-report prog.c        per-PC load telemetry vs. the
+ *                                     compiler's classification
+ *   elagc --trace=CH[,CH...] prog.c   enable trace channels (pipeline,
+ *                                     predict, raddr, cache, or 'all');
+ *                                     ELAG_TRACE env works too
+ *   elagc --quiet                     silence warn()/inform() output
  */
 
 #include <cstdio>
@@ -24,8 +34,10 @@
 
 #include "isa/disasm.hh"
 #include "sim/simulator.hh"
+#include "support/json.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
+#include "support/trace.hh"
 
 using namespace elag;
 
@@ -37,10 +49,14 @@ struct Options
     bool disasm = false;
     bool stats = false;
     bool profile = false;
+    bool loadReport = false;
+    bool quiet = false;
     bool noOpt = false;
     bool noClassify = false;
     std::string machine = "proposed";
     std::string selection;
+    std::string jsonStats; ///< output path, '-' for stdout
+    std::string traceSpec;
     uint32_t table = 0;
     uint32_t regs = 0;
     uint64_t maxInst = 500'000'000;
@@ -51,6 +67,8 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: elagc [--disasm] [--stats] [--profile]\n"
+                 "             [--json-stats=FILE|-] [--load-report]\n"
+                 "             [--trace=CH[,CH...]] [--quiet]\n"
                  "             [--no-opt] [--no-classify]\n"
                  "             [--machine=baseline|proposed]\n"
                  "             [--selection=compiler|ev|all-predict|"
@@ -73,6 +91,14 @@ parseArgs(int argc, char **argv, Options &opts)
             opts.stats = true;
         } else if (arg == "--profile") {
             opts.profile = true;
+        } else if (arg == "--load-report") {
+            opts.loadReport = true;
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else if (startsWith(arg, "--json-stats=")) {
+            opts.jsonStats = value("--json-stats=");
+        } else if (startsWith(arg, "--trace=")) {
+            opts.traceSpec = value("--trace=");
         } else if (arg == "--no-opt") {
             opts.noOpt = true;
         } else if (arg == "--no-classify") {
@@ -128,13 +154,80 @@ machineFor(const Options &opts)
 }
 
 void
-printSpecCounters(const char *label, const pipeline::SpecCounters &c)
+printSpecCounters(FILE *out, const char *label,
+                  const pipeline::SpecCounters &c)
 {
-    std::printf("  %-10s executed %-10llu speculated %-10llu "
-                "forwarded %llu\n",
-                label, static_cast<unsigned long long>(c.executed),
-                static_cast<unsigned long long>(c.speculated),
-                static_cast<unsigned long long>(c.forwarded));
+    std::fprintf(out,
+                 "  %-10s executed %-10llu speculated %-10llu "
+                 "forwarded %llu\n",
+                 label, static_cast<unsigned long long>(c.executed),
+                 static_cast<unsigned long long>(c.speculated),
+                 static_cast<unsigned long long>(c.forwarded));
+}
+
+void
+printStatsText(FILE *out, const sim::TimedResult &base,
+               const sim::TimedResult &timed)
+{
+    const auto &p = timed.pipe;
+    std::fprintf(out, "\ninstructions  %llu\n",
+                 static_cast<unsigned long long>(p.instructions));
+    std::fprintf(out,
+                 "cycles        %llu (baseline %llu, speedup %.3f)\n",
+                 static_cast<unsigned long long>(p.cycles),
+                 static_cast<unsigned long long>(base.pipe.cycles),
+                 sim::speedup(base, timed));
+    std::fprintf(out, "IPC           %.3f\n", p.ipc());
+    std::fprintf(out, "loads/stores  %llu / %llu\n",
+                 static_cast<unsigned long long>(p.loads),
+                 static_cast<unsigned long long>(p.stores));
+    std::fprintf(out, "branches      %llu (%llu mispredicted)\n",
+                 static_cast<unsigned long long>(p.branches),
+                 static_cast<unsigned long long>(p.mispredicts));
+    std::fprintf(out,
+                 "cache misses  I %llu / D %llu, extra "
+                 "speculative accesses %llu\n",
+                 static_cast<unsigned long long>(p.icacheMisses),
+                 static_cast<unsigned long long>(p.dcacheMisses),
+                 static_cast<unsigned long long>(p.extraAccesses));
+    printSpecCounters(out, "normal", p.normal);
+    printSpecCounters(out, "ld_p", p.predict);
+    printSpecCounters(out, "ld_e", p.earlyCalc);
+}
+
+/** The full JSON stats document (--json-stats). */
+std::string
+jsonStatsDoc(const Options &opts, const sim::CompiledProgram &prog,
+             const sim::TimedResult &base, const sim::TimedResult &timed,
+             const pipeline::LoadTelemetry &telemetry)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("program").beginObject();
+    w.field("file", opts.file);
+    w.field("instructions",
+            static_cast<uint64_t>(prog.code.program.code.size()));
+    w.key("static_loads").beginObject();
+    w.field("total", prog.classStats.total());
+    w.field("ld_n", prog.classStats.numNormal);
+    w.field("ld_p", prog.classStats.numPredict);
+    w.field("ld_e", prog.classStats.numEarlyCalc);
+    w.endObject();
+    w.endObject();
+    w.field("machine", opts.machine);
+    if (!opts.selection.empty())
+        w.field("selection", opts.selection);
+    w.key("baseline").beginObject();
+    w.field("cycles", base.pipe.cycles);
+    w.field("ipc", base.pipe.ipc());
+    w.endObject();
+    w.field("speedup", sim::speedup(base, timed));
+    w.key("stats");
+    pipeline::writeJson(w, timed.pipe);
+    w.key("loads");
+    sim::loadReportJson(w, prog, telemetry);
+    w.endObject();
+    return w.str();
 }
 
 } // namespace
@@ -147,6 +240,15 @@ main(int argc, char **argv)
         usage();
         return 2;
     }
+
+    if (opts.quiet)
+        setQuiet(true);
+    if (!opts.traceSpec.empty())
+        trace::enableSpec(opts.traceSpec);
+
+    // When the JSON document goes to stdout, keep stdout pure JSON
+    // and move all human-readable output to stderr.
+    FILE *text = opts.jsonStats == "-" ? stderr : stdout;
 
     std::ifstream in(opts.file);
     if (!in) {
@@ -164,13 +266,14 @@ main(int argc, char **argv)
         copts.runClassifier = !opts.noClassify;
 
         sim::CompiledProgram prog = sim::compile(buffer.str(), copts);
-        std::printf("compiled: %zu instructions, %d static loads "
-                    "(ld_n %d, ld_p %d, ld_e %d)\n",
-                    prog.code.program.code.size(),
-                    prog.classStats.total(),
-                    prog.classStats.numNormal,
-                    prog.classStats.numPredict,
-                    prog.classStats.numEarlyCalc);
+        std::fprintf(text,
+                     "compiled: %zu instructions, %d static loads "
+                     "(ld_n %d, ld_p %d, ld_e %d)\n",
+                     prog.code.program.code.size(),
+                     prog.classStats.total(),
+                     prog.classStats.numNormal,
+                     prog.classStats.numPredict,
+                     prog.classStats.numEarlyCalc);
 
         if (opts.disasm) {
             std::printf("%s",
@@ -195,41 +298,36 @@ main(int argc, char **argv)
             return 0;
         }
 
-        if (opts.stats) {
+        if (opts.stats || opts.loadReport || !opts.jsonStats.empty()) {
+            pipeline::LoadTelemetry telemetry;
             auto base = sim::runTimed(
                 prog, pipeline::MachineConfig::baseline(),
                 opts.maxInst);
-            auto timed =
-                sim::runTimed(prog, machineFor(opts), opts.maxInst);
-            const auto &p = timed.pipe;
-            std::printf("\ninstructions  %llu\n",
-                        static_cast<unsigned long long>(
-                            p.instructions));
-            std::printf("cycles        %llu (baseline %llu, "
-                        "speedup %.3f)\n",
-                        static_cast<unsigned long long>(p.cycles),
-                        static_cast<unsigned long long>(
-                            base.pipe.cycles),
-                        sim::speedup(base, timed));
-            std::printf("IPC           %.3f\n", p.ipc());
-            std::printf("loads/stores  %llu / %llu\n",
-                        static_cast<unsigned long long>(p.loads),
-                        static_cast<unsigned long long>(p.stores));
-            std::printf("branches      %llu (%llu mispredicted)\n",
-                        static_cast<unsigned long long>(p.branches),
-                        static_cast<unsigned long long>(
-                            p.mispredicts));
-            std::printf("cache misses  I %llu / D %llu, extra "
-                        "speculative accesses %llu\n",
-                        static_cast<unsigned long long>(
-                            p.icacheMisses),
-                        static_cast<unsigned long long>(
-                            p.dcacheMisses),
-                        static_cast<unsigned long long>(
-                            p.extraAccesses));
-            printSpecCounters("normal", p.normal);
-            printSpecCounters("ld_p", p.predict);
-            printSpecCounters("ld_e", p.earlyCalc);
+            auto timed = sim::runTimed(prog, machineFor(opts),
+                                       opts.maxInst, {&telemetry});
+
+            if (opts.stats)
+                printStatsText(text, base, timed);
+            if (opts.loadReport) {
+                std::fprintf(
+                    text, "\nper-PC load telemetry (%s machine):\n%s",
+                    opts.machine.c_str(),
+                    sim::loadReportText(prog, telemetry).c_str());
+            }
+            if (!opts.jsonStats.empty()) {
+                std::string doc =
+                    jsonStatsDoc(opts, prog, base, timed, telemetry);
+                if (opts.jsonStats == "-") {
+                    std::fwrite(doc.data(), 1, doc.size(), stdout);
+                    std::fputc('\n', stdout);
+                } else {
+                    std::ofstream jf(opts.jsonStats);
+                    if (!jf)
+                        fatal("cannot write '%s'",
+                              opts.jsonStats.c_str());
+                    jf << doc << '\n';
+                }
+            }
             return 0;
         }
 
