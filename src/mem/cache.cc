@@ -36,7 +36,8 @@ Cache::findLine(uint32_t addr) const
 }
 
 CacheAccessResult
-Cache::access(uint32_t addr, uint64_t cycle, bool allocate_on_miss)
+Cache::access(uint32_t addr, uint64_t cycle, bool allocate_on_miss,
+              uint32_t extra_penalty)
 {
     CacheAccessResult result;
     Line *line = findLine(addr);
@@ -58,7 +59,7 @@ Cache::access(uint32_t addr, uint64_t cycle, bool allocate_on_miss)
 
     ++numMisses;
     result.hit = false;
-    result.readyCycle = cycle + cfg.missPenalty;
+    result.readyCycle = cycle + cfg.missPenalty + extra_penalty;
     if (allocate_on_miss) {
         uint32_t block = blockFor(addr);
         uint32_t set = setFor(block);

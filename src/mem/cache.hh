@@ -54,9 +54,13 @@ class Cache
      * Timed read access at @p cycle.
      * @param allocate_on_miss if false, a miss does not fill the
      *        cache (used for no-write-allocate stores).
+     * @param extra_penalty additional cycles added to the fill of a
+     *        newly-missing block (fault-injected latency jitter);
+     *        hits and fill merges are unaffected.
      */
     CacheAccessResult access(uint32_t addr, uint64_t cycle,
-                             bool allocate_on_miss = true);
+                             bool allocate_on_miss = true,
+                             uint32_t extra_penalty = 0);
 
     /** @return true if @p addr would hit right now (no state change,
      *  in-flight fills count as hits only once complete). */

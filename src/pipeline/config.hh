@@ -19,6 +19,11 @@
 #include "mem/cache.hh"
 
 namespace elag {
+
+namespace verify {
+class FaultInjector;
+} // namespace verify
+
 namespace pipeline {
 
 /** How loads are steered to the early-address-generation paths. */
@@ -69,6 +74,14 @@ struct MachineConfig
     bool earlyCalcEnabled = false;
     uint32_t registerCacheSize = 1;
     SelectionPolicy selection = SelectionPolicy::CompilerSpec;
+
+    /**
+     * Optional fault injector perturbing the speculation hardware
+     * (not owned; must outlive the pipeline). Null in normal runs.
+     * Faults only steer timing decisions — architectural results
+     * come from the emulator and cannot be affected.
+     */
+    verify::FaultInjector *faultInjector = nullptr;
 
     /** Baseline machine: all early-generation hardware off. */
     static MachineConfig

@@ -119,6 +119,34 @@ name(StallKind kind)
 }
 
 /**
+ * The four Section-3.2 safety conditions as the hardware evaluated
+ * them for one dispatched speculative access. Published alongside
+ * the verdict so lockstep checkers (verify::InvariantChecker) can
+ * prove the forwarding decision followed from the measurements:
+ * a Forwarded verdict is legal only when every field holds.
+ */
+struct VerifyConditions
+{
+    /** A data-cache port was allocated in the early stage. */
+    bool portAllocated = false;
+    /** Speculative address equals the computed effective address. */
+    bool addrMatch = false;
+    /** The speculative access hit the data cache. */
+    bool cacheHit = false;
+    /** No address-register interlock at the early stage. */
+    bool regInterlockFree = false;
+    /** No conflicting in-flight store (Mem_Interlock clear). */
+    bool memInterlockFree = false;
+
+    bool
+    allHold() const
+    {
+        return portAllocated && addrMatch && cacheHit &&
+               regInterlockFree && memInterlockFree;
+    }
+};
+
+/**
  * Attachable pipeline event sink. Default implementations do
  * nothing, so observers override only the events they need.
  */
@@ -149,6 +177,22 @@ class Observer
              uint64_t exeCycle)
     {
         (void)ri; (void)path; (void)outcome; (void)exeCycle;
+    }
+
+    /**
+     * The measured safety conditions behind a dispatched
+     * speculation's verdict, fired immediately before the matching
+     * onVerify whenever a speculative access was dispatched (i.e.
+     * once per speculated load, never for skipped speculation).
+     */
+    virtual void
+    onVerifyConditions(const RetiredInst &ri, LoadPath path,
+                       SpecOutcome outcome,
+                       const VerifyConditions &conditions,
+                       uint64_t exeCycle)
+    {
+        (void)ri; (void)path; (void)outcome; (void)conditions;
+        (void)exeCycle;
     }
 
     /**

@@ -4,6 +4,7 @@
 
 #include "isa/disasm.hh"
 #include "support/logging.hh"
+#include "verify/fault_injector.hh"
 
 namespace elag {
 namespace pipeline {
@@ -20,12 +21,14 @@ Pipeline::Pipeline(const MachineConfig &config)
       table(config.addressTableEntries,
             config.tablePredictsWhileLearning),
       regCache(config.registerCacheSize),
+      faults(config.faultInjector),
       books(BookRingSize),
       tcPipeline(trace::channel("pipeline")),
       tcPredict(trace::channel("predict")),
       tcRaddr(trace::channel("raddr")),
       tcCache(trace::channel("cache"))
 {
+    table.setFaultInjector(faults);
 }
 
 void
@@ -267,6 +270,8 @@ Pipeline::handleLoad(const RetiredInst &ri, uint64_t e)
     // aggregate SpecCounters and per-PC telemetry cannot diverge.
     SpecOutcome outcome = SpecOutcome::NotAttempted;
     uint64_t ready = 0;
+    /** Measured safety conditions, set iff an access was dispatched. */
+    std::optional<VerifyConditions> cond;
 
     if (path == LoadPath::Predict) {
         std::optional<uint32_t> predicted = table.probe(ri.pc);
@@ -275,19 +280,35 @@ Pipeline::handleLoad(const RetiredInst &ri, uint64_t e)
                        predicted ? "hit" : "miss", ca);
         if (!predicted) {
             outcome = SpecOutcome::NoPrediction;
-        } else if (use(id2).dcachePorts >= cfg.memPorts) {
+        } else if (use(id2).dcachePorts >= cfg.memPorts ||
+                   (faults && faults->firePortSteal())) {
             outcome = SpecOutcome::PortDenied;
         } else {
             ++use(id2).dcachePorts;
             ++ctr.speculated;
             for (Observer *o : observers)
                 o->onSpecDispatch(ri, path, *predicted, id2);
-            mem::CacheAccessResult acc = dcache.access(*predicted, id2);
+            mem::CacheAccessResult acc =
+                dcache.access(*predicted, id2, true,
+                              faults ? faults->latencyJitter() : 0);
             ELAG_TRACE_EVT(tcCache, id2,
                            "D$ spec access pc=%u addr=0x%x %s", ri.pc,
                            *predicted, acc.hit ? "hit" : "miss");
             bool addr_ok = *predicted == ca;
+            // A forced verification failure looks exactly like a
+            // wrong prediction to everything downstream.
+            if (faults && faults->fireVerifyFail())
+                addr_ok = false;
             bool mem_lock = memInterlock(ca, bytes, id2);
+            cond.emplace();
+            cond->portAllocated = true;
+            cond->addrMatch = addr_ok;
+            cond->cacheHit = acc.hit;
+            cond->regInterlockFree = true;
+            cond->memInterlockFree = !mem_lock;
+            // Deliberate bug (not graceful): skip the address check.
+            if (faults && faults->bypassAddressCheck())
+                addr_ok = true;
             if (!addr_ok)
                 outcome = SpecOutcome::WrongAddress;
             else if (mem_lock)
@@ -322,16 +343,23 @@ Pipeline::handleLoad(const RetiredInst &ri, uint64_t e)
                            ri.pc, ca);
         }
     } else if (path == LoadPath::EarlyCalc) {
+        // Fault: drop the R_addr binding right before the probe.
+        if (faults && base > 0 && faults->fireRaddrInvalidate())
+            regCache.invalidate(base, id1);
         bool bound = base > 0 && regCache.isBound(base);
         bool interlock =
             (base > 0 && intReady[base] > id1) ||
             (index > 0 && intReady[index] > id1);
+        // Fault: spurious interlock, as from a late wakeup signal.
+        if (faults && faults->fireForceInterlock())
+            interlock = true;
         ELAG_TRACE_EVT(tcRaddr, id1, "probe pc=%u base=r%d -> %s%s",
                        ri.pc, base, bound ? "bound" : "not bound",
                        interlock ? " (interlocked)" : "");
         if (!bound) {
             outcome = SpecOutcome::NotBound;
-        } else if (use(id1).dcachePorts >= cfg.memPorts) {
+        } else if (use(id1).dcachePorts >= cfg.memPorts ||
+                   (faults && faults->firePortSteal())) {
             outcome = SpecOutcome::PortDenied;
         } else {
             ++use(id1).dcachePorts;
@@ -342,11 +370,22 @@ Pipeline::handleLoad(const RetiredInst &ri, uint64_t e)
             // access still consumes a port and cache bandwidth. The
             // stale address is approximated by the current one for
             // cache-content purposes.
-            mem::CacheAccessResult acc = dcache.access(ca, id1);
+            mem::CacheAccessResult acc =
+                dcache.access(ca, id1, true,
+                              faults ? faults->latencyJitter() : 0);
             ELAG_TRACE_EVT(tcCache, id1,
                            "D$ spec access pc=%u addr=0x%x %s", ri.pc,
                            ca, acc.hit ? "hit" : "miss");
             bool mem_lock = memInterlock(ca, bytes, id1);
+            cond.emplace();
+            cond->portAllocated = true;
+            cond->addrMatch = true;
+            cond->cacheHit = acc.hit;
+            cond->regInterlockFree = !interlock;
+            cond->memInterlockFree = !mem_lock;
+            // Deliberate bug (not graceful): ignore the interlock.
+            if (faults && faults->bypassInterlockCheck())
+                interlock = false;
             if (interlock)
                 outcome = SpecOutcome::RegInterlock;
             else if (mem_lock)
@@ -382,6 +421,10 @@ Pipeline::handleLoad(const RetiredInst &ri, uint64_t e)
     }
 
     bumpOutcome(ctr, outcome);
+    if (cond) {
+        for (Observer *o : observers)
+            o->onVerifyConditions(ri, path, outcome, *cond, e);
+    }
     for (Observer *o : observers)
         o->onVerify(ri, path, outcome, e);
 

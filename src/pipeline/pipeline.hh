@@ -80,6 +80,12 @@ class Pipeline
     const PipelineStats &stats() const { return stats_; }
     const MachineConfig &config() const { return cfg; }
 
+    /**
+     * Completion cycle of the work retired so far (what finish()
+     * would report as cycles). Watchdogs poll this between retires.
+     */
+    uint64_t currentCycle() const { return lastCompletion; }
+
     /** Access to the hardware structures (for tests). */
     const predict::AddressTable &addressTable() const { return table; }
     const predict::RegisterCache &registerCache() const
@@ -140,6 +146,8 @@ class Pipeline
     mem::Btb btb;
     predict::AddressTable table;
     predict::RegisterCache regCache;
+    /** Optional fault source (from cfg.faultInjector; not owned). */
+    verify::FaultInjector *faults = nullptr;
 
     /**
      * Per-cycle resource books as a ring keyed by cycle modulo the

@@ -1,6 +1,7 @@
 #include "predict/address_table.hh"
 
 #include "support/logging.hh"
+#include "verify/fault_injector.hh"
 
 namespace elag {
 namespace predict {
@@ -19,12 +20,21 @@ AddressTable::probe(uint32_t pc) const
 {
     ++numProbes;
     const Entry &entry = table[indexOf(pc)];
-    if (!entry.valid || entry.tag != tagOf(pc))
+    if (!entry.valid)
         return std::nullopt;
+    if (entry.tag != tagOf(pc)) {
+        // Tag-alias fault: the probe trusts the aliased entry as if
+        // its tag matched, yielding another load's prediction.
+        if (!(faults && faults->fireTagAlias()))
+            return std::nullopt;
+    }
     ++numProbeHits;
     if (!entry.fsm.willPredict() && !predictWhileLearning)
         return std::nullopt;
-    return entry.fsm.predictedAddress();
+    uint32_t predicted = entry.fsm.predictedAddress();
+    if (faults && faults->fireEntryCorrupt())
+        predicted = faults->corruptAddress(predicted);
+    return predicted;
 }
 
 bool

@@ -14,6 +14,11 @@
 #include "support/stats.hh"
 
 namespace elag {
+
+namespace verify {
+class FaultInjector;
+} // namespace verify
+
 namespace predict {
 
 /**
@@ -68,6 +73,15 @@ class AddressTable
      */
     const Histogram &confidenceHistogram() const { return confHist; }
 
+    /**
+     * Attach a fault injector (not owned; may be null). Probes then
+     * consult it for tag-aliasing and entry-corruption faults.
+     */
+    void setFaultInjector(verify::FaultInjector *injector)
+    {
+        faults = injector;
+    }
+
     void reset();
 
   private:
@@ -83,6 +97,7 @@ class AddressTable
 
     uint32_t entries;
     bool predictWhileLearning;
+    verify::FaultInjector *faults = nullptr;
     std::vector<Entry> table;
     Histogram confHist{16, 4};
     mutable uint64_t numProbes = 0;

@@ -69,6 +69,18 @@ RegisterCache::onRegisterWrite(int reg, uint32_t value)
 }
 
 void
+RegisterCache::invalidate(int reg, uint64_t cycle)
+{
+    for (Slot &slot : slots) {
+        if (slot.valid && slot.reg == reg) {
+            if (cycle > slot.boundCycle)
+                lifeHist.sample(cycle - slot.boundCycle);
+            slot = Slot();
+        }
+    }
+}
+
+void
 RegisterCache::reset()
 {
     for (Slot &slot : slots)

@@ -53,6 +53,13 @@ class RegisterCache
      */
     void onRegisterWrite(int reg, uint32_t value);
 
+    /**
+     * Drop @p reg's binding (fault injection, or a context-switch-
+     * style flush). A no-op when @p reg is not bound. @p cycle, when
+     * provided, records the ended binding's lifetime.
+     */
+    void invalidate(int reg, uint64_t cycle = 0);
+
     uint32_t capacity() const { return cap; }
 
     // Statistics.

@@ -127,14 +127,45 @@ runTimed(const CompiledProgram &prog,
          uint64_t max_instructions,
          const std::vector<pipeline::Observer *> &observers)
 {
+    return runTimed(prog, machine, max_instructions, observers,
+                    Watchdog{});
+}
+
+TimedResult
+runTimed(const CompiledProgram &prog,
+         const pipeline::MachineConfig &machine,
+         uint64_t max_instructions,
+         const std::vector<pipeline::Observer *> &observers,
+         const Watchdog &watchdog)
+{
     TimedResult result;
     pipeline::Pipeline pipe(machine);
     for (pipeline::Observer *observer : observers)
         pipe.attach(observer);
     Emulator emu(prog.code.program);
-    result.emulation =
-        emu.run(max_instructions,
-                [&](const pipeline::RetiredInst &ri) { pipe.retire(ri); });
+    uint64_t retired = 0;
+    result.emulation = emu.run(
+        max_instructions, [&](const pipeline::RetiredInst &ri) {
+            pipe.retire(ri);
+            ++retired;
+            if (watchdog.maxRetires && retired > watchdog.maxRetires) {
+                throw SimTimeoutError(
+                    SimTimeoutError::Kind::Retires, watchdog.maxRetires,
+                    formatString("watchdog: more than %llu "
+                                 "instructions retired",
+                                 static_cast<unsigned long long>(
+                                     watchdog.maxRetires)));
+            }
+            if (watchdog.maxCycles &&
+                pipe.currentCycle() > watchdog.maxCycles) {
+                throw SimTimeoutError(
+                    SimTimeoutError::Kind::Cycles, watchdog.maxCycles,
+                    formatString("watchdog: simulation passed cycle "
+                                 "%llu",
+                                 static_cast<unsigned long long>(
+                                     watchdog.maxCycles)));
+            }
+        });
     result.pipe = pipe.finish();
     return result;
 }

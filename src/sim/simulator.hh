@@ -15,6 +15,7 @@
 #define ELAG_SIM_SIMULATOR_HH
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -122,6 +123,52 @@ TimedResult runTimed(const CompiledProgram &prog,
                      const pipeline::MachineConfig &machine,
                      uint64_t max_instructions,
                      const std::vector<pipeline::Observer *> &observers);
+
+/**
+ * Thrown by a watchdog-guarded run whose program exceeded a limit —
+ * a hung or runaway simulation, distinct from both user error
+ * (FatalError) and model bugs (PanicError). Process exit code 75.
+ */
+class SimTimeoutError : public std::runtime_error
+{
+  public:
+    enum class Kind { Retires, Cycles };
+
+    SimTimeoutError(Kind which, uint64_t limit_value,
+                    const std::string &msg)
+        : std::runtime_error(msg), kind_(which), limit_(limit_value)
+    {}
+
+    Kind kind() const { return kind_; }
+    uint64_t limit() const { return limit_; }
+
+  private:
+    Kind kind_;
+    uint64_t limit_;
+};
+
+/**
+ * Hang detection for timed runs. Zero means unlimited. Unlike the
+ * max_instructions cap (which ends the run benignly with
+ * halted=false), tripping a watchdog throws SimTimeoutError.
+ */
+struct Watchdog
+{
+    /** Maximum instructions retired into the timing model. */
+    uint64_t maxRetires = 0;
+    /** Maximum pipeline completion cycle. */
+    uint64_t maxCycles = 0;
+};
+
+/**
+ * Timed run guarded by a watchdog: throws SimTimeoutError as soon as
+ * a limit is exceeded mid-run.
+ */
+TimedResult runTimed(const CompiledProgram &prog,
+                     const pipeline::MachineConfig &machine,
+                     uint64_t max_instructions,
+                     const std::vector<pipeline::Observer *> &observers,
+                     const Watchdog &watchdog);
 
 /** baseline cycles / machine cycles. */
 double speedup(const TimedResult &baseline, const TimedResult &machine);

@@ -1,0 +1,312 @@
+#include "verify/invariant_checker.hh"
+
+#include "pipeline/pipeline.hh"
+#include "support/logging.hh"
+
+namespace elag {
+namespace verify {
+
+using pipeline::LoadPath;
+using pipeline::PipelineStats;
+using pipeline::RetiredInst;
+using pipeline::SpecCounters;
+using pipeline::SpecOutcome;
+using pipeline::VerifyConditions;
+
+namespace {
+
+/** True for verdicts that imply a speculative access was dispatched. */
+bool
+dispatchedOutcome(SpecOutcome outcome)
+{
+    switch (outcome) {
+      case SpecOutcome::Forwarded:
+      case SpecOutcome::RegInterlock:
+      case SpecOutcome::MemInterlock:
+      case SpecOutcome::WrongAddress:
+      case SpecOutcome::CacheMiss:
+        return true;
+      case SpecOutcome::NotAttempted:
+      case SpecOutcome::NoPrediction:
+      case SpecOutcome::NotBound:
+      case SpecOutcome::PortDenied:
+        return false;
+    }
+    return false;
+}
+
+} // anonymous namespace
+
+InvariantChecker::Shadow &
+InvariantChecker::shadowFor(LoadPath path)
+{
+    switch (path) {
+      case LoadPath::Predict:
+        return predict;
+      case LoadPath::EarlyCalc:
+        return earlyCalc;
+      case LoadPath::Normal:
+        break;
+    }
+    return normal;
+}
+
+void
+InvariantChecker::onSpecDispatch(const RetiredInst &ri, LoadPath path,
+                                 uint32_t specAddr, uint64_t cycle)
+{
+    ++checked;
+    if (dispatchPending) {
+        panic("invariant: pc=%u dispatches while pc=%u is still "
+              "unresolved (dispatch without verdict)",
+              ri.pc, pendingPc);
+    }
+    if (forwardPending) {
+        panic("invariant: pc=%u dispatches while a Forwarded verdict "
+              "for pc=%u has no forward event",
+              ri.pc, forwardPc);
+    }
+    if (path == LoadPath::Normal)
+        panic("invariant: speculative dispatch on the normal path "
+              "(pc=%u)", ri.pc);
+    dispatchPending = true;
+    pendingPc = ri.pc;
+    pendingAddr = specAddr;
+    pendingCycle = cycle;
+    pendingPath = path;
+    shadowFor(path).speculated++;
+}
+
+void
+InvariantChecker::onVerifyConditions(const RetiredInst &ri,
+                                     LoadPath path, SpecOutcome outcome,
+                                     const VerifyConditions &cond,
+                                     uint64_t exeCycle)
+{
+    ++checked;
+    (void)exeCycle;
+    if (!dispatchPending || pendingPc != ri.pc || pendingPath != path) {
+        panic("invariant: conditions event for pc=%u without a "
+              "matching dispatch", ri.pc);
+    }
+    if (conditionsPending) {
+        panic("invariant: duplicate conditions event for pc=%u",
+              ri.pc);
+    }
+    if (!dispatchedOutcome(outcome)) {
+        panic("invariant: conditions event carries non-dispatched "
+              "verdict '%s' (pc=%u)", name(outcome), ri.pc);
+    }
+    conditionsPending = true;
+    pendingConditions = cond;
+    conditionsOutcome = outcome;
+}
+
+void
+InvariantChecker::onVerify(const RetiredInst &ri, LoadPath path,
+                           SpecOutcome outcome, uint64_t exeCycle)
+{
+    ++checked;
+    if (forwardPending) {
+        panic("invariant: verdict for pc=%u while a Forwarded verdict "
+              "for pc=%u has no forward event", ri.pc, forwardPc);
+    }
+    if (exeCycle < lastExeCycle) {
+        panic("invariant: verdict cycles run backwards (%llu after "
+              "%llu, pc=%u)",
+              static_cast<unsigned long long>(exeCycle),
+              static_cast<unsigned long long>(lastExeCycle), ri.pc);
+    }
+    lastExeCycle = exeCycle;
+
+    Shadow &shadow = shadowFor(path);
+    shadow.executed++;
+    shadow.outcomes[static_cast<size_t>(outcome)]++;
+
+    if (dispatchedOutcome(outcome)) {
+        // Conservation: this verdict must resolve the one pending
+        // dispatch, and the hardware must have published its
+        // condition measurements for it.
+        if (!dispatchPending || pendingPc != ri.pc ||
+            pendingPath != path) {
+            panic("invariant: verdict '%s' for pc=%u without a "
+                  "matching dispatch", name(outcome), ri.pc);
+        }
+        if (!conditionsPending || conditionsOutcome != outcome) {
+            panic("invariant: verdict '%s' for pc=%u has no matching "
+                  "conditions event", name(outcome), ri.pc);
+        }
+        if (pendingCycle >= exeCycle) {
+            panic("invariant: dispatch at cycle %llu does not precede "
+                  "its verdict at %llu (pc=%u)",
+                  static_cast<unsigned long long>(pendingCycle),
+                  static_cast<unsigned long long>(exeCycle), ri.pc);
+        }
+        const VerifyConditions &c = pendingConditions;
+        switch (outcome) {
+          case SpecOutcome::Forwarded:
+            // THE Section-3.2 safety invariant: forwarding requires
+            // all four conditions. First against the hardware's own
+            // measurements...
+            if (!c.allHold()) {
+                panic("invariant: forwarded at pc=%u with a safety "
+                      "condition violated (port=%d addr=%d hit=%d "
+                      "reg_free=%d mem_free=%d)",
+                      ri.pc, c.portAllocated, c.addrMatch, c.cacheHit,
+                      c.regInterlockFree, c.memInterlockFree);
+            }
+            // ...then independently: the address dispatched early
+            // must equal the committed effective address.
+            if (pendingAddr != ri.effAddr) {
+                panic("invariant: forwarded at pc=%u from speculative "
+                      "address 0x%x but the committed address is 0x%x",
+                      ri.pc, pendingAddr, ri.effAddr);
+            }
+            break;
+          case SpecOutcome::WrongAddress:
+            if (c.addrMatch) {
+                panic("invariant: wrong-address verdict at pc=%u but "
+                      "the hardware measured an address match", ri.pc);
+            }
+            break;
+          case SpecOutcome::CacheMiss:
+            if (c.cacheHit) {
+                panic("invariant: cache-miss verdict at pc=%u but the "
+                      "hardware measured a hit", ri.pc);
+            }
+            break;
+          case SpecOutcome::RegInterlock:
+            if (c.regInterlockFree) {
+                panic("invariant: reg-interlock verdict at pc=%u but "
+                      "the hardware measured no interlock", ri.pc);
+            }
+            break;
+          case SpecOutcome::MemInterlock:
+            if (c.memInterlockFree) {
+                panic("invariant: mem-interlock verdict at pc=%u but "
+                      "the hardware measured no interlock", ri.pc);
+            }
+            break;
+          default:
+            break;
+        }
+        dispatchPending = false;
+        conditionsPending = false;
+        if (outcome == SpecOutcome::Forwarded) {
+            forwardPending = true;
+            forwardPc = ri.pc;
+            forwardExeCycle = exeCycle;
+        }
+    } else {
+        if (dispatchPending) {
+            panic("invariant: skip verdict '%s' for pc=%u leaves the "
+                  "dispatch for pc=%u unresolved",
+                  name(outcome), ri.pc, pendingPc);
+        }
+        if (conditionsPending) {
+            panic("invariant: conditions event without a dispatched "
+                  "verdict (pc=%u)", ri.pc);
+        }
+    }
+}
+
+void
+InvariantChecker::onForward(const RetiredInst &ri, LoadPath path,
+                            int latency, uint64_t readyCycle)
+{
+    ++checked;
+    (void)path;
+    if (!forwardPending || forwardPc != ri.pc) {
+        panic("invariant: forward event for pc=%u without a Forwarded "
+              "verdict", ri.pc);
+    }
+    if (latency < 0 || latency > 1) {
+        panic("invariant: forward latency %d outside [0,1] (pc=%u)",
+              latency, ri.pc);
+    }
+    if (readyCycle < forwardExeCycle ||
+        readyCycle - forwardExeCycle !=
+            static_cast<uint64_t>(latency)) {
+        panic("invariant: forward ready cycle %llu inconsistent with "
+              "verdict cycle %llu and latency %d (pc=%u)",
+              static_cast<unsigned long long>(readyCycle),
+              static_cast<unsigned long long>(forwardExeCycle),
+              latency, ri.pc);
+    }
+    forwardPending = false;
+    ++forwards;
+}
+
+void
+InvariantChecker::checkShadow(const char *label, const Shadow &shadow,
+                              const SpecCounters &counters)
+{
+    struct Pair
+    {
+        const char *what;
+        uint64_t shadowed;
+        uint64_t counted;
+    };
+    const Pair pairs[] = {
+        {"executed", shadow.executed, counters.executed},
+        {"speculated", shadow.speculated, counters.speculated},
+        {"forwarded", shadow.count(SpecOutcome::Forwarded),
+         counters.forwarded},
+        {"no_prediction", shadow.count(SpecOutcome::NoPrediction),
+         counters.noPrediction},
+        {"not_bound", shadow.count(SpecOutcome::NotBound),
+         counters.notBound},
+        {"port_denied", shadow.count(SpecOutcome::PortDenied),
+         counters.portDenied},
+        {"reg_interlock", shadow.count(SpecOutcome::RegInterlock),
+         counters.regInterlock},
+        {"mem_interlock", shadow.count(SpecOutcome::MemInterlock),
+         counters.memInterlock},
+        {"wrong_address", shadow.count(SpecOutcome::WrongAddress),
+         counters.wrongAddress},
+        {"cache_miss", shadow.count(SpecOutcome::CacheMiss),
+         counters.cacheMiss},
+    };
+    for (const Pair &p : pairs) {
+        if (p.shadowed != p.counted) {
+            panic("invariant: %s.%s diverged — observer stream says "
+                  "%llu, PipelineStats says %llu",
+                  label, p.what,
+                  static_cast<unsigned long long>(p.shadowed),
+                  static_cast<unsigned long long>(p.counted));
+        }
+    }
+}
+
+void
+InvariantChecker::finish(const PipelineStats &stats) const
+{
+    if (dispatchPending) {
+        panic("invariant: run finished with an unresolved dispatch "
+              "for pc=%u", pendingPc);
+    }
+    if (forwardPending) {
+        panic("invariant: run finished with an undelivered forward "
+              "for pc=%u", forwardPc);
+    }
+    checkShadow("normal", normal, stats.normal);
+    checkShadow("predict", predict, stats.predict);
+    checkShadow("early_calc", earlyCalc, stats.earlyCalc);
+    uint64_t executed =
+        normal.executed + predict.executed + earlyCalc.executed;
+    if (executed != stats.loads) {
+        panic("invariant: verdicts cover %llu loads but the pipeline "
+              "counted %llu",
+              static_cast<unsigned long long>(executed),
+              static_cast<unsigned long long>(stats.loads));
+    }
+    if (executed > 0 && stats.cycles < lastExeCycle) {
+        panic("invariant: final cycle count %llu precedes the last "
+              "verdict cycle %llu",
+              static_cast<unsigned long long>(stats.cycles),
+              static_cast<unsigned long long>(lastExeCycle));
+    }
+}
+
+} // namespace verify
+} // namespace elag

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Lockstep invariant checking for the timing model.
+ *
+ * InvariantChecker is a pipeline::Observer that shadows every load's
+ * speculation lifecycle and panics (PanicError, via the standard
+ * panic() taxonomy) the moment a Section-3.2 condition is violated:
+ *
+ *  - forwarding safety: a Forwarded verdict requires a dispatched
+ *    port, a matching address, a cache hit, and clear register and
+ *    memory interlocks — checked both against the hardware's own
+ *    published VerifyConditions and, independently, against the
+ *    dispatch address vs. the committed effective address;
+ *  - event conservation: every speculative dispatch is resolved by
+ *    exactly one verdict, every verdict belongs to exactly one
+ *    executed load, and every Forwarded verdict produces exactly one
+ *    forward — no event is dropped or duplicated;
+ *  - cycle monotonicity: verdict cycles never run backwards, a
+ *    dispatch precedes its verdict, and a forward's ready cycle and
+ *    latency are consistent with its verdict cycle;
+ *  - end-of-run conservation: finish() cross-checks the shadow
+ *    counters against the pipeline's aggregate PipelineStats.
+ *
+ * The checker holds no reference to the pipeline's internals; it
+ * sees only the public observer stream, so it validates the model
+ * the way an external proof obligation would.
+ */
+
+#ifndef ELAG_VERIFY_INVARIANT_CHECKER_HH
+#define ELAG_VERIFY_INVARIANT_CHECKER_HH
+
+#include <cstdint>
+
+#include "pipeline/observer.hh"
+#include "pipeline/stats.hh"
+
+namespace elag {
+namespace verify {
+
+/** The lockstep checker. Attach with Pipeline::attach(). */
+class InvariantChecker : public pipeline::Observer
+{
+  public:
+    void onSpecDispatch(const pipeline::RetiredInst &ri,
+                        pipeline::LoadPath path, uint32_t specAddr,
+                        uint64_t cycle) override;
+    void onVerifyConditions(const pipeline::RetiredInst &ri,
+                            pipeline::LoadPath path,
+                            pipeline::SpecOutcome outcome,
+                            const pipeline::VerifyConditions &cond,
+                            uint64_t exeCycle) override;
+    void onVerify(const pipeline::RetiredInst &ri,
+                  pipeline::LoadPath path,
+                  pipeline::SpecOutcome outcome,
+                  uint64_t exeCycle) override;
+    void onForward(const pipeline::RetiredInst &ri,
+                   pipeline::LoadPath path, int latency,
+                   uint64_t readyCycle) override;
+
+    /**
+     * End-of-run conservation: the shadow counters must agree with
+     * the pipeline's aggregate statistics field by field, no event
+     * may still be pending, and the cycle count must cover the last
+     * verdict. Panics on any mismatch.
+     */
+    void finish(const pipeline::PipelineStats &stats) const;
+
+    /** Total observer events validated (for "not vacuous" checks). */
+    uint64_t eventsChecked() const { return checked; }
+
+  private:
+    /** Shadow of one path's SpecCounters, rebuilt from events. */
+    struct Shadow
+    {
+        uint64_t executed = 0;
+        uint64_t speculated = 0;
+        uint64_t outcomes[pipeline::NumSpecOutcomes] = {};
+
+        uint64_t
+        count(pipeline::SpecOutcome o) const
+        {
+            return outcomes[static_cast<size_t>(o)];
+        }
+    };
+
+    Shadow &shadowFor(pipeline::LoadPath path);
+    static void checkShadow(const char *label, const Shadow &shadow,
+                            const pipeline::SpecCounters &counters);
+
+    Shadow normal, predict, earlyCalc;
+
+    // In-flight dispatch (at most one: verdicts are synchronous).
+    bool dispatchPending = false;
+    uint32_t pendingPc = 0;
+    uint32_t pendingAddr = 0;
+    uint64_t pendingCycle = 0;
+    pipeline::LoadPath pendingPath = pipeline::LoadPath::Normal;
+
+    // Conditions event awaiting its verdict.
+    bool conditionsPending = false;
+    pipeline::VerifyConditions pendingConditions;
+    pipeline::SpecOutcome conditionsOutcome =
+        pipeline::SpecOutcome::NotAttempted;
+
+    // Forwarded verdict awaiting its onForward.
+    bool forwardPending = false;
+    uint32_t forwardPc = 0;
+    uint64_t forwardExeCycle = 0;
+
+    uint64_t lastExeCycle = 0;
+    uint64_t forwards = 0;
+    uint64_t checked = 0;
+};
+
+} // namespace verify
+} // namespace elag
+
+#endif // ELAG_VERIFY_INVARIANT_CHECKER_HH

@@ -1,0 +1,122 @@
+#include "verify/program_gen.hh"
+
+namespace elag {
+namespace verify {
+
+namespace {
+
+std::string
+num(int64_t v)
+{
+    return std::to_string(v);
+}
+
+} // anonymous namespace
+
+ProgramGen::ProgramGen(uint64_t seed) : rng(seed)
+{
+}
+
+std::string
+ProgramGen::kernel(int index)
+{
+    // Index the loop variables per kernel so nothing shadows.
+    std::string i = "i" + num(index);
+    std::string j = "j" + num(index);
+    switch (rng.nextBounded(7)) {
+      case 0: {
+        // Strided scan: the bread-and-butter ld_p / ld_e case.
+        int stride = 1 << rng.nextBounded(3);
+        return "    for (int " + i + " = 0; " + i + " < 256; " + i +
+               " += " + num(stride) + ")\n"
+               "        sum += A[" + i + "] - B[" + i + "];\n";
+      }
+      case 1: {
+        // Loop-carried recurrence: load feeds the next store.
+        return "    for (int " + i + " = 1; " + i + " < 256; " + i +
+               "++)\n"
+               "        B[" + i + "] = B[" + i + " - 1] ^ A[" + i +
+               "];\n"
+               "    sum += B[255];\n";
+      }
+      case 2: {
+        // Masked gather: address depends on a multiply, defeating
+        // stride prediction part of the time.
+        int k = 3 + 2 * static_cast<int>(rng.nextBounded(6));
+        return "    for (int " + i + " = 0; " + i + " < 256; " + i +
+               "++)\n"
+               "        sum += A[(" + i + " * " + num(k) +
+               ") & 255];\n";
+      }
+      case 3: {
+        // Sub-word traffic: byte loads/stores interleaved with word
+        // loads, exercising partial-overlap mem-interlock probes.
+        return "    for (int " + i + " = 0; " + i + " < 256; " + i +
+               "++) {\n"
+               "        bytes[" + i + "] = bytes[" + i + "] + A[" + i +
+               "];\n"
+               "        sum += bytes[(" + i + " + 1) & 255];\n"
+               "    }\n";
+      }
+      case 4: {
+        // Store-to-load conflict: the store at i+1 is in flight when
+        // the next iteration's load issues.
+        return "    for (int " + i + " = 0; " + i + " < 255; " + i +
+               "++) {\n"
+               "        A[" + i + " + 1] = A[" + i + "] + " +
+               num(1 + rng.nextBounded(9)) + ";\n"
+               "        sum += A[" + i + "];\n"
+               "    }\n";
+      }
+      case 5: {
+        // Nested 2D walk with a short row, retraining the predictor
+        // at every row boundary.
+        int rows = 4 + static_cast<int>(rng.nextBounded(13));
+        return "    for (int " + j + " = 0; " + j + " < " + num(rows) +
+               "; " + j + "++)\n"
+               "        for (int " + i + " = 0; " + i + " < 16; " + i +
+               "++)\n"
+               "            sum += C[(" + j + " * 16 + " + i +
+               ") & 255];\n";
+      }
+      default: {
+        // Indirect chase: B holds indices into A (all in range).
+        return "    for (int " + i + " = 0; " + i + " < 256; " + i +
+               "++)\n"
+               "        sum += A[B[" + i + "] & 255];\n";
+      }
+    }
+}
+
+std::string
+ProgramGen::generate()
+{
+    int32_t seed_const = static_cast<int32_t>(rng.next() & 0x7fffffff);
+    int kernels = 2 + static_cast<int>(rng.nextBounded(4));
+
+    std::string src;
+    src += "int A[256];\n"
+           "int B[256];\n"
+           "int C[256];\n"
+           "char bytes[256];\n"
+           "int main() {\n"
+           "    int seed = " + num(seed_const) + ";\n"
+           "    for (int i = 0; i < 256; i++) {\n"
+           "        seed = seed * 1103515245 + 12345;\n"
+           "        A[i] = seed & 0xffff;\n"
+           "        B[i] = (seed >> 8) & 255;\n"
+           "        C[i] = (seed >> 4) & 4095;\n"
+           "        bytes[i] = seed & 127;\n"
+           "    }\n"
+           "    int sum = 0;\n";
+    for (int k = 0; k < kernels; ++k)
+        src += kernel(k);
+    src += "    print(sum);\n"
+           "    print(sum ^ A[17] ^ B[91] ^ C[203] ^ bytes[5]);\n"
+           "    return 0;\n"
+           "}\n";
+    return src;
+}
+
+} // namespace verify
+} // namespace elag

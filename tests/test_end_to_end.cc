@@ -9,6 +9,7 @@
 #include "pipeline/config.hh"
 #include "sim/simulator.hh"
 #include "support/logging.hh"
+#include "verify/invariant_checker.hh"
 
 using namespace elag;
 
@@ -158,8 +159,16 @@ TEST(EndToEnd, TimedRunProducesCycles)
             return 0;
         }
     )");
-    auto base = sim::runTimed(prog, pipeline::MachineConfig::baseline());
-    auto fast = sim::runTimed(prog, pipeline::MachineConfig::proposed());
+    // Both runs audited by the Section-3.2 invariant checker: every
+    // event stream the tier-1 suite produces is safety-checked.
+    verify::InvariantChecker base_check, fast_check;
+    auto base = sim::runTimed(prog, pipeline::MachineConfig::baseline(),
+                              500'000'000, {&base_check});
+    auto fast = sim::runTimed(prog, pipeline::MachineConfig::proposed(),
+                              500'000'000, {&fast_check});
+    base_check.finish(base.pipe);
+    fast_check.finish(fast.pipe);
+    EXPECT_GT(fast_check.eventsChecked(), 0u);
     EXPECT_TRUE(base.emulation.halted);
     EXPECT_GT(base.pipe.cycles, 0u);
     EXPECT_EQ(base.pipe.instructions, fast.pipe.instructions);

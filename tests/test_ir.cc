@@ -266,7 +266,7 @@ TEST(Liveness, DeadAfterLastUse)
 TEST(Verify, AcceptsWellFormed)
 {
     Diamond d;
-    EXPECT_NO_THROW(verify(d.fn));
+    EXPECT_NO_THROW(ir::verify(d.fn));
 }
 
 TEST(Verify, RejectsMissingTerminator)
@@ -274,7 +274,7 @@ TEST(Verify, RejectsMissingTerminator)
     Function fn("bad");
     BasicBlock *bb = fn.newBlock();
     bb->insts.push_back(movImm(fn.newVReg(), 1));
-    EXPECT_THROW(verify(fn), PanicError);
+    EXPECT_THROW(ir::verify(fn), PanicError);
 }
 
 TEST(Verify, RejectsMidBlockTerminator)
@@ -283,7 +283,7 @@ TEST(Verify, RejectsMidBlockTerminator)
     BasicBlock *bb = fn.newBlock();
     bb->insts.push_back(ret());
     bb->insts.push_back(ret());
-    EXPECT_THROW(verify(fn), PanicError);
+    EXPECT_THROW(ir::verify(fn), PanicError);
 }
 
 TEST(Verify, RejectsForeignBranchTarget)
@@ -293,7 +293,7 @@ TEST(Verify, RejectsForeignBranchTarget)
     BasicBlock *bb = fn.newBlock();
     BasicBlock *foreign = other.newBlock();
     bb->insts.push_back(jump(foreign));
-    EXPECT_THROW(verify(fn), PanicError);
+    EXPECT_THROW(ir::verify(fn), PanicError);
 }
 
 TEST(Verify, RejectsLoadWithImmediateBase)
@@ -307,7 +307,7 @@ TEST(Verify, RejectsLoadWithImmediateBase)
     ld.b = Operand::makeImm(0);
     bb->insts.push_back(ld);
     bb->insts.push_back(ret());
-    EXPECT_THROW(verify(fn), PanicError);
+    EXPECT_THROW(ir::verify(fn), PanicError);
 }
 
 TEST(Printer, RendersLoadSpec)

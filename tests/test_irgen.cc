@@ -30,7 +30,7 @@ lower(const std::string &src)
     auto mod = irgen::lowerToIr(*ast, types, sema.globalSize());
     for (auto &fn : mod->functions)
         fn->removeUnreachable();
-    verify(*mod);
+    ir::verify(*mod);
     return mod;
 }
 

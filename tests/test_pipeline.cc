@@ -12,6 +12,7 @@
 #include "isa/builder.hh"
 #include "pipeline/pipeline.hh"
 #include "pipeline/telemetry.hh"
+#include "verify/invariant_checker.hh"
 
 using namespace elag;
 using namespace elag::pipeline;
@@ -19,13 +20,31 @@ using namespace elag::isa;
 
 namespace {
 
-/** Feed a straight-line instruction stream with sequential PCs. */
+/**
+ * Feed a straight-line instruction stream with sequential PCs.
+ *
+ * Every feeder carries the Section-3.2 invariant checker, so each
+ * timing test doubles as a safety-condition audit of its stream.
+ */
 struct StreamFeeder
 {
     Pipeline pipe;
+    verify::InvariantChecker checker;
     uint32_t pc = 0;
 
-    explicit StreamFeeder(const MachineConfig &cfg) : pipe(cfg) {}
+    explicit StreamFeeder(const MachineConfig &cfg) : pipe(cfg)
+    {
+        pipe.attach(&checker);
+    }
+
+    /** finish() plus the checker's end-of-run cross-checks. */
+    const PipelineStats &
+    finishChecked()
+    {
+        const PipelineStats &s = pipe.finish();
+        checker.finish(s);
+        return s;
+    }
 
     void
     feed(Instruction inst, uint32_t ea = 0)
@@ -54,7 +73,7 @@ struct StreamFeeder
     uint64_t
     cycles()
     {
-        return pipe.finish().cycles;
+        return finishChecked().cycles;
     }
 };
 
@@ -237,7 +256,7 @@ TEST(Timing, EarlyCalcLoadHasZeroLatency)
     for (int i = 0; i < 4; ++i)
         f.feed(build::add(21, 21, 2));
     f.feed(build::load(LoadSpec::EarlyCalc, 12, 1, 8), 0x108);
-    f.pipe.finish();
+    f.finishChecked();
     EXPECT_GT(f.pipe.stats().earlyCalc.forwarded, 0u);
 }
 
@@ -254,7 +273,7 @@ TEST(Timing, EarlyCalcInterlockPreventsForwarding)
         f.feed(build::load(LoadSpec::EarlyCalc, 10, 1, 0),
                0x100 + static_cast<uint32_t>(i) * 4);
     }
-    f.pipe.finish();
+    f.finishChecked();
     EXPECT_EQ(f.pipe.stats().earlyCalc.forwarded, 0u);
     EXPECT_GT(f.pipe.stats().earlyCalc.regInterlock, 0u);
 }
@@ -267,7 +286,7 @@ TEST(Timing, UnboundBaseDoesNotSpeculate)
     f.feed(build::load(LoadSpec::EarlyCalc, 10, 1, 0), 0x100);
     // ld_e with base r2: R_addr holds r1 -> notBound again.
     f.feed(build::load(LoadSpec::EarlyCalc, 11, 2, 0), 0x200);
-    f.pipe.finish();
+    f.finishChecked();
     EXPECT_EQ(f.pipe.stats().earlyCalc.speculated, 0u);
     EXPECT_EQ(f.pipe.stats().earlyCalc.notBound, 2u);
 }
@@ -283,8 +302,67 @@ TEST(Timing, MemInterlockBlocksForwardingPastPendingStore)
     // the speculative load would read stale data -> Mem_Interlock.
     f.feed(build::store(5, 6, 0), 0x104);
     f.feed(build::load(LoadSpec::EarlyCalc, 11, 1, 4), 0x104);
-    f.pipe.finish();
+    f.finishChecked();
     EXPECT_EQ(f.pipe.stats().earlyCalc.forwarded, 0u);
+}
+
+namespace {
+
+/**
+ * Warm/bind, issue a sub-word store, wait `spacing` cycles, then
+ * issue a speculative word ld_e of 0x100. Varying `spacing` walks
+ * the store through its resolve/visible window relative to the
+ * ID1 probe.
+ */
+PipelineStats
+byteStoreProbe(uint32_t store_addr, int spacing)
+{
+    MachineConfig cfg = MachineConfig::proposed();
+    StreamFeeder f(cfg);
+    // Bind r1 into R_addr and warm the block holding 0x100..0x13f
+    // (both candidate store addresses live in the same block, so the
+    // cache state is identical between the overlap/no-overlap runs).
+    f.feed(build::load(LoadSpec::EarlyCalc, 10, 1, 0), 0x100);
+    for (int i = 0; i < 24; ++i)
+        f.feed(build::add(20, 20, 2));
+    f.feed(build::store(5, 6, 0, MemWidth::Byte), store_addr);
+    for (int i = 0; i < spacing; ++i)
+        f.feed(build::add(21, 21, 2));
+    f.feed(build::load(LoadSpec::EarlyCalc, 11, 1, 0), 0x100);
+    return f.finishChecked();
+}
+
+} // namespace
+
+TEST(Timing, MemInterlockCatchesSubWordStoreStraddlingProbe)
+{
+    // A one-byte store into the middle of the probed word must raise
+    // Mem_Interlock even though neither start address matches, while
+    // the identical stream with the byte store outside the word must
+    // forward. Scan the spacing so the comparison happens in the
+    // window where the store address is resolved but its data is not
+    // yet visible to the ID1 probe.
+    bool contrast = false;
+    for (int spacing = 0; spacing <= 8; ++spacing) {
+        PipelineStats ov = byteStoreProbe(0x102, spacing);
+        PipelineStats cl = byteStoreProbe(0x108, spacing);
+        if (ov.earlyCalc.memInterlock > 0 && cl.earlyCalc.forwarded > 0
+            && cl.earlyCalc.memInterlock == 0) {
+            contrast = true;
+        }
+        // The straddling store is strictly more blocking than the
+        // disjoint one at every spacing (the conservative
+        // unresolved-address window applies to both equally).
+        EXPECT_GE(ov.earlyCalc.memInterlock, cl.earlyCalc.memInterlock)
+            << "spacing " << spacing;
+        // Once the straddling store's data is visible, forwarding is
+        // safe again — but never while it is merely resolved.
+        EXPECT_EQ(ov.earlyCalc.memInterlock + ov.earlyCalc.forwarded +
+                      ov.earlyCalc.cacheMiss + ov.earlyCalc.notBound,
+                  ov.earlyCalc.executed)
+            << "spacing " << spacing;
+    }
+    EXPECT_TRUE(contrast);
 }
 
 TEST(Timing, MispredictedBranchCostsRefill)
@@ -323,7 +401,7 @@ TEST(Timing, TrainedBtbRemovesMispredictPenalty)
     };
     StreamFeeder f(cfg);
     loop(f, 100);
-    f.pipe.finish();
+    f.finishChecked();
     // Only the first iteration (cold BTB) and the exit mispredict.
     EXPECT_LE(f.pipe.stats().mispredicts, 4u);
     EXPECT_EQ(f.pipe.stats().branches, 100u);
@@ -343,7 +421,7 @@ TEST(Timing, HardwareOnlyModePredictsEveryLoadKind)
         ld.nextPc = 8;
         f.pipe.retire(ld);
     }
-    f.pipe.finish();
+    f.finishChecked();
     // Despite the ld_n opcode the hardware-only machine predicts.
     EXPECT_GT(f.pipe.stats().predict.speculated, 0u);
 }
@@ -360,7 +438,7 @@ TEST(Timing, CompilerModeIgnoresNormalLoads)
         ld.nextPc = 8;
         f.pipe.retire(ld);
     }
-    f.pipe.finish();
+    f.finishChecked();
     EXPECT_EQ(f.pipe.stats().predict.speculated, 0u);
     EXPECT_EQ(f.pipe.stats().earlyCalc.speculated, 0u);
     // The table stays clean: ld_n never allocates.
@@ -403,7 +481,7 @@ TEST(Timing, InstructionAndLoadCountsAreExact)
     f.feed(build::load(LoadSpec::Normal, 11, 1, 0), 0x10);
     f.feed(build::store(11, 1, 4), 0x14);
     f.feed(build::halt());
-    f.pipe.finish();
+    f.finishChecked();
     EXPECT_EQ(f.pipe.stats().instructions, 4u);
     EXPECT_EQ(f.pipe.stats().loads, 1u);
     EXPECT_EQ(f.pipe.stats().stores, 1u);
@@ -483,7 +561,7 @@ TEST(Observer, TelemetryRecordsPerPcOutcomes)
     LoadTelemetry telemetry;
     f.pipe.attach(&telemetry);
     runStridedLoop(f, LoadSpec::Predict);
-    f.pipe.finish();
+    f.finishChecked();
 
     ASSERT_EQ(telemetry.loads().size(), 1u);
     const LoadRecord &rec = telemetry.loads().at(100);
@@ -508,7 +586,7 @@ TEST(Observer, TelemetryDominantFailureForUnboundBase)
     // base register: still not bound to it.
     f.feed(build::load(LoadSpec::EarlyCalc, 10, 1, 0), 0x100);
     f.feed(build::load(LoadSpec::EarlyCalc, 11, 2, 0), 0x200);
-    f.pipe.finish();
+    f.finishChecked();
 
     ASSERT_EQ(telemetry.loads().size(), 2u);
     for (const auto &kv : telemetry.loads()) {
@@ -526,7 +604,7 @@ TEST(Observer, CallbacksMatchAggregateCounters)
     CountingObserver counter;
     f.pipe.attach(&counter);
     runStridedLoop(f, LoadSpec::Predict);
-    f.pipe.finish();
+    f.finishChecked();
 
     const PipelineStats &s = f.pipe.stats();
     // Every executed load gets exactly one verify verdict.
@@ -547,7 +625,7 @@ TEST(Observer, MultipleObserversAllReceiveEvents)
     f.pipe.attach(&b);
     f.pipe.attach(&telemetry);
     runStridedLoop(f, LoadSpec::Predict, 20);
-    f.pipe.finish();
+    f.finishChecked();
 
     EXPECT_GT(a.verifies, 0u);
     EXPECT_EQ(a.verifies, b.verifies);
@@ -560,7 +638,7 @@ TEST(Observer, HistogramsPopulatedByTimedRun)
     MachineConfig cfg = MachineConfig::proposed();
     StreamFeeder f(cfg);
     runStridedLoop(f, LoadSpec::Predict);
-    const PipelineStats &s = f.pipe.finish();
+    const PipelineStats &s = f.finishChecked();
 
     // One latency sample per executed load.
     EXPECT_EQ(s.loadLatency.samples(), s.loads);
@@ -584,6 +662,6 @@ TEST(Observer, BindLifetimeHistogramTracksRaddrResidency)
         for (int j = 0; j < 4; ++j)
             f.feed(build::add(20, 20, 2));
     }
-    const PipelineStats &s = f.pipe.finish();
+    const PipelineStats &s = f.finishChecked();
     EXPECT_GT(s.bindLifetime.samples(), 0u);
 }

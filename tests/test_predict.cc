@@ -239,6 +239,52 @@ TEST(RegisterCache, RebindUpdatesInPlace)
     EXPECT_EQ(cache.bindings(), 3u);
 }
 
+TEST(RegisterCache, InvalidateDropsBindingAndSamplesLifetime)
+{
+    RegisterCache raddr(1);
+    raddr.bind(7, 0x1000, 10);
+    ASSERT_TRUE(raddr.isBound(7));
+    raddr.invalidate(7, 45);
+    EXPECT_FALSE(raddr.isBound(7));
+    // The ended binding lived 35 cycles and was sampled.
+    EXPECT_EQ(raddr.lifetimeHistogram().samples(), 1u);
+    EXPECT_EQ(raddr.lifetimeHistogram().mean(), 35.0);
+}
+
+TEST(RegisterCache, InvalidateUnboundOrOtherRegisterIsNoOp)
+{
+    RegisterCache raddr(1);
+    raddr.invalidate(7, 100); // nothing bound at all
+    EXPECT_EQ(raddr.lifetimeHistogram().samples(), 0u);
+    raddr.bind(7, 0x1000, 10);
+    raddr.invalidate(8, 100); // a different register
+    EXPECT_TRUE(raddr.isBound(7));
+    EXPECT_EQ(*raddr.lookup(7), 0x1000u);
+    EXPECT_EQ(raddr.lifetimeHistogram().samples(), 0u);
+}
+
+TEST(RegisterCache, BindInvalidateRebindLifecycle)
+{
+    // The fault injector's R_addr-invalidate storm exercises exactly
+    // this sequence; a rebind after an invalidate must behave like a
+    // first binding (fresh value, fresh bound-cycle stamp).
+    RegisterCache raddr(1);
+    raddr.bind(5, 0x100, 10);
+    raddr.invalidate(5, 30);
+    EXPECT_FALSE(raddr.isBound(5));
+    raddr.bind(5, 0x200, 50);
+    ASSERT_TRUE(raddr.isBound(5));
+    EXPECT_EQ(*raddr.lookup(5), 0x200u);
+    // Multicast writes still reach the rebound slot.
+    raddr.onRegisterWrite(5, 0x240);
+    EXPECT_EQ(*raddr.lookup(5), 0x240u);
+    raddr.invalidate(5, 90);
+    // Two completed bindings: lifetimes 20 and 40 cycles.
+    EXPECT_EQ(raddr.lifetimeHistogram().samples(), 2u);
+    EXPECT_EQ(raddr.lifetimeHistogram().mean(), 30.0);
+    EXPECT_EQ(raddr.bindings(), 2u);
+}
+
 // ---------------------------------------------------------------
 // AddressProfiler.
 // ---------------------------------------------------------------

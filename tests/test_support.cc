@@ -270,8 +270,33 @@ TEST(Json, NonFiniteDoublesBecomeNull)
     w.beginArray();
     w.value(0.0 / 0.0);
     w.value(1e308 * 10);
+    w.value(-1e308 * 10);
     w.endArray();
-    EXPECT_EQ(w.str(), "[null,null]");
+    EXPECT_EQ(w.str(), "[null,null,null]");
+    EXPECT_TRUE(jsonValid(w.str()));
+}
+
+TEST(Json, NonFiniteFieldsAndNestingStayValid)
+{
+    // Stats exporters feed rates straight into field(); a 0/0 rate
+    // (e.g. forward rate with zero loads under an aggressive fault
+    // plan) must degrade to null in any nesting, not break the doc.
+    JsonWriter w(0);
+    w.beginObject();
+    w.field("nan_rate", 0.0 / 0.0);
+    w.field("fine", 2.5);
+    w.key("nested").beginObject();
+    w.field("inf", 1e308 * 10);
+    w.key("deep").beginArray();
+    w.value(-1e308 * 10);
+    w.value(1.0);
+    w.endArray();
+    w.endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"nan_rate\":null,\"fine\":2.5,\"nested\":"
+              "{\"inf\":null,\"deep\":[null,1]}}");
+    EXPECT_TRUE(jsonValid(w.str()));
 }
 
 TEST(Json, ValidatorAcceptsAndRejects)

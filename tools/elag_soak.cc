@@ -1,0 +1,349 @@
+/**
+ * @file
+ * elag_soak — differential fault-injection soak driver.
+ *
+ * Generates N seeded mini-C programs, runs each on the baseline and
+ * proposed machines with the lockstep invariant checker attached,
+ * then re-runs every (program, machine) pair under each fault plan
+ * and requires:
+ *
+ *   - architectural results bit-identical to the clean reference
+ *     (print output, exit value, instruction count, halted flag) —
+ *     the paper's recovery-free claim: faults may only move timing;
+ *   - zero invariant violations (the Section-3.2 safety conditions
+ *     hold under every perturbation);
+ *   - no hangs (every run is watchdog-guarded).
+ *
+ * Two self-checks run first so a silently-vacuous harness cannot
+ * pass: a deliberately infinite program must trip the watchdog
+ * (SimTimeoutError), and a deliberately-broken forwarding condition
+ * (address-check bypass) must be caught by the checker (PanicError).
+ *
+ *   elag_soak [--programs=N] [--seed=N] [--plans=a,b,...]
+ *             [--json=FILE] [--max-inst=N] [--max-cycles=N] [--quiet]
+ *
+ * Exit codes: 0 all green, 1 differential mismatch or failed
+ * self-check, 70 unexpected invariant violation, 75 unexpected
+ * watchdog timeout.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "verify/fault_injector.hh"
+#include "verify/invariant_checker.hh"
+#include "verify/program_gen.hh"
+
+using namespace elag;
+
+namespace {
+
+struct Options
+{
+    uint64_t programs = 200;
+    uint64_t seed = 0x853c49e6748fea9bULL;
+    std::vector<std::string> plans;
+    std::string jsonPath;
+    uint64_t maxInst = 20'000'000;
+    uint64_t maxCycles = 100'000'000;
+};
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: elag_soak [--programs=N] [--seed=N]\n"
+                 "                 [--plans=a,b,...] [--json=FILE]\n"
+                 "                 [--max-inst=N] [--max-cycles=N]"
+                 " [--quiet]\n");
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opts)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *prefix) {
+            return arg.substr(std::strlen(prefix));
+        };
+        if (startsWith(arg, "--programs=")) {
+            opts.programs = std::stoull(value("--programs="));
+        } else if (startsWith(arg, "--seed=")) {
+            opts.seed = std::stoull(value("--seed="));
+        } else if (startsWith(arg, "--plans=")) {
+            opts.plans = splitString(value("--plans="), ',');
+        } else if (startsWith(arg, "--json=")) {
+            opts.jsonPath = value("--json=");
+        } else if (startsWith(arg, "--max-inst=")) {
+            opts.maxInst = std::stoull(value("--max-inst="));
+        } else if (startsWith(arg, "--max-cycles=")) {
+            opts.maxCycles = std::stoull(value("--max-cycles="));
+        } else if (arg == "--quiet") {
+            setQuiet(true);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+/** splitmix64-style mixer for derived per-run fault seeds. */
+uint64_t
+mixSeed(uint64_t base, uint64_t salt)
+{
+    uint64_t z = base + salt * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+bool
+sameArchitecture(const sim::EmulationResult &a,
+                 const sim::EmulationResult &b)
+{
+    return a.output == b.output && a.exitValue == b.exitValue &&
+           a.instructions == b.instructions && a.halted == b.halted;
+}
+
+struct SoakTotals
+{
+    uint64_t runs = 0;
+    uint64_t faultsFired = 0;
+    uint64_t eventsChecked = 0;
+    uint64_t timingMoved = 0; ///< faulted runs whose cycles changed
+    uint64_t mismatches = 0;
+};
+
+/**
+ * Self-check 1: a program that never halts must trip the cycle
+ * watchdog with SimTimeoutError, not hang the harness.
+ */
+bool
+watchdogSelfCheck()
+{
+    const char *infinite =
+        "int main() {\n"
+        "    int x = 0;\n"
+        "    while (1) { x = x + 1; }\n"
+        "    return x;\n"
+        "}\n";
+    auto prog = sim::compile(infinite);
+    sim::Watchdog watchdog;
+    watchdog.maxCycles = 100'000;
+    try {
+        sim::runTimed(prog, pipeline::MachineConfig::proposed(),
+                      1'000'000'000, {}, watchdog);
+    } catch (const sim::SimTimeoutError &) {
+        return true;
+    }
+    std::fprintf(stderr,
+                 "self-check FAILED: infinite program did not trip "
+                 "the watchdog\n");
+    return false;
+}
+
+/**
+ * Self-check 2: with the address check bypassed (a deliberately
+ * broken Section-3.2 implementation) the invariant checker must
+ * panic — proving the checker is not vacuous.
+ */
+bool
+checkerSelfCheck()
+{
+    const char *strided =
+        "int A[256];\n"
+        "int main() {\n"
+        "    int sum = 0;\n"
+        "    for (int i = 0; i < 256; i++) A[i] = i;\n"
+        "    for (int i = 0; i < 256; i++) sum += A[i];\n"
+        "    print(sum);\n"
+        "    return 0;\n"
+        "}\n";
+    auto prog = sim::compile(strided);
+    // Every load through the table, every verification forced to
+    // fail, and the failed check bypassed: the first hit that would
+    // have forwarded violates the addr-match condition.
+    verify::FaultPlan plan = verify::planByName("bug-addr-bypass");
+    plan.verifyFailRate = 1.0;
+    verify::FaultInjector injector(plan, 1);
+    pipeline::MachineConfig cfg = pipeline::MachineConfig::proposed();
+    cfg.selection = pipeline::SelectionPolicy::AllPredict;
+    cfg.faultInjector = &injector;
+    verify::InvariantChecker checker;
+    try {
+        sim::runTimed(prog, cfg, 10'000'000, {&checker});
+    } catch (const PanicError &) {
+        return true;
+    }
+    std::fprintf(stderr,
+                 "self-check FAILED: bypassed address check was not "
+                 "caught by the invariant checker\n");
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseArgs(argc, argv, opts)) {
+        usage();
+        return 1;
+    }
+    if (opts.plans.empty())
+        opts.plans = verify::gracefulPlanNames();
+
+    if (!watchdogSelfCheck() || !checkerSelfCheck())
+        return 1;
+    std::fprintf(stderr, "self-checks passed\n");
+
+    struct NamedConfig
+    {
+        const char *name;
+        pipeline::MachineConfig cfg;
+    };
+    const NamedConfig machines[] = {
+        {"baseline", pipeline::MachineConfig::baseline()},
+        {"proposed", pipeline::MachineConfig::proposed()},
+    };
+
+    sim::Watchdog watchdog;
+    watchdog.maxCycles = opts.maxCycles;
+    SoakTotals totals;
+    verify::ProgramGen gen(opts.seed);
+
+    try {
+        for (uint64_t p = 0; p < opts.programs; ++p) {
+            std::string src = gen.generate();
+            auto prog = sim::compile(src);
+
+            // Clean reference per machine, checker attached.
+            sim::EmulationResult reference[2];
+            uint64_t cleanCycles[2] = {};
+            for (int m = 0; m < 2; ++m) {
+                verify::InvariantChecker checker;
+                auto clean =
+                    sim::runTimed(prog, machines[m].cfg, opts.maxInst,
+                                  {&checker}, watchdog);
+                checker.finish(clean.pipe);
+                totals.eventsChecked += checker.eventsChecked();
+                ++totals.runs;
+                reference[m] = clean.emulation;
+                cleanCycles[m] = clean.pipe.cycles;
+                if (!clean.emulation.halted) {
+                    std::fprintf(stderr,
+                                 "program %llu did not halt within "
+                                 "the instruction cap\n",
+                                 static_cast<unsigned long long>(p));
+                    return 1;
+                }
+            }
+            if (!sameArchitecture(reference[0], reference[1])) {
+                std::fprintf(stderr,
+                             "program %llu: baseline and proposed "
+                             "emulation diverged\n",
+                             static_cast<unsigned long long>(p));
+                return 1;
+            }
+
+            // Every fault plan on every machine: architectural
+            // results must match the clean reference bit for bit.
+            for (size_t pl = 0; pl < opts.plans.size(); ++pl) {
+                verify::FaultPlan plan =
+                    verify::planByName(opts.plans[pl]);
+                for (int m = 0; m < 2; ++m) {
+                    verify::FaultInjector injector(
+                        plan, mixSeed(opts.seed,
+                                      p * 64 + pl * 2 +
+                                          static_cast<uint64_t>(m)));
+                    pipeline::MachineConfig cfg = machines[m].cfg;
+                    cfg.faultInjector = &injector;
+                    verify::InvariantChecker checker;
+                    auto faulted = sim::runTimed(prog, cfg,
+                                                 opts.maxInst,
+                                                 {&checker}, watchdog);
+                    checker.finish(faulted.pipe);
+                    ++totals.runs;
+                    totals.eventsChecked += checker.eventsChecked();
+                    totals.faultsFired += injector.counts().total();
+                    if (faulted.pipe.cycles != cleanCycles[m])
+                        ++totals.timingMoved;
+                    if (!sameArchitecture(faulted.emulation,
+                                          reference[m])) {
+                        ++totals.mismatches;
+                        std::fprintf(
+                            stderr,
+                            "MISMATCH program %llu plan %s machine "
+                            "%s: architectural results differ\n",
+                            static_cast<unsigned long long>(p),
+                            plan.name.c_str(), machines[m].name);
+                        std::fprintf(stderr, "source:\n%s",
+                                     src.c_str());
+                        return 1;
+                    }
+                }
+            }
+            if ((p + 1) % 50 == 0) {
+                std::fprintf(
+                    stderr, "  %llu/%llu programs soaked\n",
+                    static_cast<unsigned long long>(p + 1),
+                    static_cast<unsigned long long>(opts.programs));
+            }
+        }
+    } catch (const sim::SimTimeoutError &e) {
+        std::fprintf(stderr, "elag_soak: unexpected timeout: %s\n",
+                     e.what());
+        return 75;
+    } catch (const PanicError &e) {
+        std::fprintf(stderr,
+                     "elag_soak: invariant violation under a "
+                     "graceful fault plan: %s\n",
+                     e.what());
+        return 70;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "elag_soak: %s\n", e.what());
+        return 1;
+    }
+
+    std::fprintf(stderr,
+                 "soak OK: %llu programs x %zu plans, %llu runs, "
+                 "%llu faults fired, %llu events checked, timing "
+                 "moved in %llu faulted runs, 0 mismatches\n",
+                 static_cast<unsigned long long>(opts.programs),
+                 opts.plans.size(),
+                 static_cast<unsigned long long>(totals.runs),
+                 static_cast<unsigned long long>(totals.faultsFired),
+                 static_cast<unsigned long long>(totals.eventsChecked),
+                 static_cast<unsigned long long>(totals.timingMoved));
+
+    if (!opts.jsonPath.empty()) {
+        JsonWriter w;
+        w.beginObject();
+        w.field("programs", opts.programs);
+        w.field("seed", opts.seed);
+        w.key("plans").beginArray();
+        for (const std::string &plan : opts.plans)
+            w.value(plan);
+        w.endArray();
+        w.field("runs", totals.runs);
+        w.field("faults_fired", totals.faultsFired);
+        w.field("events_checked", totals.eventsChecked);
+        w.field("timing_moved_runs", totals.timingMoved);
+        w.field("mismatches", totals.mismatches);
+        w.endObject();
+        std::ofstream jf(opts.jsonPath);
+        if (!jf)
+            fatal("cannot write '%s'", opts.jsonPath.c_str());
+        jf << w.str() << '\n';
+    }
+    return 0;
+}

@@ -24,6 +24,18 @@
  *                                     predict, raddr, cache, or 'all');
  *                                     ELAG_TRACE env works too
  *   elagc --quiet                     silence warn()/inform() output
+ *
+ * Robustness harness:
+ *   elagc --verify-invariants prog.c  attach the lockstep invariant
+ *                                     checker to the timed run
+ *   elagc --inject=PLAN prog.c        perturb the speculation hardware
+ *                                     with a named fault plan
+ *   elagc --seed=N                    fault-injection seed
+ *   elagc --max-cycles=N              watchdog: abort past cycle N
+ *
+ * Exit codes: 0 success (or the program's exit value), 1 user error
+ * (FatalError), 2 usage, 3 instruction cap reached, 70 invariant
+ * violation (PanicError), 75 watchdog timeout (SimTimeoutError).
  */
 
 #include <cstdio>
@@ -32,12 +44,16 @@
 #include <sstream>
 #include <string>
 
+#include <optional>
+
 #include "isa/disasm.hh"
 #include "sim/simulator.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 #include "support/trace.hh"
+#include "verify/fault_injector.hh"
+#include "verify/invariant_checker.hh"
 
 using namespace elag;
 
@@ -60,6 +76,11 @@ struct Options
     uint32_t table = 0;
     uint32_t regs = 0;
     uint64_t maxInst = 500'000'000;
+    // Robustness harness.
+    bool verifyInvariants = false;
+    std::string inject; ///< fault plan name, empty for none
+    uint64_t seed = 0x853c49e6748fea9bULL; ///< the default PCG32 seed
+    uint64_t maxCycles = 0; ///< watchdog; 0 = unlimited
 };
 
 void
@@ -73,7 +94,9 @@ usage()
                  "             [--machine=baseline|proposed]\n"
                  "             [--selection=compiler|ev|all-predict|"
                  "all-early]\n"
-                 "             [--table=N] [--regs=N] [--max-inst=N]"
+                 "             [--table=N] [--regs=N] [--max-inst=N]\n"
+                 "             [--verify-invariants] [--inject=PLAN]\n"
+                 "             [--seed=N] [--max-cycles=N]"
                  " file.c\n");
 }
 
@@ -115,6 +138,14 @@ parseArgs(int argc, char **argv, Options &opts)
                 std::stoul(value("--regs=")));
         } else if (startsWith(arg, "--max-inst=")) {
             opts.maxInst = std::stoull(value("--max-inst="));
+        } else if (arg == "--verify-invariants") {
+            opts.verifyInvariants = true;
+        } else if (startsWith(arg, "--inject=")) {
+            opts.inject = value("--inject=");
+        } else if (startsWith(arg, "--seed=")) {
+            opts.seed = std::stoull(value("--seed="));
+        } else if (startsWith(arg, "--max-cycles=")) {
+            opts.maxCycles = std::stoull(value("--max-cycles="));
         } else if (!startsWith(arg, "--")) {
             opts.file = arg;
         } else {
@@ -230,6 +261,36 @@ jsonStatsDoc(const Options &opts, const sim::CompiledProgram &prog,
     return w.str();
 }
 
+/**
+ * When --json-stats is active, a failed run still produces a JSON
+ * document — an "error" block instead of stats — so harnesses
+ * consuming the file see the failure structurally.
+ */
+void
+writeErrorDoc(const Options &opts, const char *type,
+              const char *message, int exit_code)
+{
+    if (opts.jsonStats.empty())
+        return;
+    JsonWriter w;
+    w.beginObject();
+    w.key("error").beginObject();
+    w.field("type", type);
+    w.field("message", message);
+    w.field("exit_code", exit_code);
+    w.endObject();
+    w.endObject();
+    std::string doc = w.str();
+    if (opts.jsonStats == "-") {
+        std::fwrite(doc.data(), 1, doc.size(), stdout);
+        std::fputc('\n', stdout);
+    } else {
+        std::ofstream jf(opts.jsonStats);
+        if (jf)
+            jf << doc << '\n';
+    }
+}
+
 } // namespace
 
 int
@@ -298,13 +359,50 @@ main(int argc, char **argv)
             return 0;
         }
 
-        if (opts.stats || opts.loadReport || !opts.jsonStats.empty()) {
+        if (opts.stats || opts.loadReport || !opts.jsonStats.empty() ||
+            opts.verifyInvariants || !opts.inject.empty() ||
+            opts.maxCycles > 0) {
             pipeline::LoadTelemetry telemetry;
+            sim::Watchdog watchdog;
+            watchdog.maxCycles = opts.maxCycles;
+
+            // Faults perturb only the machine under test; the
+            // baseline reference stays clean.
+            pipeline::MachineConfig mcfg = machineFor(opts);
+            std::optional<verify::FaultInjector> injector;
+            if (!opts.inject.empty()) {
+                injector.emplace(verify::planByName(opts.inject),
+                                 opts.seed);
+                mcfg.faultInjector = &*injector;
+            }
+            verify::InvariantChecker checker;
+            std::vector<pipeline::Observer *> observers{&telemetry};
+            if (opts.verifyInvariants)
+                observers.push_back(&checker);
+
             auto base = sim::runTimed(
                 prog, pipeline::MachineConfig::baseline(),
-                opts.maxInst);
-            auto timed = sim::runTimed(prog, machineFor(opts),
-                                       opts.maxInst, {&telemetry});
+                opts.maxInst, {}, watchdog);
+            auto timed = sim::runTimed(prog, mcfg, opts.maxInst,
+                                       observers, watchdog);
+
+            if (opts.verifyInvariants) {
+                checker.finish(timed.pipe);
+                std::fprintf(
+                    text,
+                    "invariants: %llu events checked, 0 violations\n",
+                    static_cast<unsigned long long>(
+                        checker.eventsChecked()));
+            }
+            if (injector) {
+                std::fprintf(
+                    text,
+                    "faults: plan %s seed %llu fired %llu times\n",
+                    injector->plan().name.c_str(),
+                    static_cast<unsigned long long>(injector->seed()),
+                    static_cast<unsigned long long>(
+                        injector->counts().total()));
+            }
 
             if (opts.stats)
                 printStatsText(text, base, timed);
@@ -342,8 +440,17 @@ main(int argc, char **argv)
             return 3;
         }
         return result.exitValue;
+    } catch (const sim::SimTimeoutError &e) {
+        std::fprintf(stderr, "elagc: %s\n", e.what());
+        writeErrorDoc(opts, "timeout", e.what(), 75);
+        return 75;
+    } catch (const PanicError &e) {
+        std::fprintf(stderr, "elagc: %s\n", e.what());
+        writeErrorDoc(opts, "panic", e.what(), 70);
+        return 70;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "elagc: %s\n", e.what());
+        writeErrorDoc(opts, "fatal", e.what(), 1);
         return 1;
     }
 }
