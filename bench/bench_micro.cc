@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "mem/cache.hh"
@@ -118,18 +119,25 @@ BENCHMARK(BM_CompilePipeline)->Unit(benchmark::kMillisecond);
 } // namespace
 
 /**
- * Like BENCHMARK_MAIN(), but accepts the same --json flag as the
- * table/figure benches by rewriting it to google-benchmark's native
- * --benchmark_format=json.
+ * Like BENCHMARK_MAIN(), but accepts the same --json and --out=FILE
+ * flags as the table/figure benches (so batch supervisors like
+ * tools/elag_campaign can treat every bench uniformly) by rewriting
+ * them to google-benchmark's native --benchmark_format=json and
+ * --benchmark_out=FILE (whose out format already defaults to json).
  */
 int
 main(int argc, char **argv)
 {
     std::vector<char *> args(argv, argv + argc);
     static char json_fmt[] = "--benchmark_format=json";
+    static std::string out_flag;
     for (char *&arg : args) {
         if (std::strcmp(arg, "--json") == 0)
             arg = json_fmt;
+        else if (std::strncmp(arg, "--out=", 6) == 0) {
+            out_flag = std::string("--benchmark_out=") + (arg + 6);
+            arg = &out_flag[0];
+        }
     }
     int count = static_cast<int>(args.size());
     benchmark::Initialize(&count, args.data());

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <utility>
 
 #include "support/json.hh"
@@ -89,10 +90,17 @@ parseBenchArgs(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
             opts.json = true;
+        } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+            opts.outPath = argv[i] + 6;
         } else {
-            std::fprintf(stderr, "usage: %s [--json]\n", argv[0]);
+            std::fprintf(stderr, "usage: %s [--json] [--out=FILE]\n",
+                         argv[0]);
             std::exit(2);
         }
+    }
+    if (!opts.outPath.empty() && !opts.json) {
+        std::fprintf(stderr, "%s: --out requires --json\n", argv[0]);
+        std::exit(2);
     }
     return opts;
 }
@@ -183,6 +191,16 @@ Report::finish()
     w.endObject();
 
     std::string doc = w.str();
+    if (!opts.outPath.empty()) {
+        std::ofstream out(opts.outPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         opts.outPath.c_str());
+            std::exit(1);
+        }
+        out << doc << '\n';
+        return;
+    }
     std::fwrite(doc.data(), 1, doc.size(), stdout);
     std::fputc('\n', stdout);
 }

@@ -57,12 +57,20 @@ void printHeader(const std::string &title, const std::string &paper_ref);
 struct BenchOptions
 {
     bool json = false; ///< emit the report as JSON instead of text
+    /**
+     * Batch mode: write the JSON document to this file instead of
+     * stdout, so a campaign/batch supervisor collecting artifacts
+     * does not have to capture and demultiplex pipes. Requires
+     * --json.
+     */
+    std::string outPath;
 };
 
 /**
- * Parse bench argv (--json; anything else errors and exits). Every
- * table/figure bench accepts the same flags so scripted regeneration
- * of the paper's results can treat them uniformly.
+ * Parse bench argv (--json, --out=FILE; anything else errors and
+ * exits 2). Every table/figure bench accepts the same flags so
+ * scripted regeneration of the paper's results — and batch execution
+ * under tools/elag_campaign — can treat them uniformly.
  */
 BenchOptions parseBenchArgs(int argc, char **argv);
 

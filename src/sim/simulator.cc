@@ -1,5 +1,7 @@
 #include "sim/simulator.hh"
 
+#include <chrono>
+
 #include "irgen/irgen.hh"
 #include "lang/parser.hh"
 #include "lang/sema.hh"
@@ -144,10 +146,26 @@ runTimed(const CompiledProgram &prog,
         pipe.attach(observer);
     Emulator emu(prog.code.program);
     uint64_t retired = 0;
+    const auto wallStart = std::chrono::steady_clock::now();
     result.emulation = emu.run(
         max_instructions, [&](const pipeline::RetiredInst &ri) {
             pipe.retire(ri);
             ++retired;
+            if (watchdog.maxWallMs && (retired & 0xfff) == 0) {
+                auto elapsed =
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - wallStart)
+                        .count();
+                if (static_cast<uint64_t>(elapsed) > watchdog.maxWallMs) {
+                    throw SimTimeoutError(
+                        SimTimeoutError::Kind::WallClock,
+                        watchdog.maxWallMs,
+                        formatString("watchdog: run exceeded %llu ms "
+                                     "of wall clock",
+                                     static_cast<unsigned long long>(
+                                         watchdog.maxWallMs)));
+                }
+            }
             if (watchdog.maxRetires && retired > watchdog.maxRetires) {
                 throw SimTimeoutError(
                     SimTimeoutError::Kind::Retires, watchdog.maxRetires,

@@ -132,7 +132,7 @@ TimedResult runTimed(const CompiledProgram &prog,
 class SimTimeoutError : public std::runtime_error
 {
   public:
-    enum class Kind { Retires, Cycles };
+    enum class Kind { Retires, Cycles, WallClock };
 
     SimTimeoutError(Kind which, uint64_t limit_value,
                     const std::string &msg)
@@ -158,6 +158,14 @@ struct Watchdog
     uint64_t maxRetires = 0;
     /** Maximum pipeline completion cycle. */
     uint64_t maxCycles = 0;
+    /**
+     * Maximum host wall-clock milliseconds for the run. Unlike the
+     * simulated-unit caps above, this bounds real time, so a crash-
+     * isolated worker can exit with a clean timeout (75) before an
+     * external supervisor has to SIGKILL it. Checked every few
+     * thousand retires; granularity is coarse, not exact.
+     */
+    uint64_t maxWallMs = 0;
 };
 
 /**

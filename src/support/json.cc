@@ -268,6 +268,118 @@ jsonValid(const std::string &text)
     return JsonChecker(text).check();
 }
 
+// --- flat-document field extraction ----------------------------------
+
+namespace {
+
+/** Position just past `"key"` + ws + ':' + ws, or npos. */
+size_t
+findMemberValue(const std::string &doc, const std::string &key)
+{
+    std::string needle = "\"" + key + "\"";
+    size_t pos = doc.find(needle);
+    while (pos != std::string::npos) {
+        size_t p = pos + needle.size();
+        while (p < doc.size() &&
+               (doc[p] == ' ' || doc[p] == '\t' || doc[p] == '\n' ||
+                doc[p] == '\r')) {
+            ++p;
+        }
+        if (p < doc.size() && doc[p] == ':') {
+            ++p;
+            while (p < doc.size() &&
+                   (doc[p] == ' ' || doc[p] == '\t' ||
+                    doc[p] == '\n' || doc[p] == '\r')) {
+                ++p;
+            }
+            return p;
+        }
+        pos = doc.find(needle, pos + 1); // quoted string, not a key
+    }
+    return std::string::npos;
+}
+
+} // anonymous namespace
+
+bool
+jsonExtractString(const std::string &doc, const std::string &key,
+                  std::string &out)
+{
+    size_t p = findMemberValue(doc, key);
+    if (p == std::string::npos || p >= doc.size() || doc[p] != '"')
+        return false;
+    ++p;
+    std::string value;
+    while (p < doc.size() && doc[p] != '"') {
+        char c = doc[p++];
+        if (c != '\\') {
+            value += c;
+            continue;
+        }
+        if (p >= doc.size())
+            return false;
+        char esc = doc[p++];
+        switch (esc) {
+          case '"': value += '"'; break;
+          case '\\': value += '\\'; break;
+          case '/': value += '/'; break;
+          case 'b': value += '\b'; break;
+          case 'f': value += '\f'; break;
+          case 'n': value += '\n'; break;
+          case 'r': value += '\r'; break;
+          case 't': value += '\t'; break;
+          case 'u': {
+            if (p + 4 > doc.size())
+                return false;
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+                char h = doc[p++];
+                cp <<= 4;
+                if (h >= '0' && h <= '9')
+                    cp |= static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    cp |= static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    cp |= static_cast<unsigned>(h - 'A' + 10);
+                else
+                    return false;
+            }
+            // Manifest strings are ASCII; keep non-ASCII escapes as a
+            // replacement byte rather than growing a UTF-8 encoder.
+            value += cp < 0x80 ? static_cast<char>(cp) : '?';
+            break;
+          }
+          default:
+            return false;
+        }
+    }
+    if (p >= doc.size())
+        return false; // unterminated string
+    out = value;
+    return true;
+}
+
+bool
+jsonExtractUint(const std::string &doc, const std::string &key,
+                uint64_t &out)
+{
+    size_t p = findMemberValue(doc, key);
+    if (p == std::string::npos || p >= doc.size() || doc[p] < '0' ||
+        doc[p] > '9') {
+        return false;
+    }
+    uint64_t value = 0;
+    while (p < doc.size() && doc[p] >= '0' && doc[p] <= '9') {
+        uint64_t digit = static_cast<uint64_t>(doc[p] - '0');
+        if (value > (UINT64_MAX - digit) / 10)
+            return false;
+        value = value * 10 + digit;
+        ++p;
+    }
+    out = value;
+    return true;
+}
+
 // --- writer ----------------------------------------------------------
 
 JsonWriter::JsonWriter(int indent) : indentWidth(indent) {}

@@ -26,6 +26,25 @@ std::string jsonEscape(const std::string &s);
 bool jsonValid(const std::string &text);
 
 /**
+ * Pull the value of the first member named @p key out of a flat JSON
+ * document — a line-oriented complement to JsonWriter for consumers
+ * of our own JSONL manifests, not a general JSON parser. The match
+ * is textual (first `"key":` occurrence), so it is only reliable on
+ * documents whose shape the caller controls, e.g. campaign manifest
+ * records where each key appears once.
+ *
+ * jsonExtractString unescapes the standard JSON escapes; it fails on
+ * non-string values. jsonExtractUint fails unless the value is a
+ * bare unsigned integer.
+ *
+ * @return true and set @p out on success; false otherwise.
+ */
+bool jsonExtractString(const std::string &doc, const std::string &key,
+                       std::string &out);
+bool jsonExtractUint(const std::string &doc, const std::string &key,
+                     uint64_t &out);
+
+/**
  * Incremental JSON document writer.
  *
  * Usage:

@@ -22,6 +22,37 @@ splitString(const std::string &s, char sep)
     return out;
 }
 
+bool
+parseUint64(const std::string &s, uint64_t &out)
+{
+    size_t i = 0;
+    if (i < s.size() && s[i] == '+')
+        ++i;
+    if (i == s.size())
+        return false;
+    uint64_t value = 0;
+    for (; i < s.size(); ++i) {
+        if (s[i] < '0' || s[i] > '9')
+            return false;
+        uint64_t digit = static_cast<uint64_t>(s[i] - '0');
+        if (value > (UINT64_MAX - digit) / 10)
+            return false; // overflow
+        value = value * 10 + digit;
+    }
+    out = value;
+    return true;
+}
+
+bool
+parseUint32(const std::string &s, uint32_t &out)
+{
+    uint64_t wide = 0;
+    if (!parseUint64(s, wide) || wide > UINT32_MAX)
+        return false;
+    out = static_cast<uint32_t>(wide);
+    return true;
+}
+
 std::string
 trimString(const std::string &s)
 {

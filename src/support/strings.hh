@@ -6,6 +6,7 @@
 #ifndef ELAG_SUPPORT_STRINGS_HH
 #define ELAG_SUPPORT_STRINGS_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,18 @@ std::string padLeft(const std::string &s, size_t width);
 
 /** Right-pad with spaces to @p width. */
 std::string padRight(const std::string &s, size_t width);
+
+/**
+ * Strict decimal parse of an unsigned integer: the whole string must
+ * be digits (one optional leading '+') and fit the result type.
+ * Rejects empty input, signs, whitespace, trailing garbage, and
+ * overflow — unlike std::stoull, which accepts "12abc" and negatives.
+ * @return false (leaving @p out untouched) on any violation.
+ */
+bool parseUint64(const std::string &s, uint64_t &out);
+
+/** parseUint64 with an additional max bound of UINT32_MAX. */
+bool parseUint32(const std::string &s, uint32_t &out);
 
 /** Format a double with fixed precision. */
 std::string formatDouble(double v, int precision);

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Sandboxed subprocess execution for crash-isolated job running.
+ *
+ * runSubprocess() forks a child into its own process group, applies
+ * optional rlimit caps (CPU seconds, address space), captures stdout
+ * and stderr through pipes with a per-stream truncation cap, and
+ * enforces a wall-clock timeout by SIGKILLing the whole group. The
+ * parent never blocks uninterruptibly: pipes are drained with poll()
+ * against the deadline, so a child that hangs with open descriptors
+ * is still killed on time.
+ *
+ * This is the isolation layer under tools/elag_campaign: a crashed,
+ * hung, or memory-exploding job takes down only its own process, and
+ * the caller gets enough of the exit status back to classify the
+ * failure (clean exit / signal / timeout / suspected OOM kill).
+ */
+
+#ifndef ELAG_SUPPORT_SUBPROCESS_HH
+#define ELAG_SUPPORT_SUBPROCESS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elag {
+
+/** Resource caps applied to one subprocess run; 0 means unlimited. */
+struct SubprocessLimits
+{
+    /** Wall-clock budget; past it the process group is SIGKILLed. */
+    uint64_t wallTimeoutMs = 0;
+    /** RLIMIT_CPU in seconds (kernel delivers SIGXCPU/SIGKILL). */
+    uint64_t cpuSeconds = 0;
+    /** RLIMIT_AS in bytes (allocations past it fail in the child). */
+    uint64_t addressSpaceBytes = 0;
+    /** Per-stream capture cap; excess output is drained, not stored. */
+    size_t maxCaptureBytes = 1 << 20;
+};
+
+/** How a subprocess run ended, in classification priority order. */
+enum class SubprocessStatus {
+    Exited,      ///< normal exit; see exitCode
+    Signaled,    ///< killed by a signal it raised itself; see termSignal
+    TimedOut,    ///< wall-clock cap hit; we SIGKILLed the group
+    StartFailed, ///< fork/pipe failure in the parent; see error
+};
+
+/** Everything the caller needs to classify and log one run. */
+struct SubprocessResult
+{
+    SubprocessStatus status = SubprocessStatus::StartFailed;
+    /** Exit code when status == Exited (127 = exec failed). */
+    int exitCode = -1;
+    /** Terminating signal when status is Signaled or TimedOut. */
+    int termSignal = 0;
+    std::string out; ///< captured stdout (possibly truncated)
+    std::string err; ///< captured stderr (possibly truncated)
+    bool outTruncated = false;
+    bool errTruncated = false;
+    uint64_t wallMs = 0; ///< wall-clock duration of the run
+    std::string error; ///< parent-side failure detail (StartFailed)
+
+    /**
+     * A SIGKILL we did not send ourselves: on Linux this is the OOM
+     * killer's signature (the kernel never SIGKILLs for RLIMIT_AS —
+     * that surfaces as allocation failure — but it does for cgroup /
+     * system OOM, and RLIMIT_CPU hard-limit overrun).
+     */
+    bool
+    oomSuspected() const
+    {
+        return status == SubprocessStatus::Signaled &&
+               termSignal == 9 /* SIGKILL */;
+    }
+};
+
+/**
+ * Run @p argv (argv[0] is the executable, resolved via PATH) under
+ * @p limits and block until it finishes or times out. Thread-safe:
+ * only async-signal-safe calls happen between fork and exec, so
+ * worker-pool threads may call this concurrently.
+ */
+SubprocessResult runSubprocess(const std::vector<std::string> &argv,
+                               const SubprocessLimits &limits = {});
+
+/** "exit 7", "signal 11 (SIGSEGV)", "timeout after 1200 ms", ... */
+std::string describeSubprocessResult(const SubprocessResult &result);
+
+} // namespace elag
+
+#endif // ELAG_SUPPORT_SUBPROCESS_HH

@@ -88,6 +88,13 @@ ProgramGen::kernel(int index)
     }
 }
 
+void
+ProgramGen::skip(uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i)
+        generate();
+}
+
 std::string
 ProgramGen::generate()
 {

@@ -35,6 +35,14 @@ class ProgramGen
      */
     std::string generate();
 
+    /**
+     * Generate and discard @p n programs, advancing the stream so the
+     * next generate() yields program index n of this seed. Lets a
+     * reproducer name one failing program as (seed, skip) without
+     * re-materializing its predecessors at every probe site.
+     */
+    void skip(uint64_t n);
+
   private:
     std::string kernel(int index);
 

@@ -179,6 +179,41 @@ TEST(Strings, PrefixSuffix)
     EXPECT_TRUE(endsWith("bench_fig5a", "5a"));
 }
 
+TEST(Strings, ParseUint64StrictAcceptsPlainDecimals)
+{
+    uint64_t v = 99;
+    EXPECT_TRUE(parseUint64("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(parseUint64("18446744073709551615", v));
+    EXPECT_EQ(v, UINT64_MAX);
+    EXPECT_TRUE(parseUint64("+42", v));
+    EXPECT_EQ(v, 42u);
+}
+
+TEST(Strings, ParseUint64RejectsGarbageAndOverflow)
+{
+    uint64_t v = 1234;
+    EXPECT_FALSE(parseUint64("", v));
+    EXPECT_FALSE(parseUint64("abc", v));
+    EXPECT_FALSE(parseUint64("12abc", v)); // trailing garbage
+    EXPECT_FALSE(parseUint64("-1", v));
+    EXPECT_FALSE(parseUint64(" 12", v));
+    EXPECT_FALSE(parseUint64("12 ", v));
+    EXPECT_FALSE(parseUint64("1.5", v));
+    EXPECT_FALSE(parseUint64("+", v));
+    EXPECT_FALSE(parseUint64("18446744073709551616", v)); // 2^64
+    EXPECT_EQ(v, 1234u) << "failed parse must not clobber out";
+}
+
+TEST(Strings, ParseUint32BoundsAtUint32Max)
+{
+    uint32_t v = 7;
+    EXPECT_TRUE(parseUint32("4294967295", v));
+    EXPECT_EQ(v, UINT32_MAX);
+    EXPECT_FALSE(parseUint32("4294967296", v));
+    EXPECT_EQ(v, UINT32_MAX);
+}
+
 TEST(Strings, FormatPercent)
 {
     EXPECT_EQ(formatPercent(0.9301), "93.01");
@@ -343,6 +378,53 @@ TEST(Json, HistogramAndStatGroupSerialize)
 }
 
 namespace {
+
+TEST(Json, ExtractStringFromManifestLine)
+{
+    std::string line = "{\"type\":\"job\",\"id\":\"gen:s1:k0+5\","
+                       "\"taxonomy\":\"timeout\",\"exit\":-1}";
+    std::string v;
+    EXPECT_TRUE(jsonExtractString(line, "type", v));
+    EXPECT_EQ(v, "job");
+    EXPECT_TRUE(jsonExtractString(line, "id", v));
+    EXPECT_EQ(v, "gen:s1:k0+5");
+    EXPECT_TRUE(jsonExtractString(line, "taxonomy", v));
+    EXPECT_EQ(v, "timeout");
+    EXPECT_FALSE(jsonExtractString(line, "missing", v));
+    EXPECT_FALSE(jsonExtractString(line, "exit", v)) << "not a string";
+}
+
+TEST(Json, ExtractStringUnescapes)
+{
+    std::string line =
+        "{\"msg\":\"a \\\"b\\\"\\n\\tc \\\\ \\u0041\"}";
+    std::string v;
+    ASSERT_TRUE(jsonExtractString(line, "msg", v));
+    EXPECT_EQ(v, "a \"b\"\n\tc \\ A");
+}
+
+TEST(Json, ExtractUint)
+{
+    std::string line = "{\"attempts\":3,\"wall_ms\":1250,\"id\":\"x\"}";
+    uint64_t v = 0;
+    EXPECT_TRUE(jsonExtractUint(line, "attempts", v));
+    EXPECT_EQ(v, 3u);
+    EXPECT_TRUE(jsonExtractUint(line, "wall_ms", v));
+    EXPECT_EQ(v, 1250u);
+    EXPECT_FALSE(jsonExtractUint(line, "id", v)) << "not a number";
+    EXPECT_FALSE(jsonExtractUint(line, "nope", v));
+}
+
+TEST(Json, ExtractRoundTripsWriterEscapes)
+{
+    JsonWriter w(0);
+    w.beginObject();
+    w.field("msg", std::string("tab\there \"quoted\"\nnewline"));
+    w.endObject();
+    std::string v;
+    ASSERT_TRUE(jsonExtractString(w.str(), "msg", v));
+    EXPECT_EQ(v, "tab\there \"quoted\"\nnewline");
+}
 
 /** Capture trace output into a buffer via a tmpfile. */
 std::string

@@ -23,10 +23,13 @@
  *             [--json=FILE] [--max-inst=N] [--max-cycles=N] [--quiet]
  *
  * Exit codes: 0 all green, 1 differential mismatch or failed
- * self-check, 70 unexpected invariant violation, 75 unexpected
- * watchdog timeout.
+ * self-check, 2 usage (including malformed numeric options), 70
+ * unexpected invariant violation, 75 unexpected watchdog timeout,
+ * 130/143 interrupted by SIGINT/SIGTERM (the partial JSON artifact
+ * is still flushed).
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -65,6 +68,21 @@ usage()
                  " [--quiet]\n");
 }
 
+/** Strict numeric option parse; malformed values are usage errors. */
+bool
+numericOption(const std::string &arg, const char *prefix,
+              uint64_t &out)
+{
+    std::string text = arg.substr(std::strlen(prefix));
+    if (!parseUint64(text, out)) {
+        std::fprintf(stderr,
+                     "elag_soak: invalid numeric value in '%s'\n",
+                     arg.c_str());
+        return false;
+    }
+    return true;
+}
+
 bool
 parseArgs(int argc, char **argv, Options &opts)
 {
@@ -74,17 +92,21 @@ parseArgs(int argc, char **argv, Options &opts)
             return arg.substr(std::strlen(prefix));
         };
         if (startsWith(arg, "--programs=")) {
-            opts.programs = std::stoull(value("--programs="));
+            if (!numericOption(arg, "--programs=", opts.programs))
+                return false;
         } else if (startsWith(arg, "--seed=")) {
-            opts.seed = std::stoull(value("--seed="));
+            if (!numericOption(arg, "--seed=", opts.seed))
+                return false;
         } else if (startsWith(arg, "--plans=")) {
             opts.plans = splitString(value("--plans="), ',');
         } else if (startsWith(arg, "--json=")) {
             opts.jsonPath = value("--json=");
         } else if (startsWith(arg, "--max-inst=")) {
-            opts.maxInst = std::stoull(value("--max-inst="));
+            if (!numericOption(arg, "--max-inst=", opts.maxInst))
+                return false;
         } else if (startsWith(arg, "--max-cycles=")) {
-            opts.maxCycles = std::stoull(value("--max-cycles="));
+            if (!numericOption(arg, "--max-cycles=", opts.maxCycles))
+                return false;
         } else if (arg == "--quiet") {
             setQuiet(true);
         } else {
@@ -93,6 +115,29 @@ parseArgs(int argc, char **argv, Options &opts)
         }
     }
     return true;
+}
+
+/**
+ * SIGINT/SIGTERM request a graceful stop: finish the current
+ * (program, plan) run, flush the partial JSON artifact, and exit
+ * 128+signal instead of dying mid-write.
+ */
+volatile std::sig_atomic_t gStopSignal = 0;
+
+extern "C" void
+onStopSignal(int sig)
+{
+    gStopSignal = sig;
+}
+
+void
+installStopHandlers()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onStopSignal;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
 }
 
 /** splitmix64-style mixer for derived per-run fault seeds. */
@@ -189,6 +234,41 @@ checkerSelfCheck()
     return false;
 }
 
+/**
+ * Write the JSON artifact (complete or partial). Partial artifacts
+ * carry "interrupted": true plus the count actually soaked, so a
+ * supervisor can tell a clean report from a salvaged one.
+ */
+void
+writeJsonArtifact(const Options &opts, const SoakTotals &totals,
+                  uint64_t programs_completed, int stop_signal)
+{
+    if (opts.jsonPath.empty())
+        return;
+    JsonWriter w;
+    w.beginObject();
+    w.field("programs", opts.programs);
+    w.field("programs_completed", programs_completed);
+    w.field("seed", opts.seed);
+    w.key("plans").beginArray();
+    for (const std::string &plan : opts.plans)
+        w.value(plan);
+    w.endArray();
+    w.field("runs", totals.runs);
+    w.field("faults_fired", totals.faultsFired);
+    w.field("events_checked", totals.eventsChecked);
+    w.field("timing_moved_runs", totals.timingMoved);
+    w.field("mismatches", totals.mismatches);
+    w.field("interrupted", stop_signal != 0);
+    if (stop_signal)
+        w.field("signal", static_cast<int64_t>(stop_signal));
+    w.endObject();
+    std::ofstream jf(opts.jsonPath);
+    if (!jf)
+        fatal("cannot write '%s'", opts.jsonPath.c_str());
+    jf << w.str() << '\n';
+}
+
 } // namespace
 
 int
@@ -197,7 +277,7 @@ main(int argc, char **argv)
     Options opts;
     if (!parseArgs(argc, argv, opts)) {
         usage();
-        return 1;
+        return 2;
     }
     if (opts.plans.empty())
         opts.plans = verify::gracefulPlanNames();
@@ -205,6 +285,7 @@ main(int argc, char **argv)
     if (!watchdogSelfCheck() || !checkerSelfCheck())
         return 1;
     std::fprintf(stderr, "self-checks passed\n");
+    installStopHandlers();
 
     struct NamedConfig
     {
@@ -220,9 +301,21 @@ main(int argc, char **argv)
     watchdog.maxCycles = opts.maxCycles;
     SoakTotals totals;
     verify::ProgramGen gen(opts.seed);
+    uint64_t programs_completed = 0;
 
     try {
         for (uint64_t p = 0; p < opts.programs; ++p) {
+            if (gStopSignal) {
+                std::fprintf(
+                    stderr,
+                    "elag_soak: stop signal %d after %llu programs; "
+                    "flushing partial artifact\n",
+                    static_cast<int>(gStopSignal),
+                    static_cast<unsigned long long>(p));
+                writeJsonArtifact(opts, totals, programs_completed,
+                                  static_cast<int>(gStopSignal));
+                return 128 + static_cast<int>(gStopSignal);
+            }
             std::string src = gen.generate();
             auto prog = sim::compile(src);
 
@@ -292,6 +385,7 @@ main(int argc, char **argv)
                     }
                 }
             }
+            ++programs_completed;
             if ((p + 1) % 50 == 0) {
                 std::fprintf(
                     stderr, "  %llu/%llu programs soaked\n",
@@ -325,25 +419,6 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(totals.eventsChecked),
                  static_cast<unsigned long long>(totals.timingMoved));
 
-    if (!opts.jsonPath.empty()) {
-        JsonWriter w;
-        w.beginObject();
-        w.field("programs", opts.programs);
-        w.field("seed", opts.seed);
-        w.key("plans").beginArray();
-        for (const std::string &plan : opts.plans)
-            w.value(plan);
-        w.endArray();
-        w.field("runs", totals.runs);
-        w.field("faults_fired", totals.faultsFired);
-        w.field("events_checked", totals.eventsChecked);
-        w.field("timing_moved_runs", totals.timingMoved);
-        w.field("mismatches", totals.mismatches);
-        w.endObject();
-        std::ofstream jf(opts.jsonPath);
-        if (!jf)
-            fatal("cannot write '%s'", opts.jsonPath.c_str());
-        jf << w.str() << '\n';
-    }
+    writeJsonArtifact(opts, totals, programs_completed, 0);
     return 0;
 }

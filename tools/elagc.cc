@@ -100,6 +100,29 @@ usage()
                  " file.c\n");
 }
 
+/**
+ * Strict numeric option parsing: "--seed=12abc", "--table=", and
+ * out-of-range values are usage errors (exit 2), never silently
+ * truncated or misread.
+ */
+template <typename T>
+bool
+numericOption(const std::string &arg, const char *prefix, T &out)
+{
+    std::string text = arg.substr(std::strlen(prefix));
+    bool ok;
+    if constexpr (sizeof(T) == sizeof(uint32_t))
+        ok = parseUint32(text, out);
+    else
+        ok = parseUint64(text, out);
+    if (!ok) {
+        std::fprintf(stderr,
+                     "elagc: invalid numeric value in '%s'\n",
+                     arg.c_str());
+    }
+    return ok;
+}
+
 bool
 parseArgs(int argc, char **argv, Options &opts)
 {
@@ -131,21 +154,24 @@ parseArgs(int argc, char **argv, Options &opts)
         } else if (startsWith(arg, "--selection=")) {
             opts.selection = value("--selection=");
         } else if (startsWith(arg, "--table=")) {
-            opts.table = static_cast<uint32_t>(
-                std::stoul(value("--table=")));
+            if (!numericOption(arg, "--table=", opts.table))
+                return false;
         } else if (startsWith(arg, "--regs=")) {
-            opts.regs = static_cast<uint32_t>(
-                std::stoul(value("--regs=")));
+            if (!numericOption(arg, "--regs=", opts.regs))
+                return false;
         } else if (startsWith(arg, "--max-inst=")) {
-            opts.maxInst = std::stoull(value("--max-inst="));
+            if (!numericOption(arg, "--max-inst=", opts.maxInst))
+                return false;
         } else if (arg == "--verify-invariants") {
             opts.verifyInvariants = true;
         } else if (startsWith(arg, "--inject=")) {
             opts.inject = value("--inject=");
         } else if (startsWith(arg, "--seed=")) {
-            opts.seed = std::stoull(value("--seed="));
+            if (!numericOption(arg, "--seed=", opts.seed))
+                return false;
         } else if (startsWith(arg, "--max-cycles=")) {
-            opts.maxCycles = std::stoull(value("--max-cycles="));
+            if (!numericOption(arg, "--max-cycles=", opts.maxCycles))
+                return false;
         } else if (!startsWith(arg, "--")) {
             opts.file = arg;
         } else {
