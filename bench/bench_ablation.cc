@@ -38,18 +38,32 @@ main(int argc, char **argv)
     {
         TextTable table;
         table.setHeader({"Entries", "hardware-only", "compiler-directed"});
-        for (uint32_t entries : {16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+        const std::vector<uint32_t> entrySizes{16u,  32u,  64u, 128u,
+                                               256u, 512u, 1024u};
+        // Fan out the whole (workload x table-size x policy) grid by
+        // workload; each job returns its column of the sweep.
+        auto cols = parallel::parallelMap(
+            suite, [&](const bench::PreparedWorkload &prepared) {
+                std::vector<std::pair<double, double>> per_size;
+                for (uint32_t entries : entrySizes) {
+                    MachineConfig cfg;
+                    cfg.addressTableEnabled = true;
+                    cfg.addressTableEntries = entries;
+                    cfg.selection = SelectionPolicy::AllPredict;
+                    double hw = bench::runSpeedup(prepared, cfg);
+                    cfg.selection = SelectionPolicy::CompilerSpec;
+                    double cc = bench::runSpeedup(prepared, cfg);
+                    per_size.emplace_back(hw, cc);
+                }
+                return per_size;
+            });
+        for (size_t e = 0; e < entrySizes.size(); ++e) {
             std::vector<double> hw, cc;
-            for (const auto &prepared : suite) {
-                MachineConfig cfg;
-                cfg.addressTableEnabled = true;
-                cfg.addressTableEntries = entries;
-                cfg.selection = SelectionPolicy::AllPredict;
-                hw.push_back(bench::runSpeedup(prepared, cfg));
-                cfg.selection = SelectionPolicy::CompilerSpec;
-                cc.push_back(bench::runSpeedup(prepared, cfg));
+            for (const auto &col : cols) {
+                hw.push_back(col[e].first);
+                cc.push_back(col[e].second);
             }
-            table.addRow({std::to_string(entries),
+            table.addRow({std::to_string(entrySizes[e]),
                           bench::fmtSpeedup(bench::mean(hw)),
                           bench::fmtSpeedup(bench::mean(cc))});
         }
@@ -65,22 +79,36 @@ main(int argc, char **argv)
         table.setHeader({"Benchmark", "with STC", "without STC",
                          "wrong-addr specs w/", "w/o"});
         std::vector<double> with_stc, without_stc;
-        for (const auto &prepared : suite) {
-            MachineConfig with_cfg = MachineConfig::proposed();
-            MachineConfig without_cfg = MachineConfig::proposed();
-            without_cfg.tablePredictsWhileLearning = true;
-            auto r1 = bench::runMachine(prepared, with_cfg);
-            auto r2 = bench::runMachine(prepared, without_cfg);
-            double s1 = static_cast<double>(prepared.baselineCycles) /
-                        r1.pipe.cycles;
-            double s2 = static_cast<double>(prepared.baselineCycles) /
-                        r2.pipe.cycles;
-            with_stc.push_back(s1);
-            without_stc.push_back(s2);
-            table.addRow({prepared.workload->name,
-                          bench::fmtSpeedup(s1), bench::fmtSpeedup(s2),
-                          std::to_string(r1.pipe.predict.wrongAddress),
-                          std::to_string(r2.pipe.predict.wrongAddress)});
+        struct Row
+        {
+            double s1, s2;
+            uint64_t wrong1, wrong2;
+        };
+        auto rows = parallel::parallelMap(
+            suite, [](const bench::PreparedWorkload &prepared) {
+                MachineConfig with_cfg = MachineConfig::proposed();
+                MachineConfig without_cfg = MachineConfig::proposed();
+                without_cfg.tablePredictsWhileLearning = true;
+                auto r1 = bench::runMachine(prepared, with_cfg);
+                auto r2 = bench::runMachine(prepared, without_cfg);
+                Row r;
+                r.s1 = static_cast<double>(prepared.baselineCycles) /
+                       r1.pipe.cycles;
+                r.s2 = static_cast<double>(prepared.baselineCycles) /
+                       r2.pipe.cycles;
+                r.wrong1 = r1.pipe.predict.wrongAddress;
+                r.wrong2 = r2.pipe.predict.wrongAddress;
+                return r;
+            });
+        for (size_t i = 0; i < suite.size(); ++i) {
+            const Row &r = rows[i];
+            with_stc.push_back(r.s1);
+            without_stc.push_back(r.s2);
+            table.addRow({suite[i].workload->name,
+                          bench::fmtSpeedup(r.s1),
+                          bench::fmtSpeedup(r.s2),
+                          std::to_string(r.wrong1),
+                          std::to_string(r.wrong2)});
         }
         table.addSeparator();
         table.addRow({"average",
@@ -101,23 +129,41 @@ main(int argc, char **argv)
         TextTable table;
         table.setHeader({"Ports", "baseline IPC-avg", "dual-cc speedup",
                          "port-denied specs"});
-        for (int ports : {1, 2, 4}) {
+        const std::vector<int> portCounts{1, 2, 4};
+        struct Cell
+        {
+            double sp, ipc;
+            uint64_t denied;
+        };
+        auto cols = parallel::parallelMap(
+            suite, [&](const bench::PreparedWorkload &prepared) {
+                std::vector<Cell> per_ports;
+                for (int ports : portCounts) {
+                    MachineConfig base;
+                    base.memPorts = ports;
+                    auto rb = bench::runMachine(prepared, base);
+                    MachineConfig cfg = MachineConfig::proposed();
+                    cfg.memPorts = ports;
+                    auto rc = bench::runMachine(prepared, cfg);
+                    Cell cell;
+                    cell.sp = static_cast<double>(rb.pipe.cycles) /
+                              rc.pipe.cycles;
+                    cell.ipc = rb.pipe.ipc();
+                    cell.denied = rc.pipe.predict.portDenied +
+                                  rc.pipe.earlyCalc.portDenied;
+                    per_ports.push_back(cell);
+                }
+                return per_ports;
+            });
+        for (size_t p = 0; p < portCounts.size(); ++p) {
             std::vector<double> sp, ipc;
             uint64_t denied = 0;
-            for (const auto &prepared : suite) {
-                MachineConfig base;
-                base.memPorts = ports;
-                auto rb = bench::runMachine(prepared, base);
-                MachineConfig cfg = MachineConfig::proposed();
-                cfg.memPorts = ports;
-                auto rc = bench::runMachine(prepared, cfg);
-                sp.push_back(static_cast<double>(rb.pipe.cycles) /
-                             rc.pipe.cycles);
-                ipc.push_back(rb.pipe.ipc());
-                denied += rc.pipe.predict.portDenied +
-                          rc.pipe.earlyCalc.portDenied;
+            for (const auto &col : cols) {
+                sp.push_back(col[p].sp);
+                ipc.push_back(col[p].ipc);
+                denied += col[p].denied;
             }
-            table.addRow({std::to_string(ports),
+            table.addRow({std::to_string(portCounts[p]),
                           formatDouble(bench::mean(ipc), 3),
                           bench::fmtSpeedup(bench::mean(sp)),
                           std::to_string(denied)});

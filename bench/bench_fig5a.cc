@@ -52,23 +52,31 @@ main(int argc, char **argv)
     auto suite = bench::prepareSuite(workloads::Suite::SpecInt);
     std::map<std::string, std::vector<double>> columns;
 
-    for (const auto &prepared : suite) {
-        std::vector<std::string> row{prepared.workload->name};
-        for (bool compiler : {false, true}) {
-            for (uint32_t entries : sizes) {
-                double s = bench::runSpeedup(
-                    prepared, tableOnly(entries, compiler));
-                std::string key =
-                    (compiler ? "cc-" : "hw-") + std::to_string(entries);
-                columns[key].push_back(s);
+    // All 7 configurations of one workload form one job; the suite
+    // fans out across the pool and rows return in suite order.
+    auto rows = parallel::parallelMap(
+        suite, [&](const bench::PreparedWorkload &prepared) {
+            std::map<std::string, double> cells;
+            for (bool compiler : {false, true}) {
+                for (uint32_t entries : sizes) {
+                    std::string key = (compiler ? "cc-" : "hw-") +
+                                      std::to_string(entries);
+                    cells[key] = bench::runSpeedup(
+                        prepared, tableOnly(entries, compiler));
+                }
             }
-        }
-        double s1024 = bench::runSpeedup(prepared, tableOnly(1024, false));
-        columns["hw-1024"].push_back(s1024);
+            cells["hw-1024"] =
+                bench::runSpeedup(prepared, tableOnly(1024, false));
+            return cells;
+        });
+
+    for (size_t i = 0; i < suite.size(); ++i) {
+        std::vector<std::string> row{suite[i].workload->name};
         for (const char *key :
              {"hw-64", "hw-128", "hw-256", "cc-64", "cc-128", "cc-256",
               "hw-1024"}) {
-            row.push_back(bench::fmtSpeedup(columns[key].back()));
+            columns[key].push_back(rows[i].at(key));
+            row.push_back(bench::fmtSpeedup(rows[i].at(key)));
         }
         table.addRow(row);
     }

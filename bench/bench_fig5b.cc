@@ -46,15 +46,22 @@ main(int argc, char **argv)
     auto suite = bench::prepareSuite(workloads::Suite::SpecInt);
     std::vector<double> col4, col8, col16;
 
-    for (const auto &prepared : suite) {
-        std::vector<double> row_vals;
-        for (uint32_t regs : sizes)
-            row_vals.push_back(
-                bench::runSpeedup(prepared, earlyOnly(regs)));
+    // One workload (all three register-cache sizes) per job.
+    auto rows = parallel::parallelMap(
+        suite, [&](const bench::PreparedWorkload &prepared) {
+            std::vector<double> row_vals;
+            for (uint32_t regs : sizes)
+                row_vals.push_back(
+                    bench::runSpeedup(prepared, earlyOnly(regs)));
+            return row_vals;
+        });
+
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const auto &row_vals = rows[i];
         col4.push_back(row_vals[0]);
         col8.push_back(row_vals[1]);
         col16.push_back(row_vals[2]);
-        table.addRow({prepared.workload->name,
+        table.addRow({suite[i].workload->name,
                       bench::fmtSpeedup(row_vals[0]),
                       bench::fmtSpeedup(row_vals[1]),
                       bench::fmtSpeedup(row_vals[2])});

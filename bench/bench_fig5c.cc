@@ -54,49 +54,66 @@ main(int argc, char **argv)
     auto suite = bench::prepareSuite(workloads::Suite::SpecInt);
     std::vector<double> c1, c2, c3, c4, c5;
 
-    for (auto &prepared : suite) {
-        MachineConfig tab256;
-        tab256.addressTableEnabled = true;
-        tab256.addressTableEntries = 256;
-        tab256.selection = SelectionPolicy::AllPredict;
+    // One workload per job. The profile-guided column mutates the
+    // workload's program (upgrade, regenerate, restore), which stays
+    // safe under fan-out because each job owns its workload for the
+    // job's whole duration — never split one workload's columns
+    // across jobs.
+    struct Row
+    {
+        double tab, early, dualHw, dualCc, dualPf;
+    };
+    auto rows = parallel::parallelMap(
+        suite, [](const bench::PreparedWorkload &prepared) {
+            MachineConfig tab256;
+            tab256.addressTableEnabled = true;
+            tab256.addressTableEntries = 256;
+            tab256.selection = SelectionPolicy::AllPredict;
 
-        MachineConfig early16;
-        early16.earlyCalcEnabled = true;
-        early16.registerCacheSize = 16;
-        early16.selection = SelectionPolicy::AllEarlyCalc;
+            MachineConfig early16;
+            early16.earlyCalcEnabled = true;
+            early16.registerCacheSize = 16;
+            early16.selection = SelectionPolicy::AllEarlyCalc;
 
-        double s_tab = bench::runSpeedup(prepared, tab256);
-        double s_early = bench::runSpeedup(prepared, early16);
-        double s_dual_hw = bench::runSpeedup(
-            prepared, dualPath(SelectionPolicy::EvSelect));
-        double s_dual_cc = bench::runSpeedup(
-            prepared, dualPath(SelectionPolicy::CompilerSpec));
+            Row r;
+            r.tab = bench::runSpeedup(prepared, tab256);
+            r.early = bench::runSpeedup(prepared, early16);
+            r.dualHw = bench::runSpeedup(
+                prepared, dualPath(SelectionPolicy::EvSelect));
+            r.dualCc = bench::runSpeedup(
+                prepared, dualPath(SelectionPolicy::CompilerSpec));
 
-        // Profile-guided reclassification (Section 4.3): profile,
-        // upgrade predictable ld_n loads to ld_p, regenerate code,
-        // rerun; then restore the heuristic-only classification.
-        auto profile = sim::runProfile(prepared.program, bench::MaxInst);
-        sim::CompiledProgram &prog =
-            const_cast<sim::CompiledProgram &>(prepared.program);
-        classify::applyAddressProfile(*prog.module, profile.profile,
-                                      0.60);
-        prog.regenerate();
-        double s_dual_pf = bench::runSpeedup(
-            prepared, dualPath(SelectionPolicy::CompilerSpec));
-        // Restore by re-running the plain heuristics.
-        classify::classifyLoads(*prog.module);
-        prog.regenerate();
+            // Profile-guided reclassification (Section 4.3):
+            // profile, upgrade predictable ld_n loads to ld_p,
+            // regenerate code, rerun; then restore the
+            // heuristic-only classification.
+            auto profile =
+                sim::runProfile(prepared.program, bench::MaxInst);
+            sim::CompiledProgram &prog =
+                const_cast<sim::CompiledProgram &>(prepared.program);
+            classify::applyAddressProfile(*prog.module,
+                                          profile.profile, 0.60);
+            prog.regenerate();
+            r.dualPf = bench::runSpeedup(
+                prepared, dualPath(SelectionPolicy::CompilerSpec));
+            // Restore by re-running the plain heuristics.
+            classify::classifyLoads(*prog.module);
+            prog.regenerate();
+            return r;
+        });
 
-        c1.push_back(s_tab);
-        c2.push_back(s_early);
-        c3.push_back(s_dual_hw);
-        c4.push_back(s_dual_cc);
-        c5.push_back(s_dual_pf);
-        table.addRow({prepared.workload->name, bench::fmtSpeedup(s_tab),
-                      bench::fmtSpeedup(s_early),
-                      bench::fmtSpeedup(s_dual_hw),
-                      bench::fmtSpeedup(s_dual_cc),
-                      bench::fmtSpeedup(s_dual_pf)});
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const Row &r = rows[i];
+        c1.push_back(r.tab);
+        c2.push_back(r.early);
+        c3.push_back(r.dualHw);
+        c4.push_back(r.dualCc);
+        c5.push_back(r.dualPf);
+        table.addRow({suite[i].workload->name, bench::fmtSpeedup(r.tab),
+                      bench::fmtSpeedup(r.early),
+                      bench::fmtSpeedup(r.dualHw),
+                      bench::fmtSpeedup(r.dualCc),
+                      bench::fmtSpeedup(r.dualPf)});
     }
 
     table.addSeparator();

@@ -128,16 +128,24 @@ BENCHMARK(BM_CompilePipeline)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    std::vector<char *> args(argv, argv + argc);
+    std::vector<char *> args;
+    args.reserve(static_cast<size_t>(argc));
     static char json_fmt[] = "--benchmark_format=json";
     static std::string out_flag;
-    for (char *&arg : args) {
-        if (std::strcmp(arg, "--json") == 0)
+    for (int i = 0; i < argc; ++i) {
+        char *arg = argv[i];
+        if (std::strcmp(arg, "--json") == 0) {
             arg = json_fmt;
-        else if (std::strncmp(arg, "--out=", 6) == 0) {
+        } else if (std::strncmp(arg, "--out=", 6) == 0) {
             out_flag = std::string("--benchmark_out=") + (arg + 6);
             arg = &out_flag[0];
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            // Accepted for interface uniformity with the table and
+            // figure benches; microbenchmarks are single-threaded by
+            // construction, so the flag is dropped.
+            continue;
         }
+        args.push_back(arg);
     }
     int count = static_cast<int>(args.size());
     benchmark::Initialize(&count, args.data());

@@ -37,24 +37,46 @@ main(int argc, char **argv)
     std::vector<double> rate_nt, rate_pd;
     double total_loads = 0.0;
 
-    for (const auto &prepared : suite) {
-        const auto &stats = prepared.program.classStats;
-        double st_total = stats.total();
-        auto profile = sim::runProfile(prepared.program, bench::MaxInst);
-        double dy_total =
-            static_cast<double>(profile.totalLoads());
+    // One profiling run per workload; rows come back in suite order
+    // so the table below is identical at any job count.
+    struct Row
+    {
+        double dyTotal, stNt, stPd, stEc, dyNt, dyPd, dyEc;
+        double rateNt, ratePd;
+    };
+    auto rows = parallel::parallelMap(
+        suite, [](const bench::PreparedWorkload &prepared) {
+            const auto &stats = prepared.program.classStats;
+            double st_total = stats.total();
+            auto profile =
+                sim::runProfile(prepared.program, bench::MaxInst);
+            double dy_total =
+                static_cast<double>(profile.totalLoads());
+            Row r;
+            r.dyTotal = dy_total;
+            r.stNt = 100.0 * stats.numNormal / st_total;
+            r.stPd = 100.0 * stats.numPredict / st_total;
+            r.stEc = 100.0 * stats.numEarlyCalc / st_total;
+            r.dyNt = 100.0 * profile.normal.executions / dy_total;
+            r.dyPd = 100.0 * profile.predict.executions / dy_total;
+            r.dyEc = 100.0 * profile.earlyCalc.executions / dy_total;
+            r.rateNt = 100.0 * profile.normal.rate();
+            r.ratePd = 100.0 * profile.predict.rate();
+            return r;
+        });
 
-        double v_st_nt = 100.0 * stats.numNormal / st_total;
-        double v_st_pd = 100.0 * stats.numPredict / st_total;
-        double v_st_ec = 100.0 * stats.numEarlyCalc / st_total;
-        double v_dy_nt =
-            100.0 * profile.normal.executions / dy_total;
-        double v_dy_pd =
-            100.0 * profile.predict.executions / dy_total;
-        double v_dy_ec =
-            100.0 * profile.earlyCalc.executions / dy_total;
-        double v_rate_nt = 100.0 * profile.normal.rate();
-        double v_rate_pd = 100.0 * profile.predict.rate();
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const auto &prepared = suite[i];
+        const Row &r = rows[i];
+        double dy_total = r.dyTotal;
+        double v_st_nt = r.stNt;
+        double v_st_pd = r.stPd;
+        double v_st_ec = r.stEc;
+        double v_dy_nt = r.dyNt;
+        double v_dy_pd = r.dyPd;
+        double v_dy_ec = r.dyEc;
+        double v_rate_nt = r.rateNt;
+        double v_rate_pd = r.ratePd;
 
         st_nt.push_back(v_st_nt);
         st_pd.push_back(v_st_pd);

@@ -32,50 +32,65 @@ main(int argc, char **argv)
     auto suite = bench::prepareSuite(workloads::Suite::SpecInt);
     std::vector<double> sp, st_pd, dy_pd, rate_nt, rate_pd;
 
-    for (auto &prepared : suite) {
-        // Profile with the heuristic classification, apply the
-        // 60%-threshold upgrade, regenerate, and re-measure.
-        auto profile0 = sim::runProfile(prepared.program, bench::MaxInst);
-        sim::CompiledProgram &prog =
-            const_cast<sim::CompiledProgram &>(prepared.program);
-        int upgraded = classify::applyAddressProfile(
-            *prog.module, profile0.profile, 0.60);
-        prog.regenerate();
+    // One workload per job: the upgrade/regenerate/restore sequence
+    // mutates the workload's program, so a job must own its workload
+    // end to end (see bench_fig5c).
+    struct Row
+    {
+        double speedup, stPd, dyPd, rateNt, ratePd;
+        int upgraded;
+    };
+    auto rows = parallel::parallelMap(
+        suite, [&](const bench::PreparedWorkload &prepared) {
+            // Profile with the heuristic classification, apply the
+            // 60%-threshold upgrade, regenerate, and re-measure.
+            auto profile0 =
+                sim::runProfile(prepared.program, bench::MaxInst);
+            sim::CompiledProgram &prog =
+                const_cast<sim::CompiledProgram &>(prepared.program);
+            Row r;
+            r.upgraded = classify::applyAddressProfile(
+                *prog.module, profile0.profile, 0.60);
+            prog.regenerate();
 
-        // Static distribution after the upgrade.
-        int st_total = 0, st_predict = 0;
-        for (const auto &kv : prog.specOf) {
-            ++st_total;
-            if (kv.second == isa::LoadSpec::Predict)
-                ++st_predict;
-        }
+            // Static distribution after the upgrade.
+            int st_total = 0, st_predict = 0;
+            for (const auto &kv : prog.specOf.entries()) {
+                ++st_total;
+                if (kv.second == isa::LoadSpec::Predict)
+                    ++st_predict;
+            }
 
-        auto profile1 = sim::runProfile(prepared.program, bench::MaxInst);
-        double dy_total = static_cast<double>(profile1.totalLoads());
+            auto profile1 =
+                sim::runProfile(prepared.program, bench::MaxInst);
+            double dy_total =
+                static_cast<double>(profile1.totalLoads());
 
-        double s = bench::runSpeedup(prepared, proposed);
+            r.speedup = bench::runSpeedup(prepared, proposed);
+            r.stPd = 100.0 * st_predict / st_total;
+            r.dyPd = 100.0 * profile1.predict.executions / dy_total;
+            r.rateNt = 100.0 * profile1.normal.rate();
+            r.ratePd = 100.0 * profile1.predict.rate();
 
-        double v_st_pd = 100.0 * st_predict / st_total;
-        double v_dy_pd =
-            100.0 * profile1.predict.executions / dy_total;
-        double v_rate_nt = 100.0 * profile1.normal.rate();
-        double v_rate_pd = 100.0 * profile1.predict.rate();
+            // Restore heuristic-only classification for other users.
+            classify::classifyLoads(*prog.module);
+            prog.regenerate();
+            return r;
+        });
 
-        sp.push_back(s);
-        st_pd.push_back(v_st_pd);
-        dy_pd.push_back(v_dy_pd);
-        rate_nt.push_back(v_rate_nt);
-        rate_pd.push_back(v_rate_pd);
-
-        table.addRow({prepared.workload->name, bench::fmtSpeedup(s),
-                      formatDouble(v_st_pd, 2), formatDouble(v_dy_pd, 2),
-                      formatDouble(v_rate_nt, 2),
-                      formatDouble(v_rate_pd, 2),
-                      std::to_string(upgraded)});
-
-        // Restore heuristic-only classification for other users.
-        classify::classifyLoads(*prog.module);
-        prog.regenerate();
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const Row &r = rows[i];
+        sp.push_back(r.speedup);
+        st_pd.push_back(r.stPd);
+        dy_pd.push_back(r.dyPd);
+        rate_nt.push_back(r.rateNt);
+        rate_pd.push_back(r.ratePd);
+        table.addRow({suite[i].workload->name,
+                      bench::fmtSpeedup(r.speedup),
+                      formatDouble(r.stPd, 2), formatDouble(r.dyPd, 2),
+                      formatDouble(r.rateNt, 2),
+                      formatDouble(r.ratePd, 2),
+                      std::to_string(r.upgraded)});
     }
 
     table.addSeparator();

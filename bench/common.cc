@@ -6,6 +6,7 @@
 #include <fstream>
 #include <utility>
 
+#include "sim/run_cache.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
@@ -20,28 +21,35 @@ prepareSuite(workloads::Suite suite)
     const auto &all = suite == workloads::Suite::SpecInt
                           ? workloads::specWorkloads()
                           : workloads::mediaWorkloads();
-    std::vector<PreparedWorkload> out;
-    out.reserve(all.size());
-    for (const auto &w : all) {
-        PreparedWorkload prepared;
-        prepared.workload = &w;
-        prepared.program = sim::compile(w.source);
-        auto base = sim::runTimed(prepared.program,
-                                  pipeline::MachineConfig::baseline(),
-                                  MaxInst);
-        if (!base.emulation.halted)
-            fatal("workload %s hit the instruction cap", w.name.c_str());
-        prepared.baselineCycles = base.pipe.cycles;
-        out.push_back(std::move(prepared));
-    }
-    return out;
+    std::vector<const workloads::Workload *> items;
+    items.reserve(all.size());
+    for (const auto &w : all)
+        items.push_back(&w);
+    // Compile + baseline-time every workload in parallel; results
+    // come back in suite order regardless of completion order.
+    return parallel::parallelMap(
+        items, [](const workloads::Workload *w) {
+            PreparedWorkload prepared;
+            prepared.workload = w;
+            prepared.program = sim::compile(w->source);
+            auto base = sim::RunCache::instance().run(
+                prepared.program, pipeline::MachineConfig::baseline(),
+                MaxInst);
+            if (!base.emulation.halted) {
+                fatal("workload %s hit the instruction cap",
+                      w->name.c_str());
+            }
+            prepared.baselineCycles = base.pipe.cycles;
+            return prepared;
+        });
 }
 
 sim::TimedResult
 runMachine(const PreparedWorkload &prepared,
            const pipeline::MachineConfig &machine)
 {
-    return sim::runTimed(prepared.program, machine, MaxInst);
+    return sim::RunCache::instance().run(prepared.program, machine,
+                                         MaxInst);
 }
 
 double
@@ -58,8 +66,9 @@ runSpeedup(const PreparedWorkload &prepared,
 double
 mean(const std::vector<double> &values)
 {
-    if (values.empty())
-        return 0.0;
+    // An empty sample is a harness bug (a sweep produced no rows);
+    // averaging it would silently report 0.0 as a result.
+    elag_assert(!values.empty());
     double sum = 0.0;
     for (double v : values)
         sum += v;
@@ -92,8 +101,19 @@ parseBenchArgs(int argc, char **argv)
             opts.json = true;
         } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
             opts.outPath = argv[i] + 6;
+        } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            uint32_t n = 0;
+            if (!parseUint32(argv[i] + 7, n) || n == 0) {
+                std::fprintf(stderr,
+                             "%s: --jobs wants a positive integer, "
+                             "got '%s'\n",
+                             argv[0], argv[i] + 7);
+                std::exit(2);
+            }
+            parallel::setJobs(n);
         } else {
-            std::fprintf(stderr, "usage: %s [--json] [--out=FILE]\n",
+            std::fprintf(stderr,
+                         "usage: %s [--json] [--out=FILE] [--jobs=N]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -102,21 +122,36 @@ parseBenchArgs(int argc, char **argv)
         std::fprintf(stderr, "%s: --out requires --json\n", argv[0]);
         std::exit(2);
     }
+    // Resolved count: the flag if given, else ELAG_JOBS, else
+    // hardware concurrency (parallel::jobs() encodes the chain).
+    opts.jobs = parallel::jobs();
     return opts;
 }
 
 Report::Report(const BenchOptions &opts, std::string bench,
                std::string title, std::string paper_ref)
     : opts(opts), bench(std::move(bench)), title(std::move(title)),
-      paperRef(std::move(paper_ref))
+      paperRef(std::move(paper_ref)),
+      startTime(std::chrono::steady_clock::now()),
+      markTime(startTime)
 {
     if (!this->opts.json)
         printHeader(this->title, this->paperRef);
 }
 
+double
+Report::sinceMark()
+{
+    auto now = std::chrono::steady_clock::now();
+    double secs = std::chrono::duration<double>(now - markTime).count();
+    markTime = now;
+    return secs;
+}
+
 void
 Report::section(const std::string &name, const TextTable &table)
 {
+    sectionElapsed.emplace_back(name, sinceMark());
     if (opts.json) {
         sections.emplace_back(name, table);
     } else {
@@ -158,14 +193,23 @@ Report::finish()
     if (finished)
         return;
     finished = true;
-    if (!opts.json)
+    double total = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - startTime)
+                       .count();
+    if (!opts.json) {
+        // Wall clock goes to stderr so stdout stays byte-identical
+        // across job counts.
+        std::fprintf(stderr, "[%s: %.2fs, jobs=%u]\n", bench.c_str(),
+                     total, opts.jobs);
         return;
+    }
 
     JsonWriter w;
     w.beginObject();
     w.field("bench", bench);
     w.field("title", title);
     w.field("paper_ref", paperRef);
+    w.field("jobs", static_cast<uint64_t>(opts.jobs));
     w.key("sections").beginObject();
     for (const auto &sec : sections) {
         const auto &header = sec.second.headerCells();
@@ -188,6 +232,16 @@ Report::finish()
     for (const auto &n : notes)
         w.value(n);
     w.endArray();
+    // Wall-clock timing is the one run-to-run varying part of the
+    // document; it lives in a single subtree so determinism diffs
+    // can strip exactly this key.
+    w.key("elapsed_seconds").beginObject();
+    w.field("total", total);
+    w.key("sections").beginObject();
+    for (const auto &se : sectionElapsed)
+        w.field(se.first, se.second);
+    w.endObject();
+    w.endObject();
     w.endObject();
 
     std::string doc = w.str();

@@ -10,12 +10,14 @@
 #ifndef ELAG_BENCH_COMMON_HH
 #define ELAG_BENCH_COMMON_HH
 
+#include <chrono>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "pipeline/config.hh"
 #include "sim/simulator.hh"
+#include "support/parallel.hh"
 #include "support/table.hh"
 #include "workloads/workloads.hh"
 
@@ -40,11 +42,15 @@ std::vector<PreparedWorkload> prepareSuite(workloads::Suite suite);
 double runSpeedup(const PreparedWorkload &prepared,
                   const pipeline::MachineConfig &machine);
 
-/** Timed run returning full stats. */
+/**
+ * Timed run returning full stats. Served through the process-wide
+ * sim::RunCache, so repeated (program, config) pairs across sweeps
+ * simulate once.
+ */
 sim::TimedResult runMachine(const PreparedWorkload &prepared,
                             const pipeline::MachineConfig &machine);
 
-/** Arithmetic mean. */
+/** Arithmetic mean. Asserts on an empty sample. */
 double mean(const std::vector<double> &values);
 
 /** Format a speedup as e.g. "1.34". */
@@ -64,13 +70,20 @@ struct BenchOptions
      * --json.
      */
     std::string outPath;
+    /**
+     * Effective simulation job count, resolved by parseBenchArgs:
+     * --jobs=N flag, else ELAG_JOBS, else hardware concurrency.
+     * Parallelism never changes results — only wall clock.
+     */
+    unsigned jobs = 1;
 };
 
 /**
- * Parse bench argv (--json, --out=FILE; anything else errors and
- * exits 2). Every table/figure bench accepts the same flags so
- * scripted regeneration of the paper's results — and batch execution
- * under tools/elag_campaign — can treat them uniformly.
+ * Parse bench argv (--json, --out=FILE, --jobs=N; anything else
+ * errors and exits 2). Every table/figure bench accepts the same
+ * flags so scripted regeneration of the paper's results — and batch
+ * execution under tools/elag_campaign — can treat them uniformly.
+ * --jobs must be a positive integer; 0 or garbage exits 2.
  */
 BenchOptions parseBenchArgs(int argc, char **argv);
 
@@ -81,12 +94,15 @@ BenchOptions parseBenchArgs(int argc, char **argv);
  * exactly as the binaries always did. In JSON mode nothing prints
  * until finish(), which emits a single document to stdout:
  *
- *     {"bench": ..., "title": ..., "paper_ref": ...,
+ *     {"bench": ..., "title": ..., "paper_ref": ..., "jobs": N,
  *      "sections": {name: [{col: value, ...}, ...]},
- *      "notes": [...]}
+ *      "notes": [...],
+ *      "elapsed_seconds": {"total": s, "sections": {name: s}}}
  *
  * Table cells that parse fully as numbers are emitted as JSON
- * numbers, everything else as strings.
+ * numbers, everything else as strings. The elapsed_seconds object is
+ * the only run-to-run varying content: strip it (and nothing else)
+ * when diffing reports across job counts.
  */
 class Report
 {
@@ -96,7 +112,11 @@ class Report
 
     bool json() const { return opts.json; }
 
-    /** Add a named table (prints immediately in text mode). */
+    /**
+     * Add a named table (prints immediately in text mode). Wall
+     * clock since the previous section (or construction) is booked
+     * to this section.
+     */
     void section(const std::string &name, const TextTable &table);
 
     /** Add a free-form note (printed after its section in text mode). */
@@ -106,12 +126,17 @@ class Report
     void finish();
 
   private:
+    double sinceMark();
+
     BenchOptions opts;
     std::string bench;
     std::string title;
     std::string paperRef;
     std::vector<std::pair<std::string, TextTable>> sections;
+    std::vector<std::pair<std::string, double>> sectionElapsed;
     std::vector<std::string> notes;
+    std::chrono::steady_clock::time_point startTime;
+    std::chrono::steady_clock::time_point markTime;
     bool finished = false;
 };
 

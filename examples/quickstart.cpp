@@ -72,8 +72,8 @@ main()
     for (size_t pc = 0; pc < prog.code.program.code.size() && shown < 8;
          ++pc) {
         const auto &inst = prog.code.program.code[pc];
-        if (!inst.isLoad() || !prog.code.loadIdOf.count(
-                                  static_cast<uint32_t>(pc))) {
+        if (!inst.isLoad() ||
+            prog.code.loadIdOf.at(static_cast<uint32_t>(pc)) < 0) {
             continue;
         }
         std::printf("  %4zu: %s\n", pc,

@@ -479,8 +479,8 @@ generateCode(const ir::Module &mod)
                 inst.imm += static_cast<int32_t>(base);
             prog.code.push_back(inst);
             if (load_ids[i]) {
-                result.loadIdOf[static_cast<uint32_t>(base + i)] =
-                    load_ids[i];
+                result.loadIdOf.set(static_cast<uint32_t>(base + i),
+                                    load_ids[i]);
             }
         }
         for (const auto &fixup : call_fixups)

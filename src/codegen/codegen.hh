@@ -6,13 +6,60 @@
 #ifndef ELAG_CODEGEN_CODEGEN_HH
 #define ELAG_CODEGEN_CODEGEN_HH
 
-#include <map>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "ir/ir.hh"
 #include "isa/program.hh"
 
 namespace elag {
 namespace codegen {
+
+/**
+ * Machine PC -> IR load id, as a flat dense vector indexed by PC.
+ *
+ * PCs are instruction indices, so the map is a vector the length of
+ * the program and at(pc) is one bounds-checked array read — this
+ * lookup sits on the per-retired-load path of profiling runs and on
+ * telemetry resolution, where a std::map walk used to dominate.
+ */
+class LoadIdMap
+{
+  public:
+    /** Record that the instruction at @p pc is IR load @p load_id. */
+    void
+    set(uint32_t pc, int load_id)
+    {
+        if (pc >= ids_.size())
+            ids_.resize(pc + 1, -1);
+        ids_[pc] = load_id;
+    }
+
+    /** @return the load id at @p pc, or -1 if not a tracked load. */
+    int
+    at(uint32_t pc) const
+    {
+        return pc < ids_.size() ? ids_[pc] : -1;
+    }
+
+    /** All (pc, load id) pairs in ascending PC order. */
+    std::vector<std::pair<uint32_t, int>>
+    entries() const
+    {
+        std::vector<std::pair<uint32_t, int>> out;
+        for (uint32_t pc = 0; pc < ids_.size(); ++pc) {
+            if (ids_[pc] >= 0)
+                out.emplace_back(pc, ids_[pc]);
+        }
+        return out;
+    }
+
+    void clear() { ids_.clear(); }
+
+  private:
+    std::vector<int> ids_;
+};
 
 /**
  * Lower a module to a linked machine program.
@@ -28,7 +75,7 @@ struct CodegenResult
 {
     isa::MachineProgram program;
     /** Machine PC of each load -> IrInst::loadId. */
-    std::map<uint32_t, int> loadIdOf;
+    LoadIdMap loadIdOf;
 };
 
 CodegenResult generateCode(const ir::Module &mod);

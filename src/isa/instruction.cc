@@ -5,152 +5,6 @@
 namespace elag {
 namespace isa {
 
-bool
-Instruction::isCondBranch() const
-{
-    switch (op) {
-      case Opcode::BEQ:
-      case Opcode::BNE:
-      case Opcode::BLT:
-      case Opcode::BGE:
-      case Opcode::BLTU:
-      case Opcode::BGEU:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-Instruction::isControl() const
-{
-    return isCondBranch() || op == Opcode::JMP || op == Opcode::JAL ||
-           op == Opcode::JR;
-}
-
-FuClass
-Instruction::fuClass() const
-{
-    if (isMem())
-        return FuClass::MemPort;
-    if (isControl())
-        return FuClass::Branch;
-    switch (op) {
-      case Opcode::FADD:
-      case Opcode::FSUB:
-      case Opcode::FMUL:
-      case Opcode::FDIV:
-      case Opcode::CVTIF:
-      case Opcode::CVTFI:
-        return FuClass::FpAlu;
-      case Opcode::HALT:
-      case Opcode::NOP:
-        return FuClass::None;
-      case Opcode::PRINT:
-        return FuClass::IntAlu;
-      default:
-        return FuClass::IntAlu;
-    }
-}
-
-bool
-Instruction::writesIntReg() const
-{
-    return intDest() > 0;
-}
-
-int
-Instruction::intDest() const
-{
-    switch (op) {
-      case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
-      case Opcode::DIV: case Opcode::REM:
-      case Opcode::AND: case Opcode::OR: case Opcode::XOR:
-      case Opcode::SLL: case Opcode::SRL: case Opcode::SRA:
-      case Opcode::SLT: case Opcode::SLTU: case Opcode::SEQ:
-      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
-      case Opcode::XORI: case Opcode::SLLI: case Opcode::SRLI:
-      case Opcode::SRAI: case Opcode::SLTI: case Opcode::LUI:
-      case Opcode::LOAD: case Opcode::JAL: case Opcode::CVTFI:
-        return rd == 0 ? -1 : rd;
-      default:
-        return -1;
-    }
-}
-
-bool
-Instruction::writesFpReg() const
-{
-    switch (op) {
-      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
-      case Opcode::FDIV: case Opcode::FLOAD: case Opcode::CVTIF:
-        return true;
-      default:
-        return false;
-    }
-}
-
-void
-Instruction::intSources(int &s1, int &s2) const
-{
-    s1 = -1;
-    s2 = -1;
-    switch (op) {
-      case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
-      case Opcode::DIV: case Opcode::REM:
-      case Opcode::AND: case Opcode::OR: case Opcode::XOR:
-      case Opcode::SLL: case Opcode::SRL: case Opcode::SRA:
-      case Opcode::SLT: case Opcode::SLTU: case Opcode::SEQ:
-      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
-      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
-        s1 = rs1;
-        s2 = rs2;
-        break;
-      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
-      case Opcode::XORI: case Opcode::SLLI: case Opcode::SRLI:
-      case Opcode::SRAI: case Opcode::SLTI:
-      case Opcode::JR: case Opcode::PRINT: case Opcode::CVTIF:
-        s1 = rs1;
-        break;
-      case Opcode::LOAD:
-      case Opcode::FLOAD:
-        s1 = rs1;
-        if (mode == AddrMode::BaseIndex)
-            s2 = rs2;
-        break;
-      case Opcode::STORE:
-        s1 = rs1;
-        s2 = rs2;
-        break;
-      case Opcode::FSTORE:
-        s1 = rs1;   // base address; data comes from the FP file
-        break;
-      default:
-        break;
-    }
-    // r0 reads as constant zero and never creates a dependence.
-    if (s1 == 0)
-        s1 = -1;
-    if (s2 == 0)
-        s2 = -1;
-}
-
-int
-Instruction::baseReg() const
-{
-    if (!isMem())
-        return -1;
-    return rs1;
-}
-
-int
-Instruction::indexReg() const
-{
-    if (!isLoad() || mode != AddrMode::BaseIndex)
-        return -1;
-    return rs2;
-}
-
 std::string
 opcodeName(Opcode op)
 {

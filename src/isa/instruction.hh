@@ -126,29 +126,144 @@ struct Instruction
     /** @return true for any memory access. */
     bool isMem() const { return isLoad() || isStore(); }
     /** @return true for conditional branches. */
-    bool isCondBranch() const;
+    bool isCondBranch() const
+    {
+        return op >= Opcode::BEQ && op <= Opcode::BGEU;
+    }
     /** @return true for any control transfer. */
-    bool isControl() const;
+    bool isControl() const
+    {
+        return op >= Opcode::BEQ && op <= Opcode::JR;
+    }
     /** @return true if this op terminates execution. */
     bool isHalt() const { return op == Opcode::HALT; }
     /** @return functional-unit class. */
     FuClass fuClass() const;
 
     /** @return true if the instruction writes an integer register. */
-    bool writesIntReg() const;
+    bool writesIntReg() const { return intDest() > 0; }
     /** @return destination integer register or -1. */
     int intDest() const;
     /** @return true if the instruction writes an FP register. */
-    bool writesFpReg() const;
+    bool writesFpReg() const
+    {
+        return (op >= Opcode::FADD && op <= Opcode::FDIV) ||
+               op == Opcode::FLOAD || op == Opcode::CVTIF;
+    }
 
     /** Integer source registers; -1 entries mean unused. */
     void intSources(int &s1, int &s2) const;
 
     /** @return the base register for a memory access (or -1). */
-    int baseReg() const;
+    int baseReg() const { return isMem() ? rs1 : -1; }
     /** @return the index register for a BaseIndex access (or -1). */
-    int indexReg() const;
+    int indexReg() const
+    {
+        return isLoad() && mode == AddrMode::BaseIndex ? rs2 : -1;
+    }
 };
+
+// The predicates above (and the decode helpers below) lean on the
+// declaration order of Opcode; pin the ranges they assume.
+static_assert(Opcode::BEQ < Opcode::BNE && Opcode::BNE < Opcode::BLT &&
+              Opcode::BLT < Opcode::BGE && Opcode::BGE < Opcode::BLTU &&
+              Opcode::BLTU < Opcode::BGEU && Opcode::BGEU < Opcode::JMP &&
+              Opcode::JMP < Opcode::JAL && Opcode::JAL < Opcode::JR,
+              "control opcodes must stay contiguous");
+static_assert(Opcode::FADD < Opcode::FSUB && Opcode::FSUB < Opcode::FMUL &&
+              Opcode::FMUL < Opcode::FDIV,
+              "FP ALU opcodes must stay contiguous");
+static_assert(Opcode::ADD < Opcode::SEQ && Opcode::ADDI < Opcode::LUI,
+              "ALU opcode groups must stay contiguous");
+
+inline FuClass
+Instruction::fuClass() const
+{
+    if (isMem())
+        return FuClass::MemPort;
+    if (isControl())
+        return FuClass::Branch;
+    switch (op) {
+      case Opcode::FADD:
+      case Opcode::FSUB:
+      case Opcode::FMUL:
+      case Opcode::FDIV:
+      case Opcode::CVTIF:
+      case Opcode::CVTFI:
+        return FuClass::FpAlu;
+      case Opcode::HALT:
+      case Opcode::NOP:
+        return FuClass::None;
+      case Opcode::PRINT:
+        return FuClass::IntAlu;
+      default:
+        return FuClass::IntAlu;
+    }
+}
+
+inline int
+Instruction::intDest() const
+{
+    switch (op) {
+      case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
+      case Opcode::DIV: case Opcode::REM:
+      case Opcode::AND: case Opcode::OR: case Opcode::XOR:
+      case Opcode::SLL: case Opcode::SRL: case Opcode::SRA:
+      case Opcode::SLT: case Opcode::SLTU: case Opcode::SEQ:
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SLLI: case Opcode::SRLI:
+      case Opcode::SRAI: case Opcode::SLTI: case Opcode::LUI:
+      case Opcode::LOAD: case Opcode::JAL: case Opcode::CVTFI:
+        return rd == 0 ? -1 : rd;
+      default:
+        return -1;
+    }
+}
+
+inline void
+Instruction::intSources(int &s1, int &s2) const
+{
+    s1 = -1;
+    s2 = -1;
+    switch (op) {
+      case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
+      case Opcode::DIV: case Opcode::REM:
+      case Opcode::AND: case Opcode::OR: case Opcode::XOR:
+      case Opcode::SLL: case Opcode::SRL: case Opcode::SRA:
+      case Opcode::SLT: case Opcode::SLTU: case Opcode::SEQ:
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
+        s1 = rs1;
+        s2 = rs2;
+        break;
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SLLI: case Opcode::SRLI:
+      case Opcode::SRAI: case Opcode::SLTI:
+      case Opcode::JR: case Opcode::PRINT: case Opcode::CVTIF:
+        s1 = rs1;
+        break;
+      case Opcode::LOAD:
+      case Opcode::FLOAD:
+        s1 = rs1;
+        if (mode == AddrMode::BaseIndex)
+            s2 = rs2;
+        break;
+      case Opcode::STORE:
+        s1 = rs1;
+        s2 = rs2;
+        break;
+      case Opcode::FSTORE:
+        s1 = rs1;   // base address; data comes from the FP file
+        break;
+      default:
+        break;
+    }
+    // r0 reads as constant zero and never creates a dependence.
+    if (s1 == 0)
+        s1 = -1;
+    if (s2 == 0)
+        s2 = -1;
+}
 
 /** Mnemonic for an opcode (e.g. "add", "ld_p"). */
 std::string opcodeName(Opcode op);

@@ -25,21 +25,31 @@ uint8_t *
 MainMemory::pageFor(uint32_t addr)
 {
     uint32_t page = addr >> PageShift;
+    if (page == cachedPageNo)
+        return cachedPage;
     auto it = pages.find(page);
     if (it == pages.end()) {
         auto data = std::make_unique<uint8_t[]>(PageSize);
         std::memset(data.get(), 0, PageSize);
         it = pages.emplace(page, std::move(data)).first;
     }
-    return it->second.get();
+    cachedPageNo = page;
+    cachedPage = it->second.get();
+    return cachedPage;
 }
 
 const uint8_t *
 MainMemory::pageForRead(uint32_t addr) const
 {
     uint32_t page = addr >> PageShift;
+    if (page == cachedPageNo)
+        return cachedPage;
     auto it = pages.find(page);
-    return it == pages.end() ? nullptr : it->second.get();
+    if (it == pages.end())
+        return nullptr;
+    cachedPageNo = page;
+    cachedPage = it->second.get();
+    return cachedPage;
 }
 
 uint8_t

@@ -50,6 +50,16 @@ class MainMemory
 
     uint64_t size_;
     mutable std::map<uint32_t, std::unique_ptr<uint8_t[]>> pages;
+    /**
+     * One-entry page cache: emulated accesses are strongly page-
+     * local, and this keeps the per-load/store map walk off the
+     * emulator's hot loop. Pages are never deallocated, so a cached
+     * pointer can only go stale by pointing at nothing (absent pages
+     * are never cached). Per-instance state: each Emulator owns its
+     * MainMemory, so concurrent simulations do not share this.
+     */
+    mutable uint32_t cachedPageNo = ~0u;
+    mutable uint8_t *cachedPage = nullptr;
 };
 
 } // namespace mem

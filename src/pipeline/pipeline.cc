@@ -34,14 +34,18 @@ Pipeline::Pipeline(const MachineConfig &config)
 void
 Pipeline::attach(Observer *observer)
 {
-    if (observer)
+    if (observer) {
         observers.push_back(observer);
+        hasObservers_ = true;
+    }
 }
 
 void
 Pipeline::notifyStall(const RetiredInst &ri, StallKind kind,
                       uint64_t cycles)
 {
+    if (!hasObservers_)
+        return;
     for (Observer *o : observers)
         o->onStall(ri, kind, cycles);
 }
@@ -286,8 +290,10 @@ Pipeline::handleLoad(const RetiredInst &ri, uint64_t e)
         } else {
             ++use(id2).dcachePorts;
             ++ctr.speculated;
-            for (Observer *o : observers)
-                o->onSpecDispatch(ri, path, *predicted, id2);
+            if (hasObservers_) {
+                for (Observer *o : observers)
+                    o->onSpecDispatch(ri, path, *predicted, id2);
+            }
             mem::CacheAccessResult acc =
                 dcache.access(*predicted, id2, true,
                               faults ? faults->latencyJitter() : 0);
@@ -300,12 +306,14 @@ Pipeline::handleLoad(const RetiredInst &ri, uint64_t e)
             if (faults && faults->fireVerifyFail())
                 addr_ok = false;
             bool mem_lock = memInterlock(ca, bytes, id2);
-            cond.emplace();
-            cond->portAllocated = true;
-            cond->addrMatch = addr_ok;
-            cond->cacheHit = acc.hit;
-            cond->regInterlockFree = true;
-            cond->memInterlockFree = !mem_lock;
+            if (hasObservers_) {
+                cond.emplace();
+                cond->portAllocated = true;
+                cond->addrMatch = addr_ok;
+                cond->cacheHit = acc.hit;
+                cond->regInterlockFree = true;
+                cond->memInterlockFree = !mem_lock;
+            }
             // Deliberate bug (not graceful): skip the address check.
             if (faults && faults->bypassAddressCheck())
                 addr_ok = true;
@@ -364,8 +372,10 @@ Pipeline::handleLoad(const RetiredInst &ri, uint64_t e)
         } else {
             ++use(id1).dcachePorts;
             ++ctr.speculated;
-            for (Observer *o : observers)
-                o->onSpecDispatch(ri, path, ca, id1);
+            if (hasObservers_) {
+                for (Observer *o : observers)
+                    o->onSpecDispatch(ri, path, ca, id1);
+            }
             // With an interlock the speculative address is stale; the
             // access still consumes a port and cache bandwidth. The
             // stale address is approximated by the current one for
@@ -377,12 +387,14 @@ Pipeline::handleLoad(const RetiredInst &ri, uint64_t e)
                            "D$ spec access pc=%u addr=0x%x %s", ri.pc,
                            ca, acc.hit ? "hit" : "miss");
             bool mem_lock = memInterlock(ca, bytes, id1);
-            cond.emplace();
-            cond->portAllocated = true;
-            cond->addrMatch = true;
-            cond->cacheHit = acc.hit;
-            cond->regInterlockFree = !interlock;
-            cond->memInterlockFree = !mem_lock;
+            if (hasObservers_) {
+                cond.emplace();
+                cond->portAllocated = true;
+                cond->addrMatch = true;
+                cond->cacheHit = acc.hit;
+                cond->regInterlockFree = !interlock;
+                cond->memInterlockFree = !mem_lock;
+            }
             // Deliberate bug (not graceful): ignore the interlock.
             if (faults && faults->bypassInterlockCheck())
                 interlock = false;
@@ -421,17 +433,20 @@ Pipeline::handleLoad(const RetiredInst &ri, uint64_t e)
     }
 
     bumpOutcome(ctr, outcome);
-    if (cond) {
+    if (hasObservers_) {
+        if (cond) {
+            for (Observer *o : observers)
+                o->onVerifyConditions(ri, path, outcome, *cond, e);
+        }
         for (Observer *o : observers)
-            o->onVerifyConditions(ri, path, outcome, *cond, e);
+            o->onVerify(ri, path, outcome, e);
+        if (outcome == SpecOutcome::Forwarded) {
+            for (Observer *o : observers)
+                o->onForward(ri, path, static_cast<int>(ready - e),
+                             ready);
+        }
     }
-    for (Observer *o : observers)
-        o->onVerify(ri, path, outcome, e);
-
-    if (outcome == SpecOutcome::Forwarded) {
-        for (Observer *o : observers)
-            o->onForward(ri, path, static_cast<int>(ready - e), ready);
-    } else {
+    if (outcome != SpecOutcome::Forwarded) {
         // Normal path: EA in EXE, cache in MEM. A speculative miss
         // has already started the fill and the accesses merge.
         ++use(e + 1).dcachePorts;
@@ -547,7 +562,7 @@ Pipeline::retire(const RetiredInst &ri)
         break;
     }
 
-    if (e > ready_to_issue && !observers.empty())
+    if (e > ready_to_issue && hasObservers_)
         notifyStall(ri, StallKind::RegInterlock, e - ready_to_issue);
 
     e = scheduleIssue(e, inst.fuClass());

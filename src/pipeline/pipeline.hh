@@ -166,6 +166,13 @@ class Pipeline
 
     /** Attached event sinks (not owned). */
     std::vector<Observer *> observers;
+    /**
+     * Cached observers.empty() inverse. Observer notification sits
+     * on the per-retire hot path; a single flag test keeps the
+     * common observer-free configuration from touching the vector
+     * (and from assembling per-event condition records) at all.
+     */
+    bool hasObservers_ = false;
 
     // Trace channels (process-lifetime registry references).
     trace::Channel &tcPipeline;

@@ -11,7 +11,7 @@
 #ifndef ELAG_PREDICT_PROFILER_HH
 #define ELAG_PREDICT_PROFILER_HH
 
-#include <map>
+#include <vector>
 
 #include "classify/classify.hh"
 #include "predict/stride_fsm.hh"
@@ -30,7 +30,7 @@ class AddressProfiler
     void observe(int load_id, uint32_t address);
 
     /** Profile keyed by load id (executions and correct counts). */
-    const classify::AddressProfile &profile() const { return data; }
+    const classify::AddressProfile &profile() const;
 
     /** Dynamic executions across all loads. */
     uint64_t totalExecutions() const;
@@ -41,11 +41,21 @@ class AddressProfiler
     struct PerLoad
     {
         StrideFsm fsm;
+        classify::LoadProfile prof;
         bool seeded = false;
+        bool present = false;
     };
 
-    std::map<int, PerLoad> fsms;
-    classify::AddressProfile data;
+    /**
+     * Dense per-load state indexed by load id: observe() runs once
+     * per dynamic load, and ids are small sequential integers, so a
+     * vector replaces the former per-observation map walk. The
+     * map-shaped profile the public API promises is rebuilt only
+     * when profile() is called after new observations.
+     */
+    std::vector<PerLoad> loads;
+    mutable classify::AddressProfile cached;
+    mutable bool cacheStale = false;
 };
 
 } // namespace predict

@@ -2,14 +2,8 @@
 
 #include <cstring>
 
-#include "isa/registers.hh"
-#include "support/logging.hh"
-
 namespace elag {
 namespace sim {
-
-using isa::Instruction;
-using isa::Opcode;
 
 Emulator::Emulator(const isa::MachineProgram &program)
     : prog(program), mem_(isa::MemorySize)
@@ -38,208 +32,6 @@ Emulator::reg(int index) const
 {
     elag_assert(index >= 0 && index < isa::NumIntRegs);
     return regs[index];
-}
-
-EmulationResult
-Emulator::run(uint64_t max_instructions, const Observer &observer)
-{
-    EmulationResult result;
-
-    auto read_reg = [&](int r) -> int32_t { return r == 0 ? 0 : regs[r]; };
-    auto write_reg = [&](int r, int32_t v) {
-        if (r != 0)
-            regs[r] = v;
-    };
-
-    while (result.instructions < max_instructions) {
-        if (pc >= prog.code.size())
-            fatal("emulator: PC 0x%x out of range", pc);
-        const Instruction &inst = prog.code[pc];
-
-        pipeline::RetiredInst ri;
-        ri.pc = pc;
-        ri.inst = inst;
-
-        uint32_t next_pc = pc + 1;
-        uint32_t a = static_cast<uint32_t>(read_reg(inst.rs1));
-        uint32_t b = static_cast<uint32_t>(read_reg(inst.rs2));
-        int32_t sa = static_cast<int32_t>(a);
-        int32_t sb = static_cast<int32_t>(b);
-        int32_t imm = inst.imm;
-
-        switch (inst.op) {
-          case Opcode::ADD: write_reg(inst.rd, sa + sb); break;
-          case Opcode::SUB: write_reg(inst.rd, sa - sb); break;
-          case Opcode::MUL:
-            write_reg(inst.rd,
-                      static_cast<int32_t>(a * b));
-            break;
-          case Opcode::DIV:
-            if (sb == 0)
-                fatal("emulator: divide by zero at pc %u", pc);
-            write_reg(inst.rd, (sa == INT32_MIN && sb == -1)
-                                   ? INT32_MIN
-                                   : sa / sb);
-            break;
-          case Opcode::REM:
-            if (sb == 0)
-                fatal("emulator: remainder by zero at pc %u", pc);
-            write_reg(inst.rd,
-                      (sa == INT32_MIN && sb == -1) ? 0 : sa % sb);
-            break;
-          case Opcode::AND: write_reg(inst.rd, sa & sb); break;
-          case Opcode::OR: write_reg(inst.rd, sa | sb); break;
-          case Opcode::XOR: write_reg(inst.rd, sa ^ sb); break;
-          case Opcode::SLL:
-            write_reg(inst.rd,
-                      static_cast<int32_t>(a << (b & 31)));
-            break;
-          case Opcode::SRL:
-            write_reg(inst.rd,
-                      static_cast<int32_t>(a >> (b & 31)));
-            break;
-          case Opcode::SRA: write_reg(inst.rd, sa >> (b & 31)); break;
-          case Opcode::SLT: write_reg(inst.rd, sa < sb); break;
-          case Opcode::SLTU: write_reg(inst.rd, a < b); break;
-          case Opcode::SEQ: write_reg(inst.rd, sa == sb); break;
-          case Opcode::ADDI: write_reg(inst.rd, sa + imm); break;
-          case Opcode::ANDI: write_reg(inst.rd, sa & imm); break;
-          case Opcode::ORI: write_reg(inst.rd, sa | imm); break;
-          case Opcode::XORI: write_reg(inst.rd, sa ^ imm); break;
-          case Opcode::SLLI:
-            write_reg(inst.rd,
-                      static_cast<int32_t>(a << (imm & 31)));
-            break;
-          case Opcode::SRLI:
-            write_reg(inst.rd,
-                      static_cast<int32_t>(a >> (imm & 31)));
-            break;
-          case Opcode::SRAI: write_reg(inst.rd, sa >> (imm & 31)); break;
-          case Opcode::SLTI: write_reg(inst.rd, sa < imm); break;
-          case Opcode::LUI:
-            write_reg(inst.rd, imm << 16);
-            break;
-          case Opcode::LOAD: {
-            uint32_t ea = inst.mode == isa::AddrMode::BaseOffset
-                              ? a + static_cast<uint32_t>(imm)
-                              : a + b;
-            ri.effAddr = ea;
-            int32_t value =
-                inst.width == isa::MemWidth::Byte
-                    ? static_cast<int32_t>(mem_.readByte(ea))
-                    : static_cast<int32_t>(mem_.readWord(ea));
-            write_reg(inst.rd, value);
-            break;
-          }
-          case Opcode::STORE: {
-            uint32_t ea = inst.mode == isa::AddrMode::BaseOffset
-                              ? a + static_cast<uint32_t>(imm)
-                              : a + b;
-            ri.effAddr = ea;
-            if (inst.width == isa::MemWidth::Byte)
-                mem_.writeByte(ea, static_cast<uint8_t>(b));
-            else
-                mem_.writeWord(ea, b);
-            break;
-          }
-          case Opcode::BEQ:
-            ri.taken = sa == sb;
-            break;
-          case Opcode::BNE:
-            ri.taken = sa != sb;
-            break;
-          case Opcode::BLT:
-            ri.taken = sa < sb;
-            break;
-          case Opcode::BGE:
-            ri.taken = sa >= sb;
-            break;
-          case Opcode::BLTU:
-            ri.taken = a < b;
-            break;
-          case Opcode::BGEU:
-            ri.taken = a >= b;
-            break;
-          case Opcode::JMP:
-            ri.taken = true;
-            next_pc = static_cast<uint32_t>(imm);
-            break;
-          case Opcode::JAL:
-            ri.taken = true;
-            write_reg(inst.rd, static_cast<int32_t>(pc + 1));
-            next_pc = static_cast<uint32_t>(imm);
-            break;
-          case Opcode::JR:
-            ri.taken = true;
-            next_pc = a;
-            break;
-          case Opcode::FADD:
-            fregs[inst.rd] = fregs[inst.rs1] + fregs[inst.rs2];
-            break;
-          case Opcode::FSUB:
-            fregs[inst.rd] = fregs[inst.rs1] - fregs[inst.rs2];
-            break;
-          case Opcode::FMUL:
-            fregs[inst.rd] = fregs[inst.rs1] * fregs[inst.rs2];
-            break;
-          case Opcode::FDIV:
-            fregs[inst.rd] = fregs[inst.rs1] / fregs[inst.rs2];
-            break;
-          case Opcode::FLOAD: {
-            uint32_t ea = inst.mode == isa::AddrMode::BaseOffset
-                              ? a + static_cast<uint32_t>(imm)
-                              : a + b;
-            ri.effAddr = ea;
-            uint32_t bits = mem_.readWord(ea);
-            float f;
-            std::memcpy(&f, &bits, 4);
-            fregs[inst.rd] = f;
-            break;
-          }
-          case Opcode::FSTORE: {
-            uint32_t ea = a + static_cast<uint32_t>(imm);
-            ri.effAddr = ea;
-            uint32_t bits;
-            std::memcpy(&bits, &fregs[inst.rs2], 4);
-            mem_.writeWord(ea, bits);
-            break;
-          }
-          case Opcode::CVTIF:
-            fregs[inst.rd] = static_cast<float>(sa);
-            break;
-          case Opcode::CVTFI:
-            write_reg(inst.rd,
-                      static_cast<int32_t>(fregs[inst.rs1]));
-            break;
-          case Opcode::PRINT:
-            result.output.push_back(sa);
-            break;
-          case Opcode::HALT:
-            ++result.instructions;
-            ri.nextPc = pc;
-            if (observer)
-                observer(ri);
-            result.halted = true;
-            result.exitValue = read_reg(isa::reg::Arg0);
-            return result;
-          case Opcode::NOP:
-            break;
-          default:
-            fatal("emulator: bad opcode at pc %u", pc);
-        }
-
-        // Conditional branches pick their target here.
-        if (inst.isCondBranch() && ri.taken)
-            next_pc = static_cast<uint32_t>(imm);
-
-        ri.nextPc = next_pc;
-        ++result.instructions;
-        if (observer)
-            observer(ri);
-        pc = next_pc;
-    }
-    result.halted = false;
-    return result;
 }
 
 } // namespace sim

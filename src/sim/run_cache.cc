@@ -1,0 +1,170 @@
+#include "sim/run_cache.hh"
+
+namespace elag {
+namespace sim {
+
+namespace {
+
+/** FNV-1a, folded field by field so struct padding never leaks in. */
+struct Fnv1a
+{
+    uint64_t state = 1469598103934665603ull;
+
+    void
+    mix(uint64_t value)
+    {
+        // Hash all 8 bytes of the value, byte by byte.
+        for (int i = 0; i < 8; ++i) {
+            state ^= (value >> (8 * i)) & 0xff;
+            state *= 1099511628211ull;
+        }
+    }
+
+    void
+    mixBytes(const uint8_t *data, size_t n)
+    {
+        for (size_t i = 0; i < n; ++i) {
+            state ^= data[i];
+            state *= 1099511628211ull;
+        }
+    }
+};
+
+void
+mixCacheConfig(Fnv1a &h, const mem::CacheConfig &cfg)
+{
+    h.mix(cfg.sizeBytes);
+    h.mix(cfg.blockSize);
+    h.mix(cfg.assoc);
+    h.mix(cfg.missPenalty);
+    h.mix(cfg.writeAllocate ? 1 : 0);
+}
+
+} // anonymous namespace
+
+uint64_t
+hashProgram(const isa::MachineProgram &program)
+{
+    Fnv1a h;
+    h.mix(program.code.size());
+    for (const isa::Instruction &inst : program.code) {
+        h.mix(static_cast<uint64_t>(inst.op));
+        h.mix(inst.rd);
+        h.mix(inst.rs1);
+        h.mix(inst.rs2);
+        h.mix(static_cast<uint64_t>(static_cast<uint32_t>(inst.imm)));
+        h.mix(static_cast<uint64_t>(inst.spec));
+        h.mix(static_cast<uint64_t>(inst.mode));
+        h.mix(static_cast<uint64_t>(inst.width));
+    }
+    h.mix(program.entry);
+    h.mix(program.globalSize);
+    h.mix(program.globalInit.size());
+    h.mixBytes(program.globalInit.data(), program.globalInit.size());
+    return h.state;
+}
+
+uint64_t
+hashConfig(const pipeline::MachineConfig &config)
+{
+    Fnv1a h;
+    h.mix(config.issueWidth);
+    h.mix(config.intAlus);
+    h.mix(config.memPorts);
+    h.mix(config.fpAlus);
+    h.mix(config.branchUnits);
+    h.mix(config.aluLatency);
+    h.mix(config.mulLatency);
+    h.mix(config.divLatency);
+    h.mix(config.fpLatency);
+    h.mix(config.loadLatency);
+    mixCacheConfig(h, config.icache);
+    mixCacheConfig(h, config.dcache);
+    h.mix(config.btbEntries);
+    h.mix(config.addressTableEnabled ? 1 : 0);
+    h.mix(config.addressTableEntries);
+    h.mix(config.tablePredictsWhileLearning ? 1 : 0);
+    h.mix(config.earlyCalcEnabled ? 1 : 0);
+    h.mix(config.registerCacheSize);
+    h.mix(static_cast<uint64_t>(config.selection));
+    return h.state;
+}
+
+RunCache &
+RunCache::instance()
+{
+    static RunCache cache;
+    return cache;
+}
+
+TimedResult
+RunCache::run(const CompiledProgram &prog,
+              const pipeline::MachineConfig &machine,
+              uint64_t max_instructions)
+{
+    if (machine.faultInjector) {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            ++stats_.bypasses;
+        }
+        return runTimed(prog, machine, max_instructions);
+    }
+
+    Fnv1a h;
+    h.mix(hashProgram(prog.code.program));
+    h.mix(hashConfig(machine));
+    h.mix(max_instructions);
+    const uint64_t key = h.state;
+
+    std::shared_future<TimedResult> future;
+    std::promise<TimedResult> promise;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = entries.find(key);
+        if (it != entries.end()) {
+            ++stats_.hits;
+            future = it->second;
+        } else {
+            ++stats_.misses;
+            owner = true;
+            future = promise.get_future().share();
+            entries.emplace(key, future);
+        }
+    }
+
+    if (owner) {
+        try {
+            promise.set_value(runTimed(prog, machine,
+                                       max_instructions));
+        } catch (...) {
+            // Do not cache failures (e.g. watchdog timeouts): drop
+            // the entry so a retry re-simulates, and wake waiters
+            // with the same exception.
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                entries.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+RunCache::Stats
+RunCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return stats_;
+}
+
+void
+RunCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    entries.clear();
+    stats_ = Stats{};
+}
+
+} // namespace sim
+} // namespace elag

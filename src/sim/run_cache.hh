@@ -1,0 +1,78 @@
+/**
+ * @file
+ * In-process memoization of timed simulation runs.
+ *
+ * Several benches re-simulate the same (program, machine
+ * configuration) pair — every speedup column re-runs the baseline
+ * machine, and sweeps share endpoints. A run is a pure function of
+ * the compiled machine code, the machine configuration, and the
+ * instruction cap, so results are cached under a content hash of
+ * exactly those inputs. Entries hold shared_futures so that when two
+ * worker threads miss on the same key concurrently, one simulates
+ * and the other blocks for the result instead of duplicating work.
+ *
+ * Runs with a fault injector attached are never cached: faults draw
+ * from the injector's own PRNG stream, so such runs are not pure in
+ * the inputs the key covers.
+ */
+
+#ifndef ELAG_SIM_RUN_CACHE_HH
+#define ELAG_SIM_RUN_CACHE_HH
+
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+
+#include "sim/simulator.hh"
+
+namespace elag {
+namespace sim {
+
+/** Content hash of a linked machine program. */
+uint64_t hashProgram(const isa::MachineProgram &program);
+
+/** Content hash of a machine configuration. */
+uint64_t hashConfig(const pipeline::MachineConfig &config);
+
+/** Process-wide timed-run memoization. Thread-safe. */
+class RunCache
+{
+  public:
+    static RunCache &instance();
+
+    /**
+     * Like sim::runTimed(prog, machine, max_instructions), but
+     * served from the cache when an identical run has already been
+     * simulated. Uncacheable runs (fault injector attached) are
+     * forwarded to runTimed directly.
+     */
+    TimedResult run(const CompiledProgram &prog,
+                    const pipeline::MachineConfig &machine,
+                    uint64_t max_instructions);
+
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t bypasses = 0;
+    };
+
+    Stats stats() const;
+
+    /** Drop all entries (tests). */
+    void clear();
+
+  private:
+    RunCache() = default;
+
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, std::shared_future<TimedResult>>
+        entries;
+    Stats stats_;
+};
+
+} // namespace sim
+} // namespace elag
+
+#endif // ELAG_SIM_RUN_CACHE_HH

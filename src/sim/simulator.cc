@@ -15,15 +15,15 @@ namespace sim {
 
 namespace {
 
-std::map<int, isa::LoadSpec>
+LoadSpecMap
 collectSpecs(const ir::Module &mod)
 {
-    std::map<int, isa::LoadSpec> specs;
+    LoadSpecMap specs;
     for (const auto &fn : mod.functions) {
         for (const auto &bb : fn->blocks()) {
             for (const auto &inst : bb->insts) {
                 if (inst.isLoad())
-                    specs[inst.loadId] = inst.spec;
+                    specs.set(inst.loadId, inst.spec);
             }
         }
     }
@@ -84,10 +84,9 @@ runProfile(const CompiledProgram &prog, uint64_t max_instructions)
         [&](const pipeline::RetiredInst &ri) {
             if (!ri.inst.isLoad())
                 return;
-            auto it = load_ids.find(ri.pc);
-            if (it == load_ids.end())
+            int load_id = load_ids.at(ri.pc);
+            if (load_id < 0)
                 return; // runtime (spill/prologue) load
-            int load_id = it->second;
             // The profiler FSM must be consulted before it trains.
             // AddressProfiler::observe does both and records the
             // outcome in the per-load profile.
@@ -100,10 +99,7 @@ runProfile(const CompiledProgram &prog, uint64_t max_instructions)
     // profile; correctness per class follows the paper's methodology
     // (rates over dynamic executions of loads in that class).
     for (const auto &kv : result.profile) {
-        auto spec_it = prog.specOf.find(kv.first);
-        isa::LoadSpec spec = spec_it == prog.specOf.end()
-                                 ? isa::LoadSpec::Normal
-                                 : spec_it->second;
+        isa::LoadSpec spec = prog.specOf.get(kv.first);
         ClassDynamics *dyn = &result.normal;
         if (spec == isa::LoadSpec::Predict)
             dyn = &result.predict;
@@ -145,6 +141,20 @@ runTimed(const CompiledProgram &prog,
     for (pipeline::Observer *observer : observers)
         pipe.attach(observer);
     Emulator emu(prog.code.program);
+
+    // Most runs have no watchdog; keep the per-retire callback down
+    // to the pipeline hand-off in that case.
+    if (!watchdog.maxWallMs && !watchdog.maxRetires &&
+        !watchdog.maxCycles) {
+        result.emulation =
+            emu.run(max_instructions,
+                    [&](const pipeline::RetiredInst &ri) {
+                        pipe.retire(ri);
+                    });
+        result.pipe = pipe.finish();
+        return result;
+    }
+
     uint64_t retired = 0;
     const auto wallStart = std::chrono::steady_clock::now();
     result.emulation = emu.run(
@@ -239,13 +249,12 @@ resolveSites(const CompiledProgram &prog,
         ReportSite site;
         site.pc = kv.first;
         site.rec = &kv.second;
-        auto id_it = prog.code.loadIdOf.find(kv.first);
-        if (id_it != prog.code.loadIdOf.end()) {
-            site.loadId = id_it->second;
-            auto spec_it = prog.specOf.find(site.loadId);
-            if (spec_it != prog.specOf.end()) {
+        int load_id = prog.code.loadIdOf.at(kv.first);
+        if (load_id >= 0) {
+            site.loadId = load_id;
+            if (prog.specOf.has(load_id)) {
                 site.classified = true;
-                site.spec = spec_it->second;
+                site.spec = prog.specOf.get(load_id);
                 site.mismatch =
                     expectedPath(site.spec) != kv.second.path;
             }

@@ -40,6 +40,64 @@ struct CompileOptions
     bool runClassifier = true;
 };
 
+/**
+ * Specifier of each static load, as a flat dense vector indexed by
+ * load id. Load ids are small consecutive integers assigned by the
+ * IR builder, so a vector lookup replaces the std::map walk that
+ * used to sit on the per-load profiling and telemetry paths.
+ */
+class LoadSpecMap
+{
+  public:
+    void
+    set(int load_id, isa::LoadSpec spec)
+    {
+        if (load_id < 0)
+            return;
+        size_t idx = static_cast<size_t>(load_id);
+        if (idx >= spec_.size())
+            spec_.resize(idx + 1, Absent);
+        spec_[idx] = static_cast<uint8_t>(spec);
+    }
+
+    /** @return true if @p load_id has a recorded specifier. */
+    bool
+    has(int load_id) const
+    {
+        return load_id >= 0 &&
+               static_cast<size_t>(load_id) < spec_.size() &&
+               spec_[static_cast<size_t>(load_id)] != Absent;
+    }
+
+    /** Specifier of @p load_id (Normal when absent). */
+    isa::LoadSpec
+    get(int load_id) const
+    {
+        return has(load_id) ? static_cast<isa::LoadSpec>(
+                                  spec_[static_cast<size_t>(load_id)])
+                            : isa::LoadSpec::Normal;
+    }
+
+    /** All (load id, spec) pairs in ascending load-id order. */
+    std::vector<std::pair<int, isa::LoadSpec>>
+    entries() const
+    {
+        std::vector<std::pair<int, isa::LoadSpec>> out;
+        for (size_t i = 0; i < spec_.size(); ++i) {
+            if (spec_[i] != Absent)
+                out.emplace_back(static_cast<int>(i),
+                                 static_cast<isa::LoadSpec>(spec_[i]));
+        }
+        return out;
+    }
+
+    void clear() { spec_.clear(); }
+
+  private:
+    static constexpr uint8_t Absent = 0xff;
+    std::vector<uint8_t> spec_;
+};
+
 /** A compiled program, retaining the IR for reclassification. */
 struct CompiledProgram
 {
@@ -48,7 +106,7 @@ struct CompiledProgram
     classify::ClassifyStats classStats;
 
     /** Specifier of each static load, keyed by load id. */
-    std::map<int, isa::LoadSpec> specOf;
+    LoadSpecMap specOf;
 
     /** Rebuild machine code + spec map from the (modified) IR. */
     void regenerate();

@@ -1,12 +1,15 @@
 #include "support/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <vector>
 
 namespace elag {
 
 namespace {
-bool quietFlag = false;
+// Atomic so worker threads may consult it while the main thread
+// flips it (relaxed: it only gates diagnostics).
+std::atomic<bool> quietFlag{false};
 } // anonymous namespace
 
 std::string
@@ -56,7 +59,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quietFlag.load(std::memory_order_relaxed))
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -68,7 +71,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quietFlag.load(std::memory_order_relaxed))
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -80,13 +83,13 @@ inform(const char *fmt, ...)
 void
 setQuiet(bool q)
 {
-    quietFlag = q;
+    quietFlag.store(q, std::memory_order_relaxed);
 }
 
 bool
 quiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
 }
 
 } // namespace elag

@@ -1,0 +1,173 @@
+#include "support/parallel.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace elag {
+namespace parallel {
+
+namespace {
+
+/** Explicit setJobs() override; 0 means "not set". */
+std::atomic<unsigned> configuredJobs{0};
+
+/** Set for the lifetime of a pool worker thread. */
+thread_local bool insideWorker = false;
+
+} // anonymous namespace
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("ELAG_JOBS")) {
+        uint32_t n = 0;
+        if (parseUint32(env, n) && n >= 1)
+            return n;
+        warn("ignoring invalid ELAG_JOBS value '%s'", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+unsigned
+jobs()
+{
+    unsigned n = configuredJobs.load(std::memory_order_relaxed);
+    return n != 0 ? n : defaultJobs();
+}
+
+void
+setJobs(unsigned n)
+{
+    if (n == 0)
+        panic("parallel::setJobs: job count must be >= 1");
+    configuredJobs.store(n, std::memory_order_relaxed);
+}
+
+bool
+inWorker()
+{
+    return insideWorker;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        panic("ThreadPool: worker count must be >= 1");
+    threads.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (std::thread &t : threads)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopping)
+            panic("ThreadPool::submit on a stopping pool");
+        queue.push_back(std::move(task));
+    }
+    cv.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    insideWorker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock, [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task();
+    }
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool(jobs());
+    return pool;
+}
+
+namespace detail {
+
+void
+runIndexed(ThreadPool &pool, size_t count,
+           const std::function<void(size_t)> &run)
+{
+    struct State
+    {
+        std::atomic<size_t> next{0};
+        std::mutex mu;
+        std::condition_variable done;
+        size_t activeDrivers = 0;
+        size_t firstFailure = std::numeric_limits<size_t>::max();
+        std::exception_ptr error;
+    } state;
+
+    // One driver task per worker (bounded by the item count); each
+    // driver pulls indices from the shared counter until the range is
+    // exhausted. Every index still runs after a failure: only that
+    // keeps "which exception propagates" (the lowest-index one)
+    // identical at any job count.
+    size_t drivers = pool.workers() < count ? pool.workers() : count;
+    {
+        std::lock_guard<std::mutex> lock(state.mu);
+        state.activeDrivers = drivers;
+    }
+    for (size_t d = 0; d < drivers; ++d) {
+        pool.submit([&state, count, &run] {
+            for (;;) {
+                size_t i =
+                    state.next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count)
+                    break;
+                try {
+                    run(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(state.mu);
+                    if (i < state.firstFailure) {
+                        state.firstFailure = i;
+                        state.error = std::current_exception();
+                    }
+                }
+            }
+            std::lock_guard<std::mutex> lock(state.mu);
+            if (--state.activeDrivers == 0)
+                state.done.notify_all();
+        });
+    }
+
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.done.wait(lock, [&state] { return state.activeDrivers == 0; });
+    if (state.error)
+        std::rethrow_exception(state.error);
+}
+
+} // namespace detail
+
+} // namespace parallel
+} // namespace elag

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Fixed-size worker thread pool and an ordered parallel-map
+ * primitive for fan-out of independent simulation jobs.
+ *
+ * The benchmark sweeps (workload x MachineConfig grids) and the
+ * campaign/soak drivers are embarrassingly parallel: every cell is an
+ * independent, deterministic simulation. parallelMap() runs such a
+ * grid on a pool of worker threads while keeping the *results* in
+ * input order, so callers produce byte-identical tables and JSON at
+ * any job count.
+ *
+ * Contract:
+ *  - Results are returned in input order regardless of completion
+ *    order.
+ *  - If one or more jobs throw, the exception of the lowest-index
+ *    failing job is rethrown after every in-flight job has drained
+ *    (deterministic error reporting at any job count).
+ *  - An effective job count of 1 bypasses the pool entirely: jobs
+ *    run inline on the calling thread and no worker threads are ever
+ *    created.
+ *  - Calls nested inside a pool worker run inline on that worker (a
+ *    worker blocking on sub-jobs it cannot steal would deadlock the
+ *    fixed-size pool).
+ *
+ * The effective job count resolves, in order: setJobs() (e.g. from a
+ * --jobs=N flag), the ELAG_JOBS environment variable, then
+ * std::thread::hardware_concurrency().
+ */
+
+#ifndef ELAG_SUPPORT_PARALLEL_HH
+#define ELAG_SUPPORT_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace elag {
+namespace parallel {
+
+/**
+ * Job count from the environment: a strictly-parsed positive
+ * ELAG_JOBS if set (invalid values warn and are ignored), else
+ * hardware_concurrency(), else 1.
+ */
+unsigned defaultJobs();
+
+/** The configured effective job count (setJobs value or defaultJobs). */
+unsigned jobs();
+
+/**
+ * Set the effective job count (from --jobs=N). Must be >= 1; call it
+ * before the first parallelMap so the shared pool is sized to match.
+ */
+void setJobs(unsigned n);
+
+/** @return true when called from inside a pool worker thread. */
+bool inWorker();
+
+/** A fixed-size worker thread pool executing queued tasks. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p workers persistent worker threads (>= 1). */
+    explicit ThreadPool(unsigned workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(threads.size());
+    }
+
+    /** Enqueue one task for execution on a worker thread. */
+    void submit(std::function<void()> task);
+
+    /**
+     * The process-wide pool, created on first use with jobs()
+     * workers. Size is fixed at creation; configure with setJobs()
+     * before the first parallel call.
+     */
+    static ThreadPool &shared();
+
+  private:
+    void workerLoop();
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> queue;
+    std::vector<std::thread> threads;
+    bool stopping = false;
+};
+
+namespace detail {
+
+/**
+ * Run @p run(0..count-1) on @p pool and block until all indices have
+ * finished; rethrows the lowest-index exception, if any.
+ */
+void runIndexed(ThreadPool &pool, size_t count,
+                const std::function<void(size_t)> &run);
+
+} // namespace detail
+
+/**
+ * Apply @p fn to every element of @p items and return the results in
+ * input order. Runs on @p pool; pass jobs_override=1 (or configure
+ * jobs()==1) to run inline on the calling thread with no pool.
+ */
+template <typename T, typename Fn>
+auto
+parallelMap(ThreadPool &pool, const std::vector<T> &items, Fn fn)
+    -> std::vector<decltype(fn(items[0]))>
+{
+    using R = decltype(fn(items[0]));
+    std::vector<R> results(items.size());
+    if (items.empty())
+        return results;
+    if (inWorker() || items.size() == 1 || pool.workers() <= 1) {
+        for (size_t i = 0; i < items.size(); ++i)
+            results[i] = fn(items[i]);
+        return results;
+    }
+    detail::runIndexed(pool, items.size(),
+                       [&](size_t i) { results[i] = fn(items[i]); });
+    return results;
+}
+
+/**
+ * parallelMap on the shared pool sized by the configured job count.
+ * When the effective job count is 1, runs inline and never touches
+ * (or creates) the pool.
+ */
+template <typename T, typename Fn>
+auto
+parallelMap(const std::vector<T> &items, Fn fn)
+    -> std::vector<decltype(fn(items[0]))>
+{
+    using R = decltype(fn(items[0]));
+    if (jobs() <= 1 || inWorker() || items.size() <= 1) {
+        std::vector<R> results(items.size());
+        for (size_t i = 0; i < items.size(); ++i)
+            results[i] = fn(items[i]);
+        return results;
+    }
+    return parallelMap(ThreadPool::shared(), items, fn);
+}
+
+} // namespace parallel
+} // namespace elag
+
+#endif // ELAG_SUPPORT_PARALLEL_HH

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "support/logging.hh"
 #include "support/strings.hh"
@@ -25,6 +26,75 @@ class Registry
     Channel &
     get(const std::string &name)
     {
+        // Channel references are handed out for the process lifetime;
+        // only the registry map itself needs the lock (concurrent
+        // Pipeline constructions resolve their channels in parallel).
+        std::lock_guard<std::mutex> lock(mu);
+        return getLocked(name);
+    }
+
+    void
+    enable(const std::string &name, bool on)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        enableLocked(name, on);
+    }
+
+    void
+    disableAll()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        allEnabled = false;
+        for (auto &kv : channels)
+            kv.second->enabled_ = false;
+    }
+
+    void
+    applyEnvironment()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (envApplied)
+            return;
+        envApplied = true;
+        const char *spec = std::getenv("ELAG_TRACE");
+        if (!spec || !*spec)
+            return;
+        for (const std::string &name : splitString(spec, ',')) {
+            std::string trimmed = trimString(name);
+            if (!trimmed.empty())
+                enableLocked(trimmed, true);
+        }
+    }
+
+    std::vector<std::string>
+    names() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        std::vector<std::string> out;
+        out.reserve(channels.size());
+        for (const auto &kv : channels)
+            out.push_back(kv.first); // map keeps them sorted
+        return out;
+    }
+
+    std::FILE *
+    out() const
+    {
+        std::FILE *f = output.load(std::memory_order_relaxed);
+        return f ? f : stderr;
+    }
+    void
+    setOutput(std::FILE *file)
+    {
+        output.store(file, std::memory_order_relaxed);
+    }
+
+  private:
+    Registry() { applyEnvironment(); }
+
+    Channel &
+    getLocked(const std::string &name)
+    {
         auto it = channels.find(name);
         if (it == channels.end()) {
             it = channels
@@ -37,7 +107,7 @@ class Registry
     }
 
     void
-    enable(const std::string &name, bool on)
+    enableLocked(const std::string &name, bool on)
     {
         if (name == "all") {
             allEnabled = on;
@@ -45,53 +115,14 @@ class Registry
                 kv.second->enabled_ = on;
             return;
         }
-        get(name).enabled_ = on;
+        getLocked(name).enabled_ = on;
     }
 
-    void
-    disableAll()
-    {
-        allEnabled = false;
-        for (auto &kv : channels)
-            kv.second->enabled_ = false;
-    }
-
-    void
-    applyEnvironment()
-    {
-        if (envApplied)
-            return;
-        envApplied = true;
-        const char *spec = std::getenv("ELAG_TRACE");
-        if (!spec || !*spec)
-            return;
-        for (const std::string &name : splitString(spec, ',')) {
-            std::string trimmed = trimString(name);
-            if (!trimmed.empty())
-                enable(trimmed, true);
-        }
-    }
-
-    std::vector<std::string>
-    names() const
-    {
-        std::vector<std::string> out;
-        out.reserve(channels.size());
-        for (const auto &kv : channels)
-            out.push_back(kv.first); // map keeps them sorted
-        return out;
-    }
-
-    std::FILE *out() const { return output ? output : stderr; }
-    void setOutput(std::FILE *file) { output = file; }
-
-  private:
-    Registry() { applyEnvironment(); }
-
+    mutable std::mutex mu;
     std::map<std::string, std::unique_ptr<Channel>> channels;
     bool allEnabled = false;
     bool envApplied = false;
-    std::FILE *output = nullptr;
+    std::atomic<std::FILE *> output{nullptr};
 };
 
 void

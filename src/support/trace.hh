@@ -24,6 +24,7 @@
 #ifndef ELAG_SUPPORT_TRACE_HH
 #define ELAG_SUPPORT_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -37,7 +38,14 @@ class Channel
 {
   public:
     const std::string &name() const { return name_; }
-    bool enabled() const { return enabled_; }
+    bool
+    enabled() const
+    {
+        // Relaxed: enable/disable are configuration actions, not
+        // synchronization points; concurrent simulations only need a
+        // tear-free read on their per-event fast path.
+        return enabled_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Emit one cycle-stamped line. Does nothing when disabled;
@@ -54,7 +62,7 @@ class Channel
     explicit Channel(const std::string &name) : name_(name) {}
 
     std::string name_;
-    bool enabled_ = false;
+    std::atomic<bool> enabled_{false};
 };
 
 /**

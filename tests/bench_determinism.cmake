@@ -1,0 +1,63 @@
+# Runs a bench binary in JSON mode at --jobs=1 and --jobs=4 and
+# requires the outputs to be byte-identical once the wall-clock
+# fields ("jobs" and the "elapsed_seconds" object) are stripped.
+# Invoked by ctest as:
+#   cmake -DBENCH=<path> -DWORK_DIR=<dir> -P bench_determinism.cmake
+if(NOT BENCH OR NOT WORK_DIR)
+    message(FATAL_ERROR "usage: cmake -DBENCH=<bin> -DWORK_DIR=<dir> "
+                        "-P bench_determinism.cmake")
+endif()
+
+set(out1 "${WORK_DIR}/determinism_jobs1.json")
+set(out4 "${WORK_DIR}/determinism_jobs4.json")
+
+foreach(pair "1;${out1}" "4;${out4}")
+    list(GET pair 0 jobs)
+    list(GET pair 1 out)
+    execute_process(
+        COMMAND ${BENCH} --json --jobs=${jobs} --out=${out}
+        RESULT_VARIABLE rc
+        OUTPUT_QUIET ERROR_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "${BENCH} --jobs=${jobs} exited with ${rc}")
+    endif()
+endforeach()
+
+# Strip the volatile fields: the "jobs": N line and the whole
+# "elapsed_seconds" object (it is always the last top-level key,
+# spanning from its opening line to the closing two-space brace).
+function(strip_volatile in out)
+    file(STRINGS ${in} lines)
+    set(kept "")
+    set(in_elapsed FALSE)
+    foreach(line IN LISTS lines)
+        if(in_elapsed)
+            if(line MATCHES "^  }[,]?$")
+                set(in_elapsed FALSE)
+            endif()
+            continue()
+        endif()
+        if(line MATCHES "\"elapsed_seconds\": {")
+            set(in_elapsed TRUE)
+            continue()
+        endif()
+        if(line MATCHES "\"jobs\":")
+            continue()
+        endif()
+        string(APPEND kept "${line}\n")
+    endforeach()
+    file(WRITE ${out} "${kept}")
+endfunction()
+
+strip_volatile(${out1} "${out1}.stripped")
+strip_volatile(${out4} "${out4}.stripped")
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${out1}.stripped" "${out4}.stripped"
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "bench output differs between --jobs=1 and "
+                        "--jobs=4 after stripping wall-clock fields")
+endif()
+message(STATUS "bench output is byte-identical at --jobs=1 and --jobs=4")

@@ -143,7 +143,7 @@ TEST(Codegen, LoadSpecSurvivesToMachineCode)
         saw_ldp |= inst.isLoad() && inst.spec == isa::LoadSpec::Predict;
     EXPECT_TRUE(saw_ldp);
     // Every ld_p machine load maps back to an IR load id.
-    for (const auto &kv : prog.code.loadIdOf)
+    for (const auto &kv : prog.code.loadIdOf.entries())
         EXPECT_GT(kv.second, 0);
 }
 

@@ -139,13 +139,12 @@ TEST(Sim, SpecOfMatchesMachineCode)
     // specOf map derived from the IR.
     for (size_t pc = 0; pc < prog.code.program.code.size(); ++pc) {
         const auto &inst = prog.code.program.code[pc];
-        auto it = prog.code.loadIdOf.find(static_cast<uint32_t>(pc));
-        if (it == prog.code.loadIdOf.end())
+        int load_id = prog.code.loadIdOf.at(static_cast<uint32_t>(pc));
+        if (load_id < 0)
             continue;
         ASSERT_TRUE(inst.isLoad());
-        auto spec_it = prog.specOf.find(it->second);
-        ASSERT_NE(spec_it, prog.specOf.end());
-        EXPECT_EQ(inst.spec, spec_it->second);
+        ASSERT_TRUE(prog.specOf.has(load_id));
+        EXPECT_EQ(inst.spec, prog.specOf.get(load_id));
     }
 }
 

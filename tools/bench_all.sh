@@ -1,0 +1,38 @@
+#!/bin/sh
+# Regenerate every bench's JSON capture in one pass.
+#
+# Usage: tools/bench_all.sh [BUILD_DIR] [OUT_DIR] [JOBS]
+#
+#   BUILD_DIR  cmake build tree holding bench/ binaries (default: build)
+#   OUT_DIR    where BENCH_<name>.json files land (default: .)
+#   JOBS       --jobs=N for the table/figure benches (default: nproc)
+#
+# Each bench writes BENCH_<name>.json; bench_micro goes through
+# google-benchmark's JSON writer, everything else through the shared
+# Report JSON format (which embeds jobs + elapsed_seconds, so a run's
+# wall-clock is recorded alongside its results).
+set -eu
+
+build_dir=${1:-build}
+out_dir=${2:-.}
+jobs=${3:-$(nproc 2>/dev/null || echo 1)}
+
+if [ ! -d "$build_dir/bench" ]; then
+    echo "error: $build_dir/bench not found (run cmake --build first)" >&2
+    exit 2
+fi
+mkdir -p "$out_dir"
+
+for name in table2 fig5a fig5b fig5c table3 table4 ablation; do
+    bin="$build_dir/bench/bench_$name"
+    out="$out_dir/BENCH_$name.json"
+    echo "== bench_$name (--jobs=$jobs) -> $out" >&2
+    "$bin" --json --jobs="$jobs" --out="$out"
+done
+
+bin="$build_dir/bench/bench_micro"
+out="$out_dir/BENCH_micro.json"
+echo "== bench_micro -> $out" >&2
+"$bin" --json --out="$out" --benchmark_min_time=2 > /dev/null
+
+echo "done: $(ls "$out_dir"/BENCH_*.json | wc -l) captures in $out_dir" >&2
