@@ -1,0 +1,193 @@
+#include "serve/client.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "serve/framing.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace elag {
+namespace serve {
+
+Client
+Client::connectTo(const std::string &socket_path)
+{
+    ignoreSigpipe();
+    return Client(connectUnix(socket_path));
+}
+
+Client
+Client::connectTcp(uint16_t port)
+{
+    ignoreSigpipe();
+    return Client(connectTcpLoopback(port));
+}
+
+Response
+Client::call(const Request &request)
+{
+    if (!writeFrame(fd_.get(), buildRequestDoc(request)))
+        fatal("elag_client: server hung up while sending request");
+
+    std::string payload;
+    FrameStatus status = readFrame(fd_.get(), payload);
+    if (status != FrameStatus::Ok)
+        fatal("elag_client: reading response failed: %s",
+              name(status));
+
+    Response response;
+    std::string error;
+    if (!parseResponse(payload, response, error))
+        fatal("elag_client: malformed response: %s", error.c_str());
+    return response;
+}
+
+namespace {
+
+uint64_t
+percentile(const std::vector<uint64_t> &sorted, unsigned pct)
+{
+    if (sorted.empty())
+        return 0;
+    // Nearest-rank definition: smallest value covering pct percent.
+    size_t rank = (pct * sorted.size() + 99) / 100;
+    if (rank == 0)
+        rank = 1;
+    return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+} // anonymous namespace
+
+std::string
+LoadGenReport::text() const
+{
+    std::string out;
+    out += formatString("requests:   %llu attempted, %llu ok, "
+                        "%llu error, %llu transport\n",
+                        (unsigned long long)attempted,
+                        (unsigned long long)succeeded,
+                        (unsigned long long)failed,
+                        (unsigned long long)transportErrors);
+    out += formatString("wall:       %.3f s\n", wallSeconds);
+    out += formatString("throughput: %.1f req/s\n", throughputRps);
+    out += formatString("latency:    mean %.0f us, min %llu us, "
+                        "max %llu us\n",
+                        meanUs, (unsigned long long)minUs,
+                        (unsigned long long)maxUs);
+    out += formatString("quantiles:  p50 %llu us, p95 %llu us, "
+                        "p99 %llu us\n",
+                        (unsigned long long)p50Us,
+                        (unsigned long long)p95Us,
+                        (unsigned long long)p99Us);
+    return out;
+}
+
+void
+LoadGenReport::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.field("attempted", attempted);
+    w.field("succeeded", succeeded);
+    w.field("failed", failed);
+    w.field("transport_errors", transportErrors);
+    w.field("wall_seconds", wallSeconds);
+    w.field("throughput_rps", throughputRps);
+    w.key("latency_us").beginObject();
+    w.field("mean", meanUs);
+    w.field("min", minUs);
+    w.field("max", maxUs);
+    w.field("p50", p50Us);
+    w.field("p95", p95Us);
+    w.field("p99", p99Us);
+    w.endObject();
+    w.endObject();
+}
+
+LoadGenReport
+runLoadGen(const LoadGenConfig &config)
+{
+    elag_assert(config.clients > 0);
+
+    LoadGenReport report;
+    std::mutex mu;
+    std::vector<uint64_t> latencies;
+    std::atomic<uint64_t> next_id{1};
+
+    auto started = std::chrono::steady_clock::now();
+
+    std::vector<std::thread> threads;
+    threads.reserve(config.clients);
+    for (uint32_t c = 0; c < config.clients; ++c) {
+        threads.emplace_back([&] {
+            uint64_t ok = 0, err = 0, transport = 0, attempted = 0;
+            std::vector<uint64_t> local;
+            local.reserve(config.requests);
+            try {
+                Client client =
+                    config.socketPath.empty()
+                        ? Client::connectTcp(config.tcpPort)
+                        : Client::connectTo(config.socketPath);
+                for (uint32_t i = 0; i < config.requests; ++i) {
+                    Request request = config.request;
+                    request.id = next_id.fetch_add(1);
+                    ++attempted;
+                    auto t0 = std::chrono::steady_clock::now();
+                    Response response = client.call(request);
+                    uint64_t us =
+                        std::chrono::duration_cast<
+                            std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+                    local.push_back(us);
+                    if (response.ok)
+                        ++ok;
+                    else
+                        ++err;
+                }
+            } catch (const FatalError &) {
+                // Connection refused or the server hung up; the
+                // remaining requests of this client are lost.
+                ++transport;
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            report.attempted += attempted;
+            report.succeeded += ok;
+            report.failed += err;
+            report.transportErrors += transport;
+            latencies.insert(latencies.end(), local.begin(),
+                             local.end());
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    report.wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+
+    std::sort(latencies.begin(), latencies.end());
+    if (!latencies.empty()) {
+        uint64_t sum = 0;
+        for (uint64_t us : latencies)
+            sum += us;
+        report.minUs = latencies.front();
+        report.maxUs = latencies.back();
+        report.meanUs =
+            static_cast<double>(sum) / latencies.size();
+        report.p50Us = percentile(latencies, 50);
+        report.p95Us = percentile(latencies, 95);
+        report.p99Us = percentile(latencies, 99);
+    }
+    if (report.wallSeconds > 0.0)
+        report.throughputRps =
+            (report.succeeded + report.failed) / report.wallSeconds;
+    return report;
+}
+
+} // namespace serve
+} // namespace elag

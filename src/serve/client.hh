@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Client side of the elagd protocol: a single-connection blocking
+ * Client, and a closed-loop LoadGen that drives many Clients from
+ * concurrent threads and reports throughput and latency quantiles.
+ *
+ * Both are used by the elag_client tool and by the in-process
+ * end-to-end tests, which connect to a Server running in the same
+ * process.
+ */
+
+#ifndef ELAG_SERVE_CLIENT_HH
+#define ELAG_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+#include "serve/socket.hh"
+
+namespace elag {
+
+class JsonWriter;
+
+namespace serve {
+
+/**
+ * One blocking protocol connection. call() is strictly
+ * request/response, matching the server's per-connection ordering.
+ * Transport failures (connection refused, server hangup mid-call)
+ * throw FatalError; protocol-level errors come back as a Response
+ * with ok == false.
+ */
+class Client
+{
+  public:
+    static Client connectTo(const std::string &socket_path);
+    static Client connectTcp(uint16_t port);
+
+    Response call(const Request &request);
+
+    Client(Client &&) = default;
+    Client &operator=(Client &&) = default;
+
+  private:
+    explicit Client(Fd fd) : fd_(std::move(fd)) {}
+    Fd fd_;
+};
+
+/** Closed-loop load generation configuration. */
+struct LoadGenConfig
+{
+    std::string socketPath;
+    /** TCP fallback when socketPath is empty. */
+    uint16_t tcpPort = 0;
+    uint32_t clients = 1;
+    /** Requests issued per client thread. */
+    uint32_t requests = 1;
+    /** Template request; `id` is rewritten per request. */
+    Request request;
+};
+
+/** Aggregated results of one load-generation run. */
+struct LoadGenReport
+{
+    uint64_t attempted = 0;
+    uint64_t succeeded = 0;
+    /** Protocol-level errors by type (overloaded, timeout, ...). */
+    uint64_t failed = 0;
+    /** Transport-level failures (connect/IO). */
+    uint64_t transportErrors = 0;
+    double wallSeconds = 0.0;
+    double throughputRps = 0.0;
+    uint64_t minUs = 0, maxUs = 0;
+    double meanUs = 0.0;
+    uint64_t p50Us = 0, p95Us = 0, p99Us = 0;
+
+    /** Human-readable multi-line summary. */
+    std::string text() const;
+    void writeJson(JsonWriter &w) const;
+};
+
+/**
+ * Run the closed loop: each client thread opens its own connection
+ * and issues its requests back to back; latencies are aggregated
+ * across threads and wall time covers the whole fleet.
+ */
+LoadGenReport runLoadGen(const LoadGenConfig &config);
+
+} // namespace serve
+} // namespace elag
+
+#endif // ELAG_SERVE_CLIENT_HH

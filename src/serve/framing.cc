@@ -1,0 +1,84 @@
+#include "serve/framing.hh"
+
+#include <cstdint>
+
+#include "serve/socket.hh"
+#include "support/logging.hh"
+
+namespace elag {
+namespace serve {
+
+const char *
+name(FrameStatus status)
+{
+    switch (status) {
+      case FrameStatus::Ok:
+        return "ok";
+      case FrameStatus::Eof:
+        return "eof";
+      case FrameStatus::Truncated:
+        return "truncated";
+      case FrameStatus::Oversized:
+        return "oversized";
+      case FrameStatus::IoError:
+        return "io_error";
+    }
+    return "?";
+}
+
+FrameStatus
+readFrame(int fd, std::string &payload, size_t max_payload)
+{
+    uint8_t header[4];
+    size_t got = 0;
+    switch (readFull(fd, header, sizeof(header), &got)) {
+      case IoStatus::Ok:
+        break;
+      case IoStatus::Eof:
+        return FrameStatus::Eof;
+      case IoStatus::Short:
+        return FrameStatus::Truncated;
+      case IoStatus::Error:
+        return FrameStatus::IoError;
+    }
+    uint32_t length = (static_cast<uint32_t>(header[0]) << 24) |
+                      (static_cast<uint32_t>(header[1]) << 16) |
+                      (static_cast<uint32_t>(header[2]) << 8) |
+                      static_cast<uint32_t>(header[3]);
+    if (length > max_payload)
+        return FrameStatus::Oversized;
+
+    payload.resize(length);
+    if (length == 0)
+        return FrameStatus::Ok;
+    switch (readFull(fd, payload.data(), length, &got)) {
+      case IoStatus::Ok:
+        return FrameStatus::Ok;
+      case IoStatus::Eof:
+      case IoStatus::Short:
+        return FrameStatus::Truncated;
+      case IoStatus::Error:
+        return FrameStatus::IoError;
+    }
+    return FrameStatus::IoError;
+}
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    elag_assert(payload.size() <= UINT32_MAX);
+    uint32_t length = static_cast<uint32_t>(payload.size());
+    uint8_t header[4] = {
+        static_cast<uint8_t>(length >> 24),
+        static_cast<uint8_t>(length >> 16),
+        static_cast<uint8_t>(length >> 8),
+        static_cast<uint8_t>(length),
+    };
+    if (!writeFull(fd, header, sizeof(header)))
+        return false;
+    return payload.empty() ||
+           writeFull(fd, payload.data(), payload.size());
+}
+
+} // namespace serve
+} // namespace elag

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Length-prefixed message framing for the elagd wire protocol.
+ *
+ * Every message — request or response — travels as one frame:
+ *
+ *     +----------------+---------------------+
+ *     | 4-byte big-    | payload bytes       |
+ *     | endian length  | (one JSON document) |
+ *     +----------------+---------------------+
+ *
+ * The length counts payload bytes only. Frames longer than the
+ * receiver's limit are rejected with FrameStatus::Oversized without
+ * reading the payload; the stream cannot be resynchronized after
+ * that, so the connection is closed. A clean EOF between frames is
+ * FrameStatus::Eof (normal connection close); EOF inside a frame is
+ * Truncated (the peer died mid-message).
+ */
+
+#ifndef ELAG_SERVE_FRAMING_HH
+#define ELAG_SERVE_FRAMING_HH
+
+#include <cstddef>
+#include <string>
+
+namespace elag {
+namespace serve {
+
+/** Default payload cap: generous for source + stats documents. */
+constexpr size_t kMaxFramePayload = 16u << 20;
+
+/** How reading one frame ended. */
+enum class FrameStatus
+{
+    Ok,        ///< payload delivered
+    Eof,       ///< clean EOF at a frame boundary
+    Truncated, ///< EOF inside the header or payload
+    Oversized, ///< declared length exceeds the receiver's limit
+    IoError,   ///< read(2) failed
+};
+
+/** Stable lowercase name for logging and error payloads. */
+const char *name(FrameStatus status);
+
+/**
+ * Read one frame into @p payload (replaced, not appended). Blocks
+ * until a full frame, EOF, or an error. On Oversized the declared
+ * length has been consumed but no payload bytes; close the
+ * connection.
+ */
+FrameStatus readFrame(int fd, std::string &payload,
+                      size_t max_payload = kMaxFramePayload);
+
+/**
+ * Write @p payload as one frame.
+ * @return false when the peer is gone or write failed.
+ */
+bool writeFrame(int fd, const std::string &payload);
+
+} // namespace serve
+} // namespace elag
+
+#endif // ELAG_SERVE_FRAMING_HH

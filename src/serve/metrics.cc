@@ -1,0 +1,59 @@
+#include "serve/metrics.hh"
+
+#include "support/json.hh"
+
+namespace elag {
+namespace serve {
+
+void
+ServerMetrics::record(const std::string &verb, bool ok,
+                      uint64_t micros)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    VerbStats &vs = verbs[verb];
+    ++vs.requests;
+    if (!ok)
+        ++vs.errors;
+    vs.latency.sample(micros);
+}
+
+uint64_t
+ServerMetrics::totalRequests() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    uint64_t total = 0;
+    for (const auto &kv : verbs)
+        total += kv.second.requests;
+    return total;
+}
+
+uint64_t
+ServerMetrics::totalErrors() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    uint64_t total = 0;
+    for (const auto &kv : verbs)
+        total += kv.second.errors;
+    return total;
+}
+
+void
+ServerMetrics::writeJson(JsonWriter &w) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    w.beginObject();
+    for (const auto &kv : verbs) {
+        const VerbStats &vs = kv.second;
+        w.key(kv.first).beginObject();
+        w.field("requests", vs.requests);
+        w.field("errors", vs.errors);
+        w.field("mean_us", vs.latency.mean());
+        w.key("latency_us");
+        elag::writeJson(w, vs.latency);
+        w.endObject();
+    }
+    w.endObject();
+}
+
+} // namespace serve
+} // namespace elag

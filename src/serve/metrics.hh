@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-verb request accounting for the serving daemon.
+ *
+ * Counts requests and errors per verb and samples each request's
+ * service latency into a fixed-bucket support::Histogram, reusing
+ * the JSON stats layer for export. Exposed through the `stats` verb
+ * and flushed once at daemon exit.
+ */
+
+#ifndef ELAG_SERVE_METRICS_HH
+#define ELAG_SERVE_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "support/stats.hh"
+
+namespace elag {
+
+class JsonWriter;
+
+namespace serve {
+
+/** Thread-safe per-verb counters + latency histograms. */
+class ServerMetrics
+{
+  public:
+    /** Record one finished request: outcome + service micros. */
+    void record(const std::string &verb, bool ok, uint64_t micros);
+
+    /** Total requests recorded across verbs. */
+    uint64_t totalRequests() const;
+
+    /** Total error responses recorded across verbs. */
+    uint64_t totalErrors() const;
+
+    /**
+     * Serialize as {"<verb>": {"requests", "errors", "mean_us",
+     * "latency_us": {histogram}}, ...} in verb-name order.
+     */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    struct VerbStats
+    {
+        uint64_t requests = 0;
+        uint64_t errors = 0;
+        /** 64 buckets x 4096 us => 0..256 ms + overflow. */
+        Histogram latency{64, 4096};
+    };
+
+    mutable std::mutex mu;
+    std::map<std::string, VerbStats> verbs;
+};
+
+} // namespace serve
+} // namespace elag
+
+#endif // ELAG_SERVE_METRICS_HH

@@ -1,0 +1,140 @@
+#include "serve/router.hh"
+
+#include "sim/run_cache.hh"
+#include "sim/simulator.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace elag {
+namespace serve {
+
+namespace {
+
+const char *
+specName(isa::LoadSpec spec)
+{
+    switch (spec) {
+      case isa::LoadSpec::Normal:
+        return "ld_n";
+      case isa::LoadSpec::Predict:
+        return "ld_p";
+      case isa::LoadSpec::EarlyCalc:
+        return "ld_e";
+    }
+    return "?";
+}
+
+sim::CompiledProgram
+compileRequest(const Request &request)
+{
+    if (request.source.empty())
+        fatal("verb '%s' requires a 'source' member",
+              request.verb.c_str());
+    sim::CompileOptions copts;
+    if (request.noOpt)
+        copts.opt = opt::OptConfig::noneEnabled();
+    copts.runClassifier = !request.noClassify;
+    return sim::compile(request.source, copts);
+}
+
+void
+writeProgramBlock(JsonWriter &w, const Request &request,
+                  const sim::CompiledProgram &prog)
+{
+    w.key("program").beginObject();
+    w.field("file", request.file);
+    w.field("instructions",
+            static_cast<uint64_t>(prog.code.program.code.size()));
+    w.key("static_loads").beginObject();
+    w.field("total", prog.classStats.total());
+    w.field("ld_n", prog.classStats.numNormal);
+    w.field("ld_p", prog.classStats.numPredict);
+    w.field("ld_e", prog.classStats.numEarlyCalc);
+    w.endObject();
+    w.endObject();
+}
+
+} // anonymous namespace
+
+pipeline::MachineConfig
+Router::machineFor(const Request &request)
+{
+    pipeline::MachineConfig cfg =
+        request.machine == "baseline"
+            ? pipeline::MachineConfig::baseline()
+            : pipeline::MachineConfig::proposed();
+    if (request.table) {
+        cfg.addressTableEnabled = true;
+        cfg.addressTableEntries = request.table;
+    }
+    if (request.regs) {
+        cfg.earlyCalcEnabled = true;
+        cfg.registerCacheSize = request.regs;
+    }
+    if (request.selection == "compiler")
+        cfg.selection = pipeline::SelectionPolicy::CompilerSpec;
+    else if (request.selection == "ev")
+        cfg.selection = pipeline::SelectionPolicy::EvSelect;
+    else if (request.selection == "all-predict")
+        cfg.selection = pipeline::SelectionPolicy::AllPredict;
+    else if (request.selection == "all-early")
+        cfg.selection = pipeline::SelectionPolicy::AllEarlyCalc;
+    else if (!request.selection.empty())
+        fatal("unknown selection policy '%s'",
+              request.selection.c_str());
+    return cfg;
+}
+
+std::string
+Router::execute(const Request &request) const
+{
+    sim::CompiledProgram prog = compileRequest(request);
+
+    if (request.verb == "compile") {
+        JsonWriter w;
+        w.beginObject();
+        writeProgramBlock(w, request, prog);
+        w.endObject();
+        return w.str();
+    }
+
+    if (request.verb == "classify") {
+        JsonWriter w;
+        w.beginObject();
+        writeProgramBlock(w, request, prog);
+        w.key("loads").beginArray();
+        for (const auto &entry : prog.specOf.entries()) {
+            w.beginObject();
+            w.field("load_id", entry.first);
+            w.field("spec", specName(entry.second));
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        return w.str();
+    }
+
+    if (request.verb == "simulate") {
+        sim::Watchdog watchdog;
+        watchdog.maxWallMs = request.deadlineMs
+                                 ? request.deadlineMs
+                                 : cfg.defaultDeadlineMs;
+        auto &cache = sim::RunCache::instance();
+        // Identical structure to elagc --json-stats: a clean
+        // baseline run plus the configured machine observed by load
+        // telemetry, both shareable across requests via the cache.
+        sim::TimedResult base =
+            cache.run(prog, pipeline::MachineConfig::baseline(),
+                      request.maxInst, watchdog);
+        sim::RunCache::Report report = cache.runReport(
+            prog, machineFor(request), request.maxInst, watchdog);
+        return sim::statsReportJson(request.file, request.machine,
+                                    request.selection, prog, base,
+                                    report.timed, report.telemetry);
+    }
+
+    fatal("unhandled work verb '%s'", request.verb.c_str());
+}
+
+} // namespace serve
+} // namespace elag

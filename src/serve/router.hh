@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Work-verb execution for the serving daemon.
+ *
+ * The Router turns an admitted request into its result document:
+ * compile the shipped mini-C source, and for `simulate` run baseline
+ * + configured machine through the shared, bounded sim::RunCache —
+ * so repeated workloads across requests (and across clients) are
+ * served from cache. Per-request wall-clock deadlines ride the
+ * existing sim::Watchdog / SimTimeoutError path.
+ *
+ * Errors propagate as the existing exception taxonomy: FatalError
+ * (bad program or configuration), SimTimeoutError (deadline), and
+ * PanicError (model bug); the server maps them onto typed protocol
+ * errors.
+ */
+
+#ifndef ELAG_SERVE_ROUTER_HH
+#define ELAG_SERVE_ROUTER_HH
+
+#include <string>
+
+#include "pipeline/config.hh"
+#include "serve/protocol.hh"
+
+namespace elag {
+namespace serve {
+
+/** Router policy knobs (from elagd flags). */
+struct RouterConfig
+{
+    /** Deadline applied when a request carries none; 0 = unlimited. */
+    uint64_t defaultDeadlineMs = 0;
+};
+
+class Router
+{
+  public:
+    explicit Router(const RouterConfig &config = {}) : cfg(config) {}
+
+    /**
+     * Execute one work verb and return its result JSON document.
+     * Throws FatalError / SimTimeoutError / PanicError on failure;
+     * the caller owns mapping those to protocol errors.
+     */
+    std::string execute(const Request &request) const;
+
+    /**
+     * Machine configuration for a request, mirroring elagc's
+     * --machine/--table/--regs/--selection semantics exactly (so a
+     * served simulate matches the single-shot CLI byte for byte).
+     * Throws FatalError on an unknown selection policy.
+     */
+    static pipeline::MachineConfig machineFor(const Request &request);
+
+  private:
+    RouterConfig cfg;
+};
+
+} // namespace serve
+} // namespace elag
+
+#endif // ELAG_SERVE_ROUTER_HH

@@ -1,0 +1,423 @@
+#include "serve/server.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <future>
+
+#include "sim/run_cache.hh"
+#include "sim/simulator.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "support/trace.hh"
+
+namespace elag {
+namespace serve {
+
+namespace {
+
+trace::Channel &serverTrace = trace::channel("server");
+
+/**
+ * Write end of the drain self-pipe, published for the signal
+ * handler. The handler only ever write(2)s one byte, which is
+ * async-signal-safe; all actual drain work happens on the acceptor
+ * thread when the poll wakes up.
+ */
+std::atomic<int> gSignalWakeFd{-1};
+
+extern "C" void
+drainSignalHandler(int)
+{
+    int fd = gSignalWakeFd.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        char byte = 's';
+        // The pipe filling up just means a wakeup is already
+        // pending, so a failed write is fine to ignore.
+        ssize_t ignored = ::write(fd, &byte, 1);
+        (void)ignored;
+    }
+}
+
+uint64_t
+elapsedMicros(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+} // anonymous namespace
+
+Server::Server(const ServerConfig &config)
+    : cfg(config), router(RouterConfig{config.defaultDeadlineMs})
+{
+    if (cfg.queueDepth == 0)
+        fatal("elagd: --queue-depth must be at least 1");
+}
+
+Server::~Server()
+{
+    if (started_.load()) {
+        beginDrain();
+        if (acceptor.joinable())
+            wait();
+    }
+}
+
+parallel::ThreadPool &
+Server::pool()
+{
+    return cfg.pool ? *cfg.pool : parallel::ThreadPool::shared();
+}
+
+void
+Server::start()
+{
+    elag_assert(!started_.load());
+    ignoreSigpipe();
+
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0)
+        fatal("elagd: cannot create wake pipe: %s", strerror(errno));
+    wakeRead.reset(pipe_fds[0]);
+    wakeWrite.reset(pipe_fds[1]);
+
+    unixListener = listenUnix(cfg.socketPath);
+    if (cfg.tcpPort)
+        tcpListener = listenTcpLoopback(cfg.tcpPort);
+
+    started_.store(true);
+    acceptor = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::installSignalHandlers()
+{
+    elag_assert(wakeWrite.valid());
+    gSignalWakeFd.store(wakeWrite.get(), std::memory_order_relaxed);
+    struct sigaction sa = {};
+    sa.sa_handler = drainSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+}
+
+void
+Server::restoreSignalHandlers()
+{
+    gSignalWakeFd.store(-1, std::memory_order_relaxed);
+    struct sigaction sa = {};
+    sa.sa_handler = SIG_DFL;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+}
+
+void
+Server::beginDrain()
+{
+    if (draining_.exchange(true))
+        return;
+
+    ELAG_TRACE_EVT(serverTrace, requestSeq_.load(), "drain begins");
+
+    // Wake the acceptor's poll so it stops accepting promptly.
+    if (wakeWrite.valid()) {
+        char byte = 'd';
+        ssize_t ignored = ::write(wakeWrite.get(), &byte, 1);
+        (void)ignored;
+    }
+
+    // EOF the read side of every open connection: idle clients see
+    // a clean close, while responses still in flight go out on the
+    // untouched write side. Connections deregister before closing,
+    // so every fd in the set is still owned by its thread here.
+    std::lock_guard<std::mutex> lock(connMu);
+    for (int fd : activeFds)
+        ::shutdown(fd, SHUT_RD);
+}
+
+void
+Server::wait()
+{
+    elag_assert(started_.load());
+    if (acceptor.joinable())
+        acceptor.join();
+
+    // The acceptor is gone, so no new connection threads can appear;
+    // one sweep collects them all. Join outside the lock — threads
+    // take connMu themselves to deregister their fd.
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(connMu);
+        threads.swap(connThreads);
+    }
+    for (std::thread &t : threads)
+        if (t.joinable())
+            t.join();
+
+    unixListener.reset();
+    tcpListener.reset();
+    if (!cfg.socketPath.empty())
+        ::unlink(cfg.socketPath.c_str());
+}
+
+void
+Server::acceptLoop()
+{
+    while (!draining_.load()) {
+        struct pollfd fds[3];
+        fds[0] = {wakeRead.get(), POLLIN, 0};
+        fds[1] = {unixListener.get(), POLLIN, 0};
+        nfds_t nfds = 2;
+        if (tcpListener.valid())
+            fds[nfds++] = {tcpListener.get(), POLLIN, 0};
+
+        int rc = ::poll(fds, nfds, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("elagd: poll failed: %s", strerror(errno));
+            beginDrain();
+            break;
+        }
+
+        if (fds[0].revents) {
+            // Drain or signal wakeup; beginDrain is idempotent, so
+            // it is safe to run it for a byte it wrote itself.
+            beginDrain();
+            break;
+        }
+
+        for (nfds_t i = 1; i < nfds; ++i) {
+            if (!(fds[i].revents & POLLIN))
+                continue;
+            int conn = acceptOn(fds[i].fd);
+            if (conn < 0)
+                continue;
+            uint64_t conn_id = accepted_.fetch_add(1) + 1;
+            std::lock_guard<std::mutex> lock(connMu);
+            if (draining_.load()) {
+                // Lost the race with beginDrain: it already swept
+                // activeFds, so close rather than serve.
+                ::close(conn);
+                continue;
+            }
+            activeFds.insert(conn);
+            connThreads.emplace_back(
+                [this, conn, conn_id] { serveConnection(conn, conn_id); });
+        }
+    }
+}
+
+void
+Server::serveConnection(int fd, uint64_t conn_id)
+{
+    std::string payload;
+    for (;;) {
+        FrameStatus status = readFrame(fd, payload, cfg.maxFrameBytes);
+        if (status == FrameStatus::Eof)
+            break;
+        if (status == FrameStatus::Oversized) {
+            // The stream cannot be resynchronized; tell the peer
+            // why, then hang up.
+            Request anon;
+            writeFrame(fd, errorResponse(
+                               anon, errtype::BadRequest,
+                               formatString("frame exceeds %zu byte limit",
+                                            cfg.maxFrameBytes)));
+            break;
+        }
+        if (status != FrameStatus::Ok)
+            break; // Truncated / IoError: peer died mid-frame.
+
+        auto started = std::chrono::steady_clock::now();
+        uint64_t seq = requestSeq_.fetch_add(1) + 1;
+
+        Request request;
+        std::string parse_error;
+        std::string response;
+        bool initiate_drain = false;
+        if (!parseRequest(payload, request, parse_error)) {
+            response = errorResponse(request, errtype::BadRequest,
+                                     parse_error);
+        } else {
+            response = handle(request, initiate_drain);
+        }
+
+        uint64_t micros = elapsedMicros(started);
+        bool ok = startsWith(response, "{\"ok\":true");
+        const std::string &verb =
+            request.verb.empty() ? "<invalid>" : request.verb;
+        metrics_.record(verb, ok, micros);
+        ELAG_TRACE_EVT(serverTrace, seq,
+                       "conn %llu verb=%s id=%llu %s %llu us",
+                       (unsigned long long)conn_id, verb.c_str(),
+                       (unsigned long long)request.id,
+                       ok ? "ok" : "error",
+                       (unsigned long long)micros);
+
+        bool wrote = writeFrame(fd, response);
+        if (initiate_drain) {
+            // The drain ack is the last frame on this connection:
+            // closing here makes the cutoff deterministic for the
+            // requesting client, while beginDrain EOFs the others.
+            beginDrain();
+            break;
+        }
+        if (!wrote)
+            break;
+    }
+
+    // Deregister before closing so beginDrain never shutdown(2)s a
+    // recycled descriptor.
+    {
+        std::lock_guard<std::mutex> lock(connMu);
+        activeFds.erase(fd);
+    }
+    ::close(fd);
+}
+
+std::string
+Server::handle(const Request &request, bool &initiate_drain)
+{
+    if (request.verb == "health") {
+        JsonWriter w(0);
+        w.beginObject();
+        w.field("status", "ok");
+        w.field("draining", draining_.load());
+        w.endObject();
+        return okResponse(request, w.str());
+    }
+
+    if (request.verb == "stats")
+        return okResponse(request, statsJson());
+
+    if (request.verb == "drain") {
+        initiate_drain = true;
+        JsonWriter w(0);
+        w.beginObject();
+        w.field("draining", true);
+        w.endObject();
+        return okResponse(request, w.str());
+    }
+
+    if (!isWorkVerb(request.verb))
+        return errorResponse(request, errtype::UnknownVerb,
+                             formatString("unknown verb '%s'",
+                                          request.verb.c_str()));
+
+    if (draining_.load()) {
+        rejectedDraining_.fetch_add(1);
+        return errorResponse(request, errtype::ShuttingDown,
+                             "server is draining");
+    }
+
+    return executeAdmitted(request);
+}
+
+std::string
+Server::executeAdmitted(const Request &request)
+{
+    // Admission control: bound the number of requests that have been
+    // accepted but not yet started on a worker. Rejecting at the
+    // door keeps latency predictable instead of queueing without
+    // limit while the pool is saturated.
+    uint32_t backlog = backlog_.load();
+    do {
+        if (backlog >= cfg.queueDepth) {
+            rejectedOverload_.fetch_add(1);
+            return errorResponse(
+                request, errtype::Overloaded,
+                formatString("request queue is full "
+                             "(%u waiting, depth %u)",
+                             backlog, cfg.queueDepth));
+        }
+    } while (!backlog_.compare_exchange_weak(backlog, backlog + 1));
+    admitted_.fetch_add(1);
+
+    std::promise<std::string> done;
+    std::future<std::string> result = done.get_future();
+    pool().submit([this, &request, &done] {
+        backlog_.fetch_sub(1);
+        executing_.fetch_add(1);
+        std::string response;
+        try {
+            response = okResponse(request, router.execute(request));
+        } catch (const sim::SimTimeoutError &e) {
+            response = errorResponse(request, errtype::Timeout,
+                                     e.what());
+        } catch (const FatalError &e) {
+            response = errorResponse(request, errtype::Fatal,
+                                     e.what());
+        } catch (const PanicError &e) {
+            response = errorResponse(request, errtype::Panic,
+                                     e.what());
+        } catch (const std::exception &e) {
+            response = errorResponse(request, errtype::Panic,
+                                     e.what());
+        }
+        executing_.fetch_sub(1);
+        completed_.fetch_add(1);
+        done.set_value(std::move(response));
+    });
+    return result.get();
+}
+
+std::string
+Server::statsJson() const
+{
+    size_t active;
+    {
+        std::lock_guard<std::mutex> lock(connMu);
+        active = activeFds.size();
+    }
+    sim::RunCache &cache = sim::RunCache::instance();
+    sim::RunCache::Stats cs = cache.stats();
+
+    JsonWriter w;
+    w.beginObject();
+
+    w.key("server").beginObject();
+    w.field("draining", draining_.load());
+    w.field("accepted", accepted_.load());
+    w.field("active_connections", static_cast<uint64_t>(active));
+    w.endObject();
+
+    w.key("queue").beginObject();
+    w.field("depth", static_cast<uint64_t>(cfg.queueDepth));
+    w.field("backlog", static_cast<uint64_t>(backlog_.load()));
+    w.field("executing", static_cast<uint64_t>(executing_.load()));
+    w.field("admitted", admitted_.load());
+    w.field("rejected_overload", rejectedOverload_.load());
+    w.field("rejected_draining", rejectedDraining_.load());
+    w.field("completed", completed_.load());
+    w.endObject();
+
+    w.key("verbs");
+    metrics_.writeJson(w);
+
+    w.key("run_cache").beginObject();
+    w.field("hits", cs.hits);
+    w.field("misses", cs.misses);
+    w.field("bypasses", cs.bypasses);
+    w.field("evictions", cs.evictions);
+    w.field("entries", static_cast<uint64_t>(cache.size()));
+    w.field("capacity", static_cast<uint64_t>(cache.capacity()));
+    w.endObject();
+
+    w.endObject();
+    return w.str();
+}
+
+} // namespace serve
+} // namespace elag

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The elagd server loop.
+ *
+ * Threading model:
+ *
+ *  - One acceptor thread polls the Unix-domain listener, the
+ *    optional TCP-loopback listener, and a self-pipe; each accepted
+ *    connection gets a (joinable, tracked) connection thread.
+ *  - Connection threads read frames, parse requests, and answer
+ *    control verbs (stats/health/drain) inline — those bypass
+ *    admission control so they keep working under overload.
+ *  - Work verbs pass admission control: a bounded count of requests
+ *    submitted-but-not-started. At the configured depth new work is
+ *    rejected immediately with a typed `overloaded` error instead of
+ *    queueing unboundedly. Admitted requests execute on the
+ *    support::parallel worker pool (shared with the rest of the
+ *    toolchain, sized by --jobs); the connection thread blocks on
+ *    the result future and writes the response, so each connection
+ *    is strictly request/response ordered.
+ *
+ * Graceful drain (SIGTERM/SIGINT via the self-pipe, or the `drain`
+ * verb): stop accepting, shut down the read side of every open
+ * connection so idle clients see EOF, let in-flight requests finish
+ * and their responses flush, then wait() returns so the daemon can
+ * flush stats and exit 0.
+ */
+
+#ifndef ELAG_SERVE_SERVER_HH
+#define ELAG_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/framing.hh"
+#include "serve/metrics.hh"
+#include "serve/router.hh"
+#include "serve/socket.hh"
+#include "support/parallel.hh"
+
+namespace elag {
+namespace serve {
+
+struct ServerConfig
+{
+    /** Unix-domain socket path (required). */
+    std::string socketPath;
+    /** Extra TCP listener on 127.0.0.1:tcpPort; 0 disables it. */
+    uint16_t tcpPort = 0;
+    /** Admission queue depth: max requests waiting for a worker. */
+    uint32_t queueDepth = 64;
+    /** Deadline for requests that carry none; 0 = unlimited. */
+    uint64_t defaultDeadlineMs = 0;
+    /** Per-frame payload cap. */
+    size_t maxFrameBytes = kMaxFramePayload;
+    /** Worker pool; null uses parallel::ThreadPool::shared(). */
+    parallel::ThreadPool *pool = nullptr;
+};
+
+class Server
+{
+  public:
+    explicit Server(const ServerConfig &config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind listeners and start the acceptor. Throws FatalError when
+     * a listener cannot be set up.
+     */
+    void start();
+
+    /**
+     * Begin graceful drain (idempotent, callable from any thread,
+     * including connection threads and the signal path): stop
+     * accepting, EOF idle connections, let in-flight work finish.
+     */
+    void beginDrain();
+
+    bool draining() const { return draining_.load(); }
+
+    /**
+     * Block until the server has fully drained: acceptor gone,
+     * every connection thread joined, listeners closed, socket file
+     * unlinked. Call exactly once, after start().
+     */
+    void wait();
+
+    /**
+     * Route SIGTERM/SIGINT to beginDrain() through a self-pipe (the
+     * handler only write(2)s, so it is async-signal-safe). Restore
+     * with restoreSignalHandlers() — tests install and restore
+     * around each server lifetime.
+     */
+    void installSignalHandlers();
+    static void restoreSignalHandlers();
+
+    /** The `stats` verb document (also flushed at daemon exit). */
+    std::string statsJson() const;
+
+    ServerMetrics &metrics() { return metrics_; }
+    const ServerConfig &config() const { return cfg; }
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd, uint64_t conn_id);
+
+    /**
+     * Answer one parsed request. Sets @p initiate_drain for the
+     * `drain` verb so the caller can begin draining after the
+     * response has been written.
+     */
+    std::string handle(const Request &request, bool &initiate_drain);
+
+    /** Admission control + pool execution of one work verb. */
+    std::string executeAdmitted(const Request &request);
+
+    parallel::ThreadPool &pool();
+
+    ServerConfig cfg;
+    Router router;
+    ServerMetrics metrics_;
+
+    Fd unixListener;
+    Fd tcpListener;
+    /** Self-pipe waking the acceptor's poll (drain, signals). */
+    Fd wakeRead, wakeWrite;
+
+    std::thread acceptor;
+    mutable std::mutex connMu;
+    std::vector<std::thread> connThreads;
+    std::set<int> activeFds;
+
+    std::atomic<bool> started_{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<uint64_t> accepted_{0};
+    std::atomic<uint64_t> requestSeq_{0};
+    /** Admitted but not yet started on a worker. */
+    std::atomic<uint32_t> backlog_{0};
+    std::atomic<uint32_t> executing_{0};
+    std::atomic<uint64_t> admitted_{0};
+    std::atomic<uint64_t> rejectedOverload_{0};
+    std::atomic<uint64_t> rejectedDraining_{0};
+    std::atomic<uint64_t> completed_{0};
+};
+
+} // namespace serve
+} // namespace elag
+
+#endif // ELAG_SERVE_SERVER_HH

@@ -1,0 +1,200 @@
+#include "serve/socket.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/logging.hh"
+
+namespace elag {
+namespace serve {
+
+void
+ignoreSigpipe()
+{
+    // write(2) to a half-closed socket then raises EPIPE instead of
+    // delivering a fatal signal.
+    std::signal(SIGPIPE, SIG_IGN);
+}
+
+void
+Fd::reset(int fd)
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = fd;
+}
+
+namespace {
+
+/** Fill a sockaddr_un; throws FatalError when the path is too long. */
+sockaddr_un
+unixAddress(const std::string &path)
+{
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+        fatal("socket path '%s' is empty or too long (max %zu bytes)",
+              path.c_str(), sizeof(addr.sun_path) - 1);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+sockaddr_in
+loopbackAddress(uint16_t port)
+{
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return addr;
+}
+
+} // anonymous namespace
+
+Fd
+listenUnix(const std::string &path, int backlog)
+{
+    sockaddr_un addr = unixAddress(path);
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid())
+        fatal("socket(AF_UNIX): %s", std::strerror(errno));
+    // A stale socket file from a crashed predecessor would make bind
+    // fail with EADDRINUSE; remove it. A live daemon still holds the
+    // listening socket, so its clients are unaffected (but a new
+    // daemon on the same path steals future connections — operators
+    // give each instance its own path).
+    ::unlink(path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        fatal("bind('%s'): %s", path.c_str(), std::strerror(errno));
+    }
+    if (::listen(fd.get(), backlog) != 0)
+        fatal("listen('%s'): %s", path.c_str(), std::strerror(errno));
+    return fd;
+}
+
+Fd
+listenTcpLoopback(uint16_t port, int backlog)
+{
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid())
+        fatal("socket(AF_INET): %s", std::strerror(errno));
+    int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr = loopbackAddress(port);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        fatal("bind(127.0.0.1:%u): %s", static_cast<unsigned>(port),
+              std::strerror(errno));
+    }
+    if (::listen(fd.get(), backlog) != 0) {
+        fatal("listen(127.0.0.1:%u): %s", static_cast<unsigned>(port),
+              std::strerror(errno));
+    }
+    return fd;
+}
+
+Fd
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr = unixAddress(path);
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid())
+        fatal("socket(AF_UNIX): %s", std::strerror(errno));
+    int rc;
+    do {
+        rc = ::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0)
+        fatal("connect('%s'): %s", path.c_str(),
+              std::strerror(errno));
+    return fd;
+}
+
+Fd
+connectTcpLoopback(uint16_t port)
+{
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid())
+        fatal("socket(AF_INET): %s", std::strerror(errno));
+    sockaddr_in addr = loopbackAddress(port);
+    int rc;
+    do {
+        rc = ::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0)
+        fatal("connect(127.0.0.1:%u): %s",
+              static_cast<unsigned>(port), std::strerror(errno));
+    return fd;
+}
+
+int
+acceptOn(int listen_fd)
+{
+    for (;;) {
+        int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0)
+            return fd;
+        if (errno != EINTR)
+            return -1;
+    }
+}
+
+IoStatus
+readFull(int fd, void *buf, size_t n, size_t *got)
+{
+    size_t done = 0;
+    char *p = static_cast<char *>(buf);
+    while (done < n) {
+        ssize_t r = ::read(fd, p + done, n - done);
+        if (r > 0) {
+            done += static_cast<size_t>(r);
+            continue;
+        }
+        if (r == 0) {
+            if (got)
+                *got = done;
+            return done == 0 ? IoStatus::Eof : IoStatus::Short;
+        }
+        if (errno == EINTR)
+            continue;
+        if (got)
+            *got = done;
+        return IoStatus::Error;
+    }
+    if (got)
+        *got = done;
+    return IoStatus::Ok;
+}
+
+bool
+writeFull(int fd, const void *buf, size_t n)
+{
+    size_t done = 0;
+    const char *p = static_cast<const char *>(buf);
+    while (done < n) {
+        ssize_t w = ::write(fd, p + done, n - done);
+        if (w > 0) {
+            done += static_cast<size_t>(w);
+            continue;
+        }
+        if (w < 0 && errno == EINTR)
+            continue;
+        return false; // EPIPE (peer gone), or a real error
+    }
+    return true;
+}
+
+} // namespace serve
+} // namespace elag

@@ -1,5 +1,9 @@
 #include "sim/run_cache.hh"
 
+#include <chrono>
+
+#include "support/logging.hh"
+
 namespace elag {
 namespace sim {
 
@@ -97,58 +101,159 @@ RunCache::instance()
     return cache;
 }
 
+/** Cache key for one run request. */
+static uint64_t
+runKey(const CompiledProgram &prog,
+       const pipeline::MachineConfig &machine,
+       uint64_t max_instructions, bool with_telemetry)
+{
+    Fnv1a h;
+    h.mix(hashProgram(prog.code.program));
+    h.mix(hashConfig(machine));
+    h.mix(max_instructions);
+    h.mix(with_telemetry ? 1 : 0);
+    return h.state;
+}
+
 TimedResult
 RunCache::run(const CompiledProgram &prog,
               const pipeline::MachineConfig &machine,
-              uint64_t max_instructions)
+              uint64_t max_instructions, const Watchdog &watchdog)
 {
     if (machine.faultInjector) {
         {
             std::lock_guard<std::mutex> lock(mu);
             ++stats_.bypasses;
         }
-        return runTimed(prog, machine, max_instructions);
+        return runTimed(prog, machine, max_instructions, {}, watchdog);
     }
+    return lookup(
+               runKey(prog, machine, max_instructions, false),
+               [&] {
+                   Report report;
+                   report.timed = runTimed(prog, machine,
+                                           max_instructions, {},
+                                           watchdog);
+                   return report;
+               },
+               watchdog)
+        .timed;
+}
 
-    Fnv1a h;
-    h.mix(hashProgram(prog.code.program));
-    h.mix(hashConfig(machine));
-    h.mix(max_instructions);
-    const uint64_t key = h.state;
+RunCache::Report
+RunCache::runReport(const CompiledProgram &prog,
+                    const pipeline::MachineConfig &machine,
+                    uint64_t max_instructions, const Watchdog &watchdog)
+{
+    if (machine.faultInjector) {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            ++stats_.bypasses;
+        }
+        Report report;
+        report.timed = runTimed(prog, machine, max_instructions,
+                                {&report.telemetry}, watchdog);
+        return report;
+    }
+    return lookup(
+        runKey(prog, machine, max_instructions, true),
+        [&] {
+            Report report;
+            report.timed = runTimed(prog, machine, max_instructions,
+                                    {&report.telemetry}, watchdog);
+            return report;
+        },
+        watchdog);
+}
 
-    std::shared_future<TimedResult> future;
-    std::promise<TimedResult> promise;
+RunCache::Report
+RunCache::lookup(uint64_t key,
+                 const std::function<Report()> &simulate,
+                 const Watchdog &watchdog)
+{
+    std::shared_future<Report> future;
+    std::promise<Report> promise;
     bool owner = false;
+    uint64_t gen = 0;
     {
         std::lock_guard<std::mutex> lock(mu);
         auto it = entries.find(key);
         if (it != entries.end()) {
             ++stats_.hits;
-            future = it->second;
+            future = it->second.future;
+            // Refresh recency.
+            lru.splice(lru.begin(), lru, it->second.lruPos);
         } else {
             ++stats_.misses;
             owner = true;
+            gen = ++genCounter;
             future = promise.get_future().share();
-            entries.emplace(key, future);
+            lru.push_front(key);
+            entries.emplace(key, Entry{future, lru.begin(), gen});
+            evictLocked();
         }
     }
 
     if (owner) {
         try {
-            promise.set_value(runTimed(prog, machine,
-                                       max_instructions));
+            promise.set_value(simulate());
         } catch (...) {
             // Do not cache failures (e.g. watchdog timeouts): drop
             // the entry so a retry re-simulates, and wake waiters
-            // with the same exception.
+            // with the same exception. The generation check keeps us
+            // from erasing a newer entry that reused the key after
+            // this one was evicted mid-run.
             {
                 std::lock_guard<std::mutex> lock(mu);
-                entries.erase(key);
+                auto it = entries.find(key);
+                if (it != entries.end() && it->second.gen == gen) {
+                    lru.erase(it->second.lruPos);
+                    entries.erase(it);
+                }
             }
             promise.set_exception(std::current_exception());
         }
+        return future.get();
+    }
+
+    // A waiter with a wall-clock deadline must not block forever on
+    // another thread's simulation (it enforces its own watchdog, not
+    // ours).
+    if (watchdog.maxWallMs) {
+        if (future.wait_for(std::chrono::milliseconds(
+                watchdog.maxWallMs)) == std::future_status::timeout) {
+            throw SimTimeoutError(
+                SimTimeoutError::Kind::WallClock, watchdog.maxWallMs,
+                formatString("watchdog: waited more than %llu ms for "
+                             "a shared in-flight simulation",
+                             static_cast<unsigned long long>(
+                                 watchdog.maxWallMs)));
+        }
     }
     return future.get();
+}
+
+void
+RunCache::evictLocked()
+{
+    if (entries.size() <= capacity_)
+        return;
+    // Walk from the cold end, skipping in-flight entries: dropping
+    // those would duplicate running work and orphan their waiters'
+    // dedup guarantee. The map can therefore transiently exceed the
+    // capacity by at most the number of concurrent misses.
+    auto pos = lru.end();
+    while (entries.size() > capacity_ && pos != lru.begin()) {
+        --pos;
+        auto it = entries.find(*pos);
+        if (it->second.future.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+            continue;
+        }
+        entries.erase(it);
+        pos = lru.erase(pos);
+        ++stats_.evictions;
+    }
 }
 
 RunCache::Stats
@@ -158,11 +263,35 @@ RunCache::stats() const
     return stats_;
 }
 
+size_t
+RunCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return entries.size();
+}
+
+size_t
+RunCache::capacity() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return capacity_;
+}
+
+void
+RunCache::setCapacity(size_t cap)
+{
+    elag_assert(cap >= 1);
+    std::lock_guard<std::mutex> lock(mu);
+    capacity_ = cap;
+    evictLocked();
+}
+
 void
 RunCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu);
     entries.clear();
+    lru.clear();
     stats_ = Stats{};
 }
 

@@ -5,6 +5,7 @@
 #include "irgen/irgen.hh"
 #include "lang/parser.hh"
 #include "lang/sema.hh"
+#include "pipeline/stats.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
@@ -341,6 +342,43 @@ loadReportJson(JsonWriter &w, const CompiledProgram &prog,
         w.endObject();
     }
     w.endArray();
+}
+
+std::string
+statsReportJson(const std::string &file_label,
+                const std::string &machine_name,
+                const std::string &selection,
+                const CompiledProgram &prog, const TimedResult &base,
+                const TimedResult &timed,
+                const pipeline::LoadTelemetry &telemetry)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("program").beginObject();
+    w.field("file", file_label);
+    w.field("instructions",
+            static_cast<uint64_t>(prog.code.program.code.size()));
+    w.key("static_loads").beginObject();
+    w.field("total", prog.classStats.total());
+    w.field("ld_n", prog.classStats.numNormal);
+    w.field("ld_p", prog.classStats.numPredict);
+    w.field("ld_e", prog.classStats.numEarlyCalc);
+    w.endObject();
+    w.endObject();
+    w.field("machine", machine_name);
+    if (!selection.empty())
+        w.field("selection", selection);
+    w.key("baseline").beginObject();
+    w.field("cycles", base.pipe.cycles);
+    w.field("ipc", base.pipe.ipc());
+    w.endObject();
+    w.field("speedup", speedup(base, timed));
+    w.key("stats");
+    pipeline::writeJson(w, timed.pipe);
+    w.key("loads");
+    loadReportJson(w, prog, telemetry);
+    w.endObject();
+    return w.str();
 }
 
 double

@@ -257,6 +257,22 @@ std::string loadReportText(const CompiledProgram &prog,
 void loadReportJson(JsonWriter &w, const CompiledProgram &prog,
                     const pipeline::LoadTelemetry &telemetry);
 
+/**
+ * The full machine-readable stats document for one timed run against
+ * its baseline: program block, machine/selection labels, baseline
+ * cycles, speedup, pipeline stats, per-PC load report. This is the
+ * document behind `elagc --json-stats` and the serving daemon's
+ * `simulate` responses — both call it, so a served result is
+ * byte-identical to a single-shot one for the same inputs.
+ */
+std::string statsReportJson(const std::string &file_label,
+                            const std::string &machine_name,
+                            const std::string &selection,
+                            const CompiledProgram &prog,
+                            const TimedResult &base,
+                            const TimedResult &timed,
+                            const pipeline::LoadTelemetry &telemetry);
+
 } // namespace sim
 } // namespace elag
 

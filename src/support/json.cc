@@ -360,6 +360,66 @@ jsonExtractString(const std::string &doc, const std::string &key,
 }
 
 bool
+jsonExtractRaw(const std::string &doc, const std::string &key,
+               std::string &out)
+{
+    size_t p = findMemberValue(doc, key);
+    if (p == std::string::npos || p >= doc.size())
+        return false;
+
+    size_t start = p;
+    char c = doc[p];
+    if (c == '{' || c == '[') {
+        // Balanced scan, skipping over string contents.
+        int depth = 0;
+        bool in_string = false;
+        while (p < doc.size()) {
+            char ch = doc[p];
+            if (in_string) {
+                if (ch == '\\')
+                    ++p; // skip the escaped character
+                else if (ch == '"')
+                    in_string = false;
+            } else if (ch == '"') {
+                in_string = true;
+            } else if (ch == '{' || ch == '[') {
+                ++depth;
+            } else if (ch == '}' || ch == ']') {
+                --depth;
+                if (depth == 0) {
+                    out = doc.substr(start, p - start + 1);
+                    return true;
+                }
+            }
+            ++p;
+        }
+        return false; // unbalanced
+    }
+    if (c == '"') {
+        ++p;
+        while (p < doc.size() && doc[p] != '"') {
+            if (doc[p] == '\\')
+                ++p;
+            ++p;
+        }
+        if (p >= doc.size())
+            return false; // unterminated
+        out = doc.substr(start, p - start + 1);
+        return true;
+    }
+    // Bare scalar: number / true / false / null.
+    while (p < doc.size() && doc[p] != ',' && doc[p] != '}' &&
+           doc[p] != ']' && doc[p] != ' ' && doc[p] != '\t' &&
+           doc[p] != '\n' && doc[p] != '\r') {
+        ++p;
+    }
+    if (p == start)
+        return false;
+    out = doc.substr(start, p - start);
+    return true;
+}
+
+bool
 jsonExtractUint(const std::string &doc, const std::string &key,
                 uint64_t &out)
 {
@@ -544,6 +604,17 @@ JsonWriter::nullValue()
 {
     prepare(false);
     out += "null";
+    if (stack.empty())
+        done = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::rawValue(const std::string &json)
+{
+    elag_assert(!json.empty());
+    prepare(false);
+    out += json;
     if (stack.empty())
         done = true;
     return *this;

@@ -45,6 +45,18 @@ bool jsonExtractUint(const std::string &doc, const std::string &key,
                      uint64_t &out);
 
 /**
+ * Extract the raw text of the first member named @p key — the exact
+ * bytes of its value, balanced across nested objects/arrays and
+ * escape-aware inside strings. Unlike jsonExtractString this works
+ * for any value kind and performs no unescaping, so a sub-document
+ * spliced in with JsonWriter::rawValue() can be recovered verbatim.
+ * Subject to the same first-occurrence caveat as the extractors
+ * above.
+ */
+bool jsonExtractRaw(const std::string &doc, const std::string &key,
+                    std::string &out);
+
+/**
  * Incremental JSON document writer.
  *
  * Usage:
@@ -82,6 +94,16 @@ class JsonWriter
     JsonWriter &value(int v) { return value(int64_t{v}); }
     JsonWriter &value(bool v);
     JsonWriter &nullValue();
+
+    /**
+     * Splice a pre-rendered JSON document in as a value, verbatim.
+     * The caller guarantees @p json is one complete valid JSON value;
+     * its internal indentation is preserved untouched, so the exact
+     * bytes can later be recovered with jsonExtractRaw(). Used to
+     * embed an independently generated report inside a response
+     * envelope without re-serializing it.
+     */
+    JsonWriter &rawValue(const std::string &json);
 
     /** key() + value() in one call. */
     template <typename T>

@@ -219,6 +219,99 @@ TEST(RunCache, ConcurrentMissesSimulateOnce)
     cache.clear();
 }
 
+TEST(RunCache, BoundedWithLruEviction)
+{
+    setQuiet(true);
+    auto &cache = sim::RunCache::instance();
+    cache.clear();
+    size_t saved_capacity = cache.capacity();
+    cache.setCapacity(2);
+
+    auto prog = sim::compile("int main() { print(7); return 0; }");
+    auto cfg = pipeline::MachineConfig::proposed();
+
+    // Three distinct keys via distinct instruction caps.
+    cache.run(prog, cfg, 1'000'000); // A
+    cache.run(prog, cfg, 2'000'000); // B
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    // Touch A so B is the LRU victim.
+    cache.run(prog, cfg, 1'000'000);
+    cache.run(prog, cfg, 3'000'000); // C evicts B
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+
+    // A stayed resident (hit); B was evicted (miss again).
+    auto before = cache.stats();
+    cache.run(prog, cfg, 1'000'000);
+    EXPECT_EQ(cache.stats().hits, before.hits + 1);
+    cache.run(prog, cfg, 2'000'000);
+    EXPECT_EQ(cache.stats().misses, before.misses + 1);
+
+    cache.setCapacity(saved_capacity);
+    cache.clear();
+}
+
+TEST(RunCache, ShrinkingCapacityEvictsDown)
+{
+    setQuiet(true);
+    auto &cache = sim::RunCache::instance();
+    cache.clear();
+    size_t saved_capacity = cache.capacity();
+
+    auto prog = sim::compile("int main() { print(9); return 0; }");
+    auto cfg = pipeline::MachineConfig::baseline();
+    for (uint64_t cap = 1; cap <= 4; ++cap)
+        cache.run(prog, cfg, cap * 1'000'000);
+    EXPECT_EQ(cache.size(), 4u);
+
+    cache.setCapacity(1);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().evictions, 3u);
+
+    // The survivor is the most recently used key.
+    auto before = cache.stats();
+    cache.run(prog, cfg, 4'000'000);
+    EXPECT_EQ(cache.stats().hits, before.hits + 1);
+
+    cache.setCapacity(saved_capacity);
+    cache.clear();
+}
+
+TEST(RunCache, ReportEntriesCacheTelemetryToo)
+{
+    setQuiet(true);
+    auto &cache = sim::RunCache::instance();
+    cache.clear();
+
+    auto prog = sim::compile(R"(
+        int arr[32];
+        int main() {
+            int t = 0;
+            for (int i = 0; i < 32; i++) { arr[i] = i; t += arr[i]; }
+            print(t);
+            return 0;
+        }
+    )");
+    auto cfg = pipeline::MachineConfig::proposed();
+
+    auto r1 = cache.runReport(prog, cfg, 1'000'000);
+    // Telemetry-observed entries use a distinct key from plain runs,
+    // so the bench hot path never pays for observers.
+    EXPECT_EQ(cache.stats().misses, 1u);
+    auto r2 = cache.runReport(prog, cfg, 1'000'000);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(r1.timed.pipe.cycles, r2.timed.pipe.cycles);
+    EXPECT_EQ(r1.telemetry.loads().size(),
+              r2.telemetry.loads().size());
+    EXPECT_FALSE(r1.telemetry.loads().empty());
+
+    cache.run(prog, cfg, 1'000'000);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    cache.clear();
+}
+
 TEST(RunCache, ProgramContentChangesKey)
 {
     setQuiet(true);

@@ -426,6 +426,50 @@ TEST(Json, ExtractRoundTripsWriterEscapes)
     EXPECT_EQ(v, "tab\there \"quoted\"\nnewline");
 }
 
+TEST(Json, RawValueSplicesVerbatim)
+{
+    // A pre-rendered document (with its own indentation) embedded in
+    // a compact envelope must come back out byte for byte.
+    JsonWriter inner;
+    inner.beginObject();
+    inner.key("stats").beginObject();
+    inner.field("cycles", uint64_t{123});
+    inner.field("note", std::string("has \"result\": inside"));
+    inner.endObject();
+    inner.endObject();
+    std::string doc = inner.str();
+
+    JsonWriter outer(0);
+    outer.beginObject();
+    outer.field("ok", true);
+    outer.key("result").rawValue(doc);
+    outer.endObject();
+    std::string envelope = outer.str();
+    EXPECT_TRUE(jsonValid(envelope));
+
+    std::string recovered;
+    ASSERT_TRUE(jsonExtractRaw(envelope, "result", recovered));
+    EXPECT_EQ(recovered, doc);
+}
+
+TEST(Json, ExtractRawHandlesValueKinds)
+{
+    std::string raw;
+    ASSERT_TRUE(jsonExtractRaw("{\"a\": [1, {\"b\": 2}], \"c\": 3}",
+                               "a", raw));
+    EXPECT_EQ(raw, "[1, {\"b\": 2}]");
+    ASSERT_TRUE(jsonExtractRaw("{\"s\": \"br{ace \\\" }\"}", "s",
+                               raw));
+    EXPECT_EQ(raw, "\"br{ace \\\" }\"");
+    ASSERT_TRUE(jsonExtractRaw("{\"n\": 42, \"m\": 1}", "n", raw));
+    EXPECT_EQ(raw, "42");
+    ASSERT_TRUE(jsonExtractRaw("{\"t\": true}", "t", raw));
+    EXPECT_EQ(raw, "true");
+    EXPECT_FALSE(jsonExtractRaw("{\"a\": 1}", "missing", raw));
+    // Unbalanced nesting never matches.
+    EXPECT_FALSE(jsonExtractRaw("{\"a\": [1, 2", "a", raw));
+}
+
 /** Capture trace output into a buffer via a tmpfile. */
 std::string
 captureTrace(const std::function<void()> &body)

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * elag_client — client and load generator for elagd.
+ *
+ * Single-shot mode sends one request and prints the result document
+ * exactly as the server produced it (plus a trailing newline), so a
+ * served `simulate` diffs clean against `elagc --json-stats=-` on
+ * the same source:
+ *
+ *   elag_client --socket=/tmp/elagd.sock --verb=simulate \
+ *               --source=prog.c
+ *   elag_client --socket=S --verb=stats
+ *   elag_client --socket=S --verb=drain
+ *
+ * Load-generation mode runs a closed loop — N client threads, each
+ * with its own connection, issuing M requests back to back — and
+ * reports throughput and latency quantiles:
+ *
+ *   elag_client --socket=S --source=prog.c --clients=8 --requests=32
+ *   elag_client ... --json          machine-readable loadgen report
+ *
+ * Exit codes: 0 success, 1 request failed (fatal / bad_request /
+ * unknown_verb), 2 usage, 69 rejected (overloaded / shutting_down),
+ * 70 server panic, 75 deadline timeout.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "serve/client.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+using namespace elag;
+
+namespace {
+
+struct Options
+{
+    std::string socket;
+    uint16_t tcpPort = 0;
+    std::string verb = "simulate";
+    std::string source; ///< path to the mini-C source file
+    uint32_t clients = 0;
+    uint32_t requests = 1;
+    bool json = false;
+    bool quiet = false;
+    serve::Request request;
+};
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: elag_client (--socket=PATH | --tcp-port=N)\n"
+        "                   [--verb=compile|classify|simulate|stats|"
+        "health|drain]\n"
+        "                   [--source=FILE] [--machine=baseline|"
+        "proposed]\n"
+        "                   [--selection=compiler|ev|all-predict|"
+        "all-early]\n"
+        "                   [--table=N] [--regs=N] [--no-opt]\n"
+        "                   [--no-classify] [--max-inst=N]\n"
+        "                   [--deadline-ms=N]\n"
+        "                   [--clients=N] [--requests=M] [--json]\n"
+        "                   [--quiet]\n");
+}
+
+/** Strict numeric option parsing, as in elagc: exit 2 on junk. */
+template <typename T>
+bool
+numericOption(const std::string &arg, const char *prefix, T &out)
+{
+    std::string text = arg.substr(std::strlen(prefix));
+    bool ok;
+    if constexpr (sizeof(T) == sizeof(uint32_t))
+        ok = parseUint32(text, out);
+    else
+        ok = parseUint64(text, out);
+    if (!ok) {
+        std::fprintf(stderr,
+                     "elag_client: invalid numeric value in '%s'\n",
+                     arg.c_str());
+    }
+    return ok;
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opts)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *prefix) {
+            return arg.substr(std::strlen(prefix));
+        };
+        if (startsWith(arg, "--socket=")) {
+            opts.socket = value("--socket=");
+        } else if (startsWith(arg, "--tcp-port=")) {
+            uint32_t port;
+            if (!numericOption(arg, "--tcp-port=", port))
+                return false;
+            if (port == 0 || port > 65535) {
+                std::fprintf(stderr,
+                             "elag_client: --tcp-port out of "
+                             "range\n");
+                return false;
+            }
+            opts.tcpPort = static_cast<uint16_t>(port);
+        } else if (startsWith(arg, "--verb=")) {
+            opts.verb = value("--verb=");
+        } else if (startsWith(arg, "--source=")) {
+            opts.source = value("--source=");
+        } else if (startsWith(arg, "--machine=")) {
+            opts.request.machine = value("--machine=");
+        } else if (startsWith(arg, "--selection=")) {
+            opts.request.selection = value("--selection=");
+        } else if (startsWith(arg, "--table=")) {
+            if (!numericOption(arg, "--table=", opts.request.table))
+                return false;
+        } else if (startsWith(arg, "--regs=")) {
+            if (!numericOption(arg, "--regs=", opts.request.regs))
+                return false;
+        } else if (arg == "--no-opt") {
+            opts.request.noOpt = true;
+        } else if (arg == "--no-classify") {
+            opts.request.noClassify = true;
+        } else if (startsWith(arg, "--max-inst=")) {
+            if (!numericOption(arg, "--max-inst=",
+                               opts.request.maxInst))
+                return false;
+        } else if (startsWith(arg, "--deadline-ms=")) {
+            if (!numericOption(arg, "--deadline-ms=",
+                               opts.request.deadlineMs))
+                return false;
+        } else if (startsWith(arg, "--clients=")) {
+            if (!numericOption(arg, "--clients=", opts.clients))
+                return false;
+        } else if (startsWith(arg, "--requests=")) {
+            if (!numericOption(arg, "--requests=", opts.requests))
+                return false;
+        } else if (arg == "--json") {
+            opts.json = true;
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else {
+            std::fprintf(stderr,
+                         "elag_client: unknown option '%s'\n",
+                         arg.c_str());
+            return false;
+        }
+    }
+    if (opts.socket.empty() && opts.tcpPort == 0) {
+        std::fprintf(stderr,
+                     "elag_client: --socket=PATH or --tcp-port=N "
+                     "is required\n");
+        return false;
+    }
+    if (serve::isWorkVerb(opts.verb) && opts.source.empty()) {
+        std::fprintf(stderr,
+                     "elag_client: verb '%s' requires "
+                     "--source=FILE\n",
+                     opts.verb.c_str());
+        return false;
+    }
+    if (opts.clients && !serve::isWorkVerb(opts.verb)) {
+        std::fprintf(stderr,
+                     "elag_client: --clients needs a work verb "
+                     "(compile/classify/simulate)\n");
+        return false;
+    }
+    return true;
+}
+
+/** Map a protocol error type onto this tool's exit codes. */
+int
+errorExitCode(const std::string &type)
+{
+    if (type == serve::errtype::Overloaded ||
+        type == serve::errtype::ShuttingDown) {
+        return 69; // EX_UNAVAILABLE
+    }
+    if (type == serve::errtype::Timeout)
+        return 75; // matches elagc's watchdog exit
+    if (type == serve::errtype::Panic)
+        return 70; // matches elagc's invariant-violation exit
+    return 1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseArgs(argc, argv, opts)) {
+        usage();
+        return 2;
+    }
+    if (opts.quiet)
+        setQuiet(true);
+
+    opts.request.verb = opts.verb;
+    if (!opts.source.empty()) {
+        std::ifstream in(opts.source);
+        if (!in) {
+            std::fprintf(stderr, "elag_client: cannot open '%s'\n",
+                         opts.source.c_str());
+            return 1;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        opts.request.source = text.str();
+        // The server echoes this label into reports, matching what
+        // elagc prints for the same invocation path.
+        opts.request.file = opts.source;
+    }
+
+    try {
+        if (opts.clients) {
+            serve::LoadGenConfig config;
+            config.socketPath = opts.socket;
+            config.tcpPort = opts.tcpPort;
+            config.clients = opts.clients;
+            config.requests = opts.requests;
+            config.request = opts.request;
+            serve::LoadGenReport report = serve::runLoadGen(config);
+            if (opts.json) {
+                JsonWriter w;
+                report.writeJson(w);
+                std::printf("%s\n", w.str().c_str());
+            } else {
+                std::fputs(report.text().c_str(), stdout);
+            }
+            return report.transportErrors ? 1 : 0;
+        }
+
+        serve::Client client =
+            opts.socket.empty()
+                ? serve::Client::connectTcp(opts.tcpPort)
+                : serve::Client::connectTo(opts.socket);
+        opts.request.id = 1;
+        serve::Response response = client.call(opts.request);
+        if (!response.ok) {
+            std::fprintf(stderr, "elag_client: %s: %s\n",
+                         response.errorType.c_str(),
+                         response.errorMessage.c_str());
+            return errorExitCode(response.errorType);
+        }
+        std::fputs(response.result.c_str(), stdout);
+        std::fputc('\n', stdout);
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "elag_client: %s\n", e.what());
+        return 1;
+    }
+}

@@ -252,41 +252,6 @@ printStatsText(FILE *out, const sim::TimedResult &base,
     printSpecCounters(out, "ld_e", p.earlyCalc);
 }
 
-/** The full JSON stats document (--json-stats). */
-std::string
-jsonStatsDoc(const Options &opts, const sim::CompiledProgram &prog,
-             const sim::TimedResult &base, const sim::TimedResult &timed,
-             const pipeline::LoadTelemetry &telemetry)
-{
-    JsonWriter w;
-    w.beginObject();
-    w.key("program").beginObject();
-    w.field("file", opts.file);
-    w.field("instructions",
-            static_cast<uint64_t>(prog.code.program.code.size()));
-    w.key("static_loads").beginObject();
-    w.field("total", prog.classStats.total());
-    w.field("ld_n", prog.classStats.numNormal);
-    w.field("ld_p", prog.classStats.numPredict);
-    w.field("ld_e", prog.classStats.numEarlyCalc);
-    w.endObject();
-    w.endObject();
-    w.field("machine", opts.machine);
-    if (!opts.selection.empty())
-        w.field("selection", opts.selection);
-    w.key("baseline").beginObject();
-    w.field("cycles", base.pipe.cycles);
-    w.field("ipc", base.pipe.ipc());
-    w.endObject();
-    w.field("speedup", sim::speedup(base, timed));
-    w.key("stats");
-    pipeline::writeJson(w, timed.pipe);
-    w.key("loads");
-    sim::loadReportJson(w, prog, telemetry);
-    w.endObject();
-    return w.str();
-}
-
 /**
  * When --json-stats is active, a failed run still produces a JSON
  * document — an "error" block instead of stats — so harnesses
@@ -439,8 +404,9 @@ main(int argc, char **argv)
                     sim::loadReportText(prog, telemetry).c_str());
             }
             if (!opts.jsonStats.empty()) {
-                std::string doc =
-                    jsonStatsDoc(opts, prog, base, timed, telemetry);
+                std::string doc = sim::statsReportJson(
+                    opts.file, opts.machine, opts.selection, prog,
+                    base, timed, telemetry);
                 if (opts.jsonStats == "-") {
                     std::fwrite(doc.data(), 1, doc.size(), stdout);
                     std::fputc('\n', stdout);

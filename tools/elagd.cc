@@ -1,0 +1,189 @@
+/**
+ * @file
+ * elagd — the elag simulation-as-a-service daemon.
+ *
+ * Serves the framed JSON protocol (compile / classify / simulate /
+ * stats / health / drain) over a Unix-domain socket, optionally also
+ * on a TCP loopback port. Simulations execute on the shared
+ * support::parallel worker pool and repeated workloads hit the
+ * bounded sim::RunCache.
+ *
+ *   elagd --socket=/tmp/elagd.sock                serve until signalled
+ *   elagd --socket=S --tcp-port=7878              extra TCP listener
+ *   elagd --socket=S --jobs=8 --queue-depth=32    sizing
+ *   elagd --socket=S --deadline-ms=2000           default deadline
+ *   elagd --socket=S --cache-capacity=256         RunCache bound
+ *
+ * SIGTERM/SIGINT (or a `drain` request) drains gracefully: stop
+ * accepting, finish in-flight requests, flush the stats document to
+ * stdout, exit 0.
+ *
+ * Exit codes: 0 graceful drain, 1 startup failure (FatalError),
+ * 2 usage.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "serve/server.hh"
+#include "support/logging.hh"
+#include "support/parallel.hh"
+#include "support/strings.hh"
+#include "support/trace.hh"
+
+#include "sim/run_cache.hh"
+
+using namespace elag;
+
+namespace {
+
+struct Options
+{
+    std::string socket;
+    uint16_t tcpPort = 0;
+    uint32_t queueDepth = 64;
+    uint32_t jobs = 0; ///< 0 keeps the parallel layer's default
+    uint64_t deadlineMs = 0;
+    uint64_t cacheCapacity = sim::RunCache::kDefaultCapacity;
+    std::string traceSpec;
+    bool quiet = false;
+};
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: elagd --socket=PATH [--tcp-port=N]\n"
+                 "             [--queue-depth=N] [--jobs=N]\n"
+                 "             [--deadline-ms=N] [--cache-capacity=N]\n"
+                 "             [--trace=CH[,CH...]] [--quiet]\n");
+}
+
+/** Strict numeric option parsing, as in elagc: exit 2 on junk. */
+template <typename T>
+bool
+numericOption(const std::string &arg, const char *prefix, T &out)
+{
+    std::string text = arg.substr(std::strlen(prefix));
+    bool ok;
+    if constexpr (sizeof(T) == sizeof(uint32_t))
+        ok = parseUint32(text, out);
+    else
+        ok = parseUint64(text, out);
+    if (!ok) {
+        std::fprintf(stderr,
+                     "elagd: invalid numeric value in '%s'\n",
+                     arg.c_str());
+    }
+    return ok;
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opts)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *prefix) {
+            return arg.substr(std::strlen(prefix));
+        };
+        if (startsWith(arg, "--socket=")) {
+            opts.socket = value("--socket=");
+        } else if (startsWith(arg, "--tcp-port=")) {
+            uint32_t port;
+            if (!numericOption(arg, "--tcp-port=", port))
+                return false;
+            if (port == 0 || port > 65535) {
+                std::fprintf(stderr,
+                             "elagd: --tcp-port out of range\n");
+                return false;
+            }
+            opts.tcpPort = static_cast<uint16_t>(port);
+        } else if (startsWith(arg, "--queue-depth=")) {
+            if (!numericOption(arg, "--queue-depth=",
+                               opts.queueDepth))
+                return false;
+        } else if (startsWith(arg, "--jobs=")) {
+            if (!numericOption(arg, "--jobs=", opts.jobs))
+                return false;
+        } else if (startsWith(arg, "--deadline-ms=")) {
+            if (!numericOption(arg, "--deadline-ms=",
+                               opts.deadlineMs))
+                return false;
+        } else if (startsWith(arg, "--cache-capacity=")) {
+            if (!numericOption(arg, "--cache-capacity=",
+                               opts.cacheCapacity))
+                return false;
+        } else if (startsWith(arg, "--trace=")) {
+            opts.traceSpec = value("--trace=");
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else {
+            std::fprintf(stderr, "elagd: unknown option '%s'\n",
+                         arg.c_str());
+            return false;
+        }
+    }
+    if (opts.socket.empty()) {
+        std::fprintf(stderr, "elagd: --socket=PATH is required\n");
+        return false;
+    }
+    if (opts.queueDepth == 0) {
+        std::fprintf(stderr,
+                     "elagd: --queue-depth must be at least 1\n");
+        return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseArgs(argc, argv, opts)) {
+        usage();
+        return 2;
+    }
+    if (opts.quiet)
+        setQuiet(true);
+    if (!opts.traceSpec.empty())
+        trace::enableSpec(opts.traceSpec);
+    trace::applyEnvironment();
+    if (opts.jobs)
+        parallel::setJobs(opts.jobs);
+    sim::RunCache::instance().setCapacity(opts.cacheCapacity);
+
+    serve::ServerConfig config;
+    config.socketPath = opts.socket;
+    config.tcpPort = opts.tcpPort;
+    config.queueDepth = opts.queueDepth;
+    config.defaultDeadlineMs = opts.deadlineMs;
+
+    serve::Server server(config);
+    try {
+        server.start();
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "elagd: %s\n", e.what());
+        return 1;
+    }
+    server.installSignalHandlers();
+
+    inform("elagd: serving on %s%s (queue depth %u, %u jobs)",
+           opts.socket.c_str(),
+           opts.tcpPort
+               ? formatString(" and 127.0.0.1:%u", opts.tcpPort)
+                     .c_str()
+               : "",
+           config.queueDepth, parallel::jobs());
+
+    server.wait();
+    serve::Server::restoreSignalHandlers();
+
+    // Final stats snapshot so a scripted run (CI, experiments) can
+    // harvest counters even without a live `stats` request.
+    std::fputs(server.statsJson().c_str(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+}
