@@ -6,6 +6,7 @@
 #include <fstream>
 #include <utility>
 
+#include "obs/span.hh"
 #include "sim/run_cache.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
@@ -17,6 +18,10 @@ namespace bench {
 std::vector<PreparedWorkload>
 prepareSuite(workloads::Suite suite)
 {
+    obs::Span span("prepare_suite", "bench");
+    span.arg("suite", suite == workloads::Suite::SpecInt
+                          ? "specint"
+                          : "media");
     setQuiet(true);
     const auto &all = suite == workloads::Suite::SpecInt
                           ? workloads::specWorkloads()
@@ -111,13 +116,19 @@ parseBenchArgs(int argc, char **argv)
                 std::exit(2);
             }
             parallel::setJobs(n);
+        } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+            obs::SpanTracer::process().enable(argv[i] + 12);
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--json] [--out=FILE] [--jobs=N]\n",
+                         "usage: %s [--json] [--out=FILE] [--jobs=N] "
+                         "[--trace-out=FILE]\n",
                          argv[0]);
             std::exit(2);
         }
     }
+    obs::SpanTracer::process().setProcessLabel(
+        argv[0] ? argv[0] : "bench");
+    obs::SpanTracer::process().applyEnvironment();
     if (!opts.outPath.empty() && !opts.json) {
         std::fprintf(stderr, "%s: --out requires --json\n", argv[0]);
         std::exit(2);
@@ -193,6 +204,7 @@ Report::finish()
     if (finished)
         return;
     finished = true;
+    obs::SpanTracer::process().flush();
     double total = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - startTime)
                        .count();

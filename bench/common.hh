@@ -79,11 +79,14 @@ struct BenchOptions
 };
 
 /**
- * Parse bench argv (--json, --out=FILE, --jobs=N; anything else
- * errors and exits 2). Every table/figure bench accepts the same
- * flags so scripted regeneration of the paper's results — and batch
- * execution under tools/elag_campaign — can treat them uniformly.
- * --jobs must be a positive integer; 0 or garbage exits 2.
+ * Parse bench argv (--json, --out=FILE, --jobs=N, --trace-out=FILE;
+ * anything else errors and exits 2). Every table/figure bench accepts
+ * the same flags so scripted regeneration of the paper's results —
+ * and batch execution under tools/elag_campaign — can treat them
+ * uniformly. --jobs must be a positive integer; 0 or garbage exits 2.
+ * --trace-out arms the process span tracer (obs::SpanTracer) so the
+ * per-phase pipeline and sim.slice spans of every compile/run land in
+ * a Chrome trace-event file; Report::finish() flushes it.
  */
 BenchOptions parseBenchArgs(int argc, char **argv);
 

@@ -1,0 +1,42 @@
+#include "obs/build_info.hh"
+
+#include "support/json.hh"
+
+namespace elag {
+namespace obs {
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info = [] {
+        BuildInfo b;
+        b.version = "0.6.0";
+#ifdef __VERSION__
+        b.compiler = __VERSION__;
+#else
+        b.compiler = "unknown";
+#endif
+        b.standard = __cplusplus;
+#ifdef ELAG_NO_SPANS
+        b.spansCompiled = false;
+#else
+        b.spansCompiled = true;
+#endif
+        return b;
+    }();
+    return info;
+}
+
+void
+writeJson(JsonWriter &w, const BuildInfo &info)
+{
+    w.beginObject();
+    w.field("version", info.version);
+    w.field("compiler", info.compiler);
+    w.field("std", static_cast<int64_t>(info.standard));
+    w.field("spans", info.spansCompiled);
+    w.endObject();
+}
+
+} // namespace obs
+} // namespace elag

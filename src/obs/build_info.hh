@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Build identification surfaced through the `stats` verb and the
+ * metrics plane, so a scrape can tell which binary it is talking to.
+ */
+
+#ifndef ELAG_OBS_BUILD_INFO_HH
+#define ELAG_OBS_BUILD_INFO_HH
+
+#include <string>
+
+namespace elag {
+
+class JsonWriter;
+
+namespace obs {
+
+struct BuildInfo
+{
+    /** Toolchain release (bumped per PR series, not per commit). */
+    std::string version;
+    /** Host compiler identification (__VERSION__). */
+    std::string compiler;
+    /** C++ standard the build targets. */
+    long standard;
+    /** false when spans were compiled out (-DELAG_OBS_SPANS=OFF). */
+    bool spansCompiled;
+};
+
+/** The running binary's build identification. */
+const BuildInfo &buildInfo();
+
+/** Serialize as {"version", "compiler", "std", "spans"}. */
+void writeJson(JsonWriter &w, const BuildInfo &info);
+
+} // namespace obs
+} // namespace elag
+
+#endif // ELAG_OBS_BUILD_INFO_HH

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/span.hh"
 #include "serve/framing.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
@@ -30,6 +31,14 @@ Client::connectTcp(uint16_t port)
 Response
 Client::call(const Request &request)
 {
+    // The client-side view of the same request the server spans:
+    // shared trace_id, different clock — the gap between the two
+    // durations is transport + queueing.
+    obs::Span span("request", "client");
+    span.arg("verb", request.verb);
+    if (!request.trace.empty())
+        span.arg("trace_id", request.trace);
+
     if (!writeFrame(fd_.get(), buildRequestDoc(request)))
         fatal("elag_client: server hung up while sending request");
 
@@ -83,6 +92,13 @@ LoadGenReport::text() const
                         (unsigned long long)p50Us,
                         (unsigned long long)p95Us,
                         (unsigned long long)p99Us);
+    if (!errorsByType.empty()) {
+        out += "errors:    ";
+        for (const auto &kv : errorsByType)
+            out += formatString(" %s=%llu", kv.first.c_str(),
+                                (unsigned long long)kv.second);
+        out += "\n";
+    }
     return out;
 }
 
@@ -104,6 +120,10 @@ LoadGenReport::writeJson(JsonWriter &w) const
     w.field("p95", p95Us);
     w.field("p99", p99Us);
     w.endObject();
+    w.key("errors_by_type").beginObject();
+    for (const auto &kv : errorsByType)
+        w.field(kv.first, kv.second);
+    w.endObject();
     w.endObject();
 }
 
@@ -124,6 +144,7 @@ runLoadGen(const LoadGenConfig &config)
     for (uint32_t c = 0; c < config.clients; ++c) {
         threads.emplace_back([&] {
             uint64_t ok = 0, err = 0, transport = 0, attempted = 0;
+            std::map<std::string, uint64_t> localErrors;
             std::vector<uint64_t> local;
             local.reserve(config.requests);
             try {
@@ -134,6 +155,8 @@ runLoadGen(const LoadGenConfig &config)
                 for (uint32_t i = 0; i < config.requests; ++i) {
                     Request request = config.request;
                     request.id = next_id.fetch_add(1);
+                    if (request.trace.empty())
+                        request.trace = obs::newTraceId();
                     ++attempted;
                     auto t0 = std::chrono::steady_clock::now();
                     Response response = client.call(request);
@@ -143,21 +166,28 @@ runLoadGen(const LoadGenConfig &config)
                             std::chrono::steady_clock::now() - t0)
                             .count();
                     local.push_back(us);
-                    if (response.ok)
+                    if (response.ok) {
                         ++ok;
-                    else
+                    } else {
                         ++err;
+                        ++localErrors[response.errorType.empty()
+                                          ? "unknown"
+                                          : response.errorType];
+                    }
                 }
             } catch (const FatalError &) {
                 // Connection refused or the server hung up; the
                 // remaining requests of this client are lost.
                 ++transport;
+                ++localErrors["transport"];
             }
             std::lock_guard<std::mutex> lock(mu);
             report.attempted += attempted;
             report.succeeded += ok;
             report.failed += err;
             report.transportErrors += transport;
+            for (const auto &kv : localErrors)
+                report.errorsByType[kv.first] += kv.second;
             latencies.insert(latencies.end(), local.begin(),
                              local.end());
         });

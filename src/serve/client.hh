@@ -13,6 +13,7 @@
 #define ELAG_SERVE_CLIENT_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -57,7 +58,11 @@ struct LoadGenConfig
     uint32_t clients = 1;
     /** Requests issued per client thread. */
     uint32_t requests = 1;
-    /** Template request; `id` is rewritten per request. */
+    /**
+     * Template request; `id` is rewritten per request, and when the
+     * template carries no `trace` member each request gets a fresh
+     * obs::newTraceId() so client and server spans correlate.
+     */
     Request request;
 };
 
@@ -75,6 +80,12 @@ struct LoadGenReport
     uint64_t minUs = 0, maxUs = 0;
     double meanUs = 0.0;
     uint64_t p50Us = 0, p95Us = 0, p99Us = 0;
+    /**
+     * Failures by cause: protocol error types (overloaded, timeout,
+     * ...) plus "transport" for connect/IO failures. Empty on a
+     * clean run.
+     */
+    std::map<std::string, uint64_t> errorsByType;
 
     /** Human-readable multi-line summary. */
     std::string text() const;

@@ -3,9 +3,15 @@
  * Per-verb request accounting for the serving daemon.
  *
  * Counts requests and errors per verb and samples each request's
- * service latency into a fixed-bucket support::Histogram, reusing
- * the JSON stats layer for export. Exposed through the `stats` verb
- * and flushed once at daemon exit.
+ * service latency into fixed-bucket histograms. Since the unified
+ * observability plane landed, the storage lives in the process-wide
+ * obs::Registry (as `elag_serve_requests_total{verb=...}`,
+ * `elag_serve_errors_total{verb=...}`, and
+ * `elag_serve_latency_us{verb=...}`), so the same numbers surface
+ * through the `metrics` verb and its Prometheus exposition. This
+ * class keeps the original stats-verb JSON shape on top of the
+ * registry-backed metrics, so existing `stats` consumers see no
+ * change.
  */
 
 #ifndef ELAG_SERVE_METRICS_HH
@@ -16,7 +22,7 @@
 #include <mutex>
 #include <string>
 
-#include "support/stats.hh"
+#include "obs/metrics.hh"
 
 namespace elag {
 
@@ -28,6 +34,16 @@ namespace serve {
 class ServerMetrics
 {
   public:
+    /**
+     * Build against the registry the per-verb metrics register in;
+     * production uses obs::Registry::process(), tests may pass a
+     * private registry.
+     */
+    explicit ServerMetrics(
+        obs::Registry &registry = obs::Registry::process())
+        : registry_(registry)
+    {}
+
     /** Record one finished request: outcome + service micros. */
     void record(const std::string &verb, bool ok, uint64_t micros);
 
@@ -46,12 +62,16 @@ class ServerMetrics
   private:
     struct VerbStats
     {
-        uint64_t requests = 0;
-        uint64_t errors = 0;
+        obs::Counter *requests = nullptr;
+        obs::Counter *errors = nullptr;
         /** 64 buckets x 4096 us => 0..256 ms + overflow. */
-        Histogram latency{64, 4096};
+        obs::Histogram *latency = nullptr;
     };
 
+    /** Get-or-register the per-verb metric triple. Lock held. */
+    VerbStats &verbStatsLocked(const std::string &verb);
+
+    obs::Registry &registry_;
     mutable std::mutex mu;
     std::map<std::string, VerbStats> verbs;
 };

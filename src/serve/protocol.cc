@@ -18,7 +18,8 @@ isWorkVerb(const std::string &verb)
 bool
 isControlVerb(const std::string &verb)
 {
-    return verb == "stats" || verb == "health" || verb == "drain";
+    return verb == "stats" || verb == "health" ||
+           verb == "metrics" || verb == "drain";
 }
 
 namespace {
@@ -139,7 +140,9 @@ parseRequest(const std::string &doc, Request &request,
                       error) ||
         !optionalUint(prefix, "max_inst", request.maxInst, error) ||
         !optionalUint(prefix, "deadline_ms", request.deadlineMs,
-                      error)) {
+                      error) ||
+        !optionalString(prefix, "trace", request.trace, error) ||
+        !optionalString(prefix, "format", request.format, error)) {
         return false;
     }
     if (request.verb.empty()) {
@@ -177,6 +180,10 @@ buildRequestDoc(const Request &request)
     w.field("max_inst", request.maxInst);
     if (request.deadlineMs)
         w.field("deadline_ms", request.deadlineMs);
+    if (!request.trace.empty())
+        w.field("trace", request.trace);
+    if (!request.format.empty())
+        w.field("format", request.format);
     // Scalar members above must precede source; see parseRequest.
     if (!request.source.empty())
         w.field("source", request.source);

@@ -9,12 +9,18 @@
  *      "deadline_ms": 2000, "source": "int main() { ... }"}
  *
  * Verbs: `compile`, `classify`, `simulate` (work verbs that carry
- * mini-C source), and `stats`, `health`, `drain` (control verbs the
- * server answers itself, bypassing admission control so they work
- * under overload). Scalar members must precede `source`: the parser
- * reads them from the prefix before the source member, which keeps
- * field extraction immune to protocol-looking text inside the
- * program being shipped.
+ * mini-C source), and `stats`, `health`, `metrics`, `drain` (control
+ * verbs the server answers itself, bypassing admission control so
+ * they work under overload). Scalar members must precede `source`:
+ * the parser reads them from the prefix before the source member,
+ * which keeps field extraction immune to protocol-looking text
+ * inside the program being shipped.
+ *
+ * Requests may carry a `trace` member: an opaque correlation ID the
+ * client mints (obs::newTraceId) and both sides attach to their
+ * spans, so one request can be lined up across the client's and the
+ * server's trace files. `metrics` requests may carry
+ * `format: "prometheus"` to get the text exposition instead of JSON.
  *
  * Responses envelope either a result or a typed error:
  *
@@ -67,6 +73,10 @@ struct Request
     uint64_t maxInst = 500'000'000;
     /** Wall-clock budget; 0 uses the server default (may be none). */
     uint64_t deadlineMs = 0;
+    /** Correlation ID propagated into client- and server-side spans. */
+    std::string trace;
+    /** Exposition format for `metrics` ("" = JSON, "prometheus"). */
+    std::string format;
 };
 
 /** @return true if @p verb computes on request-supplied source. */

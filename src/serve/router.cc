@@ -1,5 +1,6 @@
 #include "serve/router.hh"
 
+#include "obs/span.hh"
 #include "sim/run_cache.hh"
 #include "sim/simulator.hh"
 #include "support/json.hh"
@@ -115,6 +116,9 @@ Router::execute(const Request &request) const
     }
 
     if (request.verb == "simulate") {
+        obs::Span span("simulate", "serve");
+        if (!request.trace.empty())
+            span.arg("trace_id", request.trace);
         sim::Watchdog watchdog;
         watchdog.maxWallMs = request.deadlineMs
                                  ? request.deadlineMs

@@ -11,6 +11,9 @@
 #include <cstring>
 #include <future>
 
+#include "obs/build_info.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "sim/run_cache.hh"
 #include "sim/simulator.hh"
 #include "support/json.hh"
@@ -53,6 +56,41 @@ elapsedMicros(std::chrono::steady_clock::time_point since)
                std::chrono::steady_clock::now() - since)
         .count();
 }
+
+/**
+ * Registry-backed mirrors of the server's lifecycle atomics, so the
+ * same counts the stats verb reports are scrapeable as metrics.
+ */
+struct ServeCounters
+{
+    obs::Counter &accepted;
+    obs::Counter &admitted;
+    obs::Counter &rejectedOverload;
+    obs::Counter &rejectedDraining;
+
+    static ServeCounters &
+    instance()
+    {
+        static ServeCounters counters = [] {
+            obs::Registry &r = obs::Registry::process();
+            return ServeCounters{
+                r.counter("elag_serve_accepted_connections_total",
+                          "Connections accepted by the daemon."),
+                r.counter("elag_serve_admitted_total",
+                          "Work requests past admission control."),
+                r.counter("elag_serve_rejected_total",
+                          "Work requests rejected at the door, by "
+                          "reason.",
+                          {{"reason", "overload"}}),
+                r.counter("elag_serve_rejected_total",
+                          "Work requests rejected at the door, by "
+                          "reason.",
+                          {{"reason", "draining"}}),
+            };
+        }();
+        return counters;
+    }
+};
 
 } // anonymous namespace
 
@@ -205,6 +243,7 @@ Server::acceptLoop()
             if (conn < 0)
                 continue;
             uint64_t conn_id = accepted_.fetch_add(1) + 1;
+            ServeCounters::instance().accepted.inc();
             std::lock_guard<std::mutex> lock(connMu);
             if (draining_.load()) {
                 // Lost the race with beginDrain: it already swept
@@ -243,6 +282,12 @@ Server::serveConnection(int fd, uint64_t conn_id)
         auto started = std::chrono::steady_clock::now();
         uint64_t seq = requestSeq_.fetch_add(1) + 1;
 
+        // One span per request, parse through response write; the
+        // client attaches the same trace_id to its side, so the two
+        // trace files line up per request.
+        obs::Span span("request", "serve");
+        span.arg("conn", std::to_string(conn_id));
+
         Request request;
         std::string parse_error;
         std::string response;
@@ -251,6 +296,9 @@ Server::serveConnection(int fd, uint64_t conn_id)
             response = errorResponse(request, errtype::BadRequest,
                                      parse_error);
         } else {
+            span.arg("verb", request.verb);
+            if (!request.trace.empty())
+                span.arg("trace_id", request.trace);
             response = handle(request, initiate_drain);
         }
 
@@ -267,6 +315,7 @@ Server::serveConnection(int fd, uint64_t conn_id)
                        (unsigned long long)micros);
 
         bool wrote = writeFrame(fd, response);
+        span.end();
         if (initiate_drain) {
             // The drain ack is the last frame on this connection:
             // closing here makes the cutoff deterministic for the
@@ -302,6 +351,31 @@ Server::handle(const Request &request, bool &initiate_drain)
     if (request.verb == "stats")
         return okResponse(request, statsJson());
 
+    if (request.verb == "metrics") {
+        obs::Registry &registry = obs::Registry::process();
+        if (request.format == "prometheus") {
+            // The framed protocol carries JSON, so the text
+            // exposition rides inside an envelope the client
+            // unwraps (elag_client --format=prometheus prints the
+            // body verbatim).
+            JsonWriter w(0);
+            w.beginObject();
+            w.field("format", "prometheus");
+            w.field("body", registry.prometheus());
+            w.endObject();
+            return okResponse(request, w.str());
+        }
+        if (!request.format.empty() && request.format != "json") {
+            return errorResponse(
+                request, errtype::BadRequest,
+                formatString("unknown metrics format '%s'",
+                             request.format.c_str()));
+        }
+        JsonWriter w(0);
+        registry.writeJson(w);
+        return okResponse(request, w.str());
+    }
+
     if (request.verb == "drain") {
         initiate_drain = true;
         JsonWriter w(0);
@@ -318,6 +392,7 @@ Server::handle(const Request &request, bool &initiate_drain)
 
     if (draining_.load()) {
         rejectedDraining_.fetch_add(1);
+        ServeCounters::instance().rejectedDraining.inc();
         return errorResponse(request, errtype::ShuttingDown,
                              "server is draining");
     }
@@ -336,6 +411,7 @@ Server::executeAdmitted(const Request &request)
     do {
         if (backlog >= cfg.queueDepth) {
             rejectedOverload_.fetch_add(1);
+            ServeCounters::instance().rejectedOverload.inc();
             return errorResponse(
                 request, errtype::Overloaded,
                 formatString("request queue is full "
@@ -344,6 +420,7 @@ Server::executeAdmitted(const Request &request)
         }
     } while (!backlog_.compare_exchange_weak(backlog, backlog + 1));
     admitted_.fetch_add(1);
+    ServeCounters::instance().admitted.inc();
 
     std::promise<std::string> done;
     std::future<std::string> result = done.get_future();
@@ -391,7 +468,15 @@ Server::statsJson() const
     w.field("draining", draining_.load());
     w.field("accepted", accepted_.load());
     w.field("active_connections", static_cast<uint64_t>(active));
+    w.field("uptime_seconds",
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::seconds>(
+                    std::chrono::steady_clock::now() - startTime_)
+                    .count()));
     w.endObject();
+
+    w.key("build");
+    obs::writeJson(w, obs::buildInfo());
 
     w.key("queue").beginObject();
     w.field("depth", static_cast<uint64_t>(cfg.queueDepth));

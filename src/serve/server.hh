@@ -8,8 +8,8 @@
  *    optional TCP-loopback listener, and a self-pipe; each accepted
  *    connection gets a (joinable, tracked) connection thread.
  *  - Connection threads read frames, parse requests, and answer
- *    control verbs (stats/health/drain) inline — those bypass
- *    admission control so they keep working under overload.
+ *    control verbs (stats/health/metrics/drain) inline — those
+ *    bypass admission control so they keep working under overload.
  *  - Work verbs pass admission control: a bounded count of requests
  *    submitted-but-not-started. At the configured depth new work is
  *    rejected immediately with a typed `overloaded` error instead of
@@ -30,6 +30,7 @@
 #define ELAG_SERVE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <set>
@@ -149,6 +150,9 @@ class Server
     std::atomic<uint64_t> rejectedOverload_{0};
     std::atomic<uint64_t> rejectedDraining_{0};
     std::atomic<uint64_t> completed_{0};
+    /** Construction time, for the stats verb's uptime_seconds. */
+    std::chrono::steady_clock::time_point startTime_ =
+        std::chrono::steady_clock::now();
 };
 
 } // namespace serve

@@ -2,12 +2,47 @@
 
 #include <chrono>
 
+#include "obs/metrics.hh"
 #include "support/logging.hh"
 
 namespace elag {
 namespace sim {
 
 namespace {
+
+/**
+ * Registry-backed mirrors of RunCache::Stats. The struct keeps its
+ * own tallies for the existing stats() API; these make the same
+ * counts scrapeable through the metrics plane.
+ */
+struct CacheCounters
+{
+    obs::Counter &hits;
+    obs::Counter &misses;
+    obs::Counter &bypasses;
+    obs::Counter &evictions;
+
+    static CacheCounters &
+    instance()
+    {
+        static CacheCounters counters = [] {
+            obs::Registry &r = obs::Registry::process();
+            return CacheCounters{
+                r.counter("elag_runcache_hits_total",
+                          "Run-cache lookups served from a completed "
+                          "or in-flight entry."),
+                r.counter("elag_runcache_misses_total",
+                          "Run-cache lookups that had to simulate."),
+                r.counter("elag_runcache_bypasses_total",
+                          "Uncacheable runs (fault injector attached) "
+                          "forwarded around the cache."),
+                r.counter("elag_runcache_evictions_total",
+                          "Completed entries dropped past capacity."),
+            };
+        }();
+        return counters;
+    }
+};
 
 /** FNV-1a, folded field by field so struct padding never leaks in. */
 struct Fnv1a
@@ -125,6 +160,7 @@ RunCache::run(const CompiledProgram &prog,
             std::lock_guard<std::mutex> lock(mu);
             ++stats_.bypasses;
         }
+        CacheCounters::instance().bypasses.inc();
         return runTimed(prog, machine, max_instructions, {}, watchdog);
     }
     return lookup(
@@ -150,6 +186,7 @@ RunCache::runReport(const CompiledProgram &prog,
             std::lock_guard<std::mutex> lock(mu);
             ++stats_.bypasses;
         }
+        CacheCounters::instance().bypasses.inc();
         Report report;
         report.timed = runTimed(prog, machine, max_instructions,
                                 {&report.telemetry}, watchdog);
@@ -180,11 +217,13 @@ RunCache::lookup(uint64_t key,
         auto it = entries.find(key);
         if (it != entries.end()) {
             ++stats_.hits;
+            CacheCounters::instance().hits.inc();
             future = it->second.future;
             // Refresh recency.
             lru.splice(lru.begin(), lru, it->second.lruPos);
         } else {
             ++stats_.misses;
+            CacheCounters::instance().misses.inc();
             owner = true;
             gen = ++genCounter;
             future = promise.get_future().share();
@@ -253,6 +292,7 @@ RunCache::evictLocked()
         entries.erase(it);
         pos = lru.erase(pos);
         ++stats_.evictions;
+        CacheCounters::instance().evictions.inc();
     }
 }
 

@@ -5,6 +5,7 @@
 #include "irgen/irgen.hh"
 #include "lang/parser.hh"
 #include "lang/sema.hh"
+#include "obs/span.hh"
 #include "pipeline/stats.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
@@ -43,31 +44,52 @@ CompiledProgram::regenerate()
 CompiledProgram
 compile(const std::string &source, const CompileOptions &options)
 {
+    obs::Span compileSpan("compile", "pipeline");
     lang::TypeTable types;
-    std::unique_ptr<lang::Program> ast =
-        lang::parseSource(source, types);
+    std::unique_ptr<lang::Program> ast;
+    {
+        obs::Span span("parse", "pipeline");
+        ast = lang::parseSource(source, types);
+    }
     lang::Sema sema(*ast, types);
-    sema.analyze();
+    {
+        obs::Span span("sema", "pipeline");
+        sema.analyze();
+    }
 
     CompiledProgram prog;
-    prog.module = irgen::lowerToIr(*ast, types, sema.globalSize());
-    opt::runStandardPipeline(*prog.module, options.opt);
-    if (options.runClassifier) {
-        prog.classStats =
-            classify::classifyLoads(*prog.module, options.classify);
-    } else {
-        classify::clearClassification(*prog.module);
-        // Count everything as normal for reporting purposes.
-        for (const auto &fn : prog.module->functions) {
-            for (const auto &bb : fn->blocks()) {
-                for (const auto &inst : bb->insts) {
-                    if (inst.isLoad())
-                        ++prog.classStats.numNormal;
+    {
+        obs::Span span("irgen", "pipeline");
+        prog.module =
+            irgen::lowerToIr(*ast, types, sema.globalSize());
+    }
+    {
+        obs::Span span("opt", "pipeline");
+        opt::runStandardPipeline(*prog.module, options.opt);
+    }
+    {
+        obs::Span span("classify", "pipeline");
+        if (options.runClassifier) {
+            prog.classStats =
+                classify::classifyLoads(*prog.module,
+                                        options.classify);
+        } else {
+            classify::clearClassification(*prog.module);
+            // Count everything as normal for reporting purposes.
+            for (const auto &fn : prog.module->functions) {
+                for (const auto &bb : fn->blocks()) {
+                    for (const auto &inst : bb->insts) {
+                        if (inst.isLoad())
+                            ++prog.classStats.numNormal;
+                    }
                 }
             }
         }
     }
-    prog.regenerate();
+    {
+        obs::Span span("codegen", "pipeline");
+        prog.regenerate();
+    }
     return prog;
 }
 
@@ -143,10 +165,12 @@ runTimed(const CompiledProgram &prog,
         pipe.attach(observer);
     Emulator emu(prog.code.program);
 
-    // Most runs have no watchdog; keep the per-retire callback down
-    // to the pipeline hand-off in that case.
+    obs::SpanTracer &tracer = obs::SpanTracer::process();
+
+    // Most runs have no watchdog and no tracer armed; keep the
+    // per-retire callback down to the pipeline hand-off in that case.
     if (!watchdog.maxWallMs && !watchdog.maxRetires &&
-        !watchdog.maxCycles) {
+        !watchdog.maxCycles && !tracer.enabled()) {
         result.emulation =
             emu.run(max_instructions,
                     [&](const pipeline::RetiredInst &ri) {
@@ -156,12 +180,31 @@ runTimed(const CompiledProgram &prog,
         return result;
     }
 
+    // With the tracer armed, cut the run into slice spans so a
+    // long simulation shows progress structure in the trace viewer
+    // instead of one opaque block.
+    constexpr uint64_t kSliceRetires = 1u << 20;
+    uint64_t sliceStartUs = tracer.enabled() ? tracer.nowMicros() : 0;
+    uint64_t sliceBase = 0;
+
     uint64_t retired = 0;
     const auto wallStart = std::chrono::steady_clock::now();
     result.emulation = emu.run(
         max_instructions, [&](const pipeline::RetiredInst &ri) {
             pipe.retire(ri);
             ++retired;
+            if (tracer.enabled() &&
+                retired - sliceBase >= kSliceRetires) {
+                uint64_t now = tracer.nowMicros();
+                tracer.record(
+                    "sim.slice", "sim", sliceStartUs,
+                    now - sliceStartUs,
+                    {{"retired", std::to_string(retired)},
+                     {"cycle",
+                      std::to_string(pipe.currentCycle())}});
+                sliceStartUs = now;
+                sliceBase = retired;
+            }
             if (watchdog.maxWallMs && (retired & 0xfff) == 0) {
                 auto elapsed =
                     std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -195,6 +238,14 @@ runTimed(const CompiledProgram &prog,
                                      watchdog.maxCycles)));
             }
         });
+    if (tracer.enabled() && retired > sliceBase) {
+        uint64_t now = tracer.nowMicros();
+        tracer.record("sim.slice", "sim", sliceStartUs,
+                      now - sliceStartUs,
+                      {{"retired", std::to_string(retired)},
+                       {"cycle",
+                        std::to_string(pipe.currentCycle())}});
+    }
     result.pipe = pipe.finish();
     return result;
 }

@@ -83,6 +83,20 @@ class Registry
         std::FILE *f = output.load(std::memory_order_relaxed);
         return f ? f : stderr;
     }
+
+    /**
+     * Write one fully assembled line. Serialized under its own
+     * mutex (not the registry lock: channel lookups must not stall
+     * behind I/O) so lines from concurrent --jobs=N workers never
+     * interleave or tear mid-line.
+     */
+    void
+    writeLine(const std::string &line)
+    {
+        std::lock_guard<std::mutex> lock(outMu);
+        std::FILE *f = out();
+        std::fwrite(line.data(), 1, line.size(), f);
+    }
     void
     setOutput(std::FILE *file)
     {
@@ -119,6 +133,7 @@ class Registry
     }
 
     mutable std::mutex mu;
+    std::mutex outMu;
     std::map<std::string, std::unique_ptr<Channel>> channels;
     bool allEnabled = false;
     bool envApplied = false;
@@ -134,9 +149,14 @@ Channel::log(uint64_t cycle, const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformatString(fmt, ap);
     va_end(ap);
-    std::fprintf(Registry::instance().out(), "%10llu: %s: %s\n",
-                 static_cast<unsigned long long>(cycle),
-                 name_.c_str(), msg.c_str());
+    // Assemble the whole line first and emit it as one serialized
+    // write: concurrent --jobs=N workers used to interleave their
+    // cycle stamps and messages mid-line through stdio.
+    std::string line =
+        formatString("%10llu: %s: %s\n",
+                     static_cast<unsigned long long>(cycle),
+                     name_.c_str(), msg.c_str());
+    Registry::instance().writeLine(line);
 }
 
 Channel &

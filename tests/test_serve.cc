@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "pipeline/telemetry.hh"
 #include "serve/client.hh"
 #include "serve/framing.hh"
@@ -546,6 +548,149 @@ TEST(Serve, LoadGenClosedLoopAggregates)
     server.beginDrain();
     server.wait();
 }
+
+TEST(Protocol, TraceAndFormatMembersRoundTrip)
+{
+    Request request;
+    request.verb = "metrics";
+    request.id = 11;
+    request.trace = "deadbeefcafef00d";
+    request.format = "prometheus";
+
+    Request parsed;
+    std::string error;
+    ASSERT_TRUE(parseRequest(buildRequestDoc(request), parsed, error))
+        << error;
+    EXPECT_EQ(parsed.trace, request.trace);
+    EXPECT_EQ(parsed.format, request.format);
+
+    // Both members are optional; absent means empty.
+    Request bare;
+    ASSERT_TRUE(parseRequest("{\"verb\": \"health\"}", bare, error));
+    EXPECT_EQ(bare.trace, "");
+    EXPECT_EQ(bare.format, "");
+}
+
+TEST(Serve, MetricsVerbServesBothFormats)
+{
+    setQuiet(true);
+    parallel::ThreadPool pool(2);
+    ServerConfig config;
+    config.socketPath = testSocketPath();
+    config.pool = &pool;
+    Server server(config);
+    server.start();
+
+    Client client = Client::connectTo(config.socketPath);
+
+    // Drive at least one simulate through so serve counters exist.
+    ASSERT_TRUE(client.call(simulateRequest(kTinyProgram)).ok);
+
+    Request metrics;
+    metrics.verb = "metrics";
+    Response response = client.call(metrics);
+    ASSERT_TRUE(response.ok);
+    EXPECT_TRUE(jsonValid(response.result)) << response.result;
+    EXPECT_NE(response.result.find("elag_serve_requests_total"),
+              std::string::npos);
+
+    metrics.format = "prometheus";
+    response = client.call(metrics);
+    ASSERT_TRUE(response.ok);
+    std::string body;
+    ASSERT_TRUE(jsonExtractString(response.result, "body", body));
+    EXPECT_EQ(obs::validatePrometheus(body), "") << body;
+    EXPECT_NE(body.find("# TYPE elag_serve_requests_total counter"),
+              std::string::npos);
+
+    metrics.format = "xml";
+    response = client.call(metrics);
+    EXPECT_FALSE(response.ok);
+    EXPECT_EQ(response.errorType, errtype::BadRequest);
+
+    server.beginDrain();
+    server.wait();
+}
+
+TEST(Serve, StatsCarriesUptimeAndBuildInfo)
+{
+    setQuiet(true);
+    parallel::ThreadPool pool(1);
+    ServerConfig config;
+    config.socketPath = testSocketPath();
+    config.pool = &pool;
+    Server server(config);
+    server.start();
+
+    Client client = Client::connectTo(config.socketPath);
+    Request stats;
+    stats.verb = "stats";
+    Response response = client.call(stats);
+    ASSERT_TRUE(response.ok);
+
+    uint64_t uptime = 123456;
+    EXPECT_TRUE(jsonExtractUint(response.result, "uptime_seconds",
+                                uptime));
+    EXPECT_LT(uptime, 3600u); // fresh server: seconds, not garbage
+    std::string build;
+    ASSERT_TRUE(jsonExtractRaw(response.result, "build", build));
+    std::string version;
+    EXPECT_TRUE(jsonExtractString(build, "version", version));
+    EXPECT_FALSE(version.empty());
+
+    server.beginDrain();
+    server.wait();
+}
+
+#ifndef ELAG_NO_SPANS
+
+TEST(Serve, TraceIdPropagatesClientToServerSpans)
+{
+    setQuiet(true);
+    sim::RunCache::instance().clear();
+
+    // Client and server live in one process here, so both record
+    // into the process tracer; a real deployment writes two files
+    // joined on the same trace_id argument.
+    obs::SpanTracer &tracer = obs::SpanTracer::process();
+    tracer.reset();
+    tracer.enable("/dev/null");
+
+    parallel::ThreadPool pool(2);
+    ServerConfig config;
+    config.socketPath = testSocketPath();
+    config.pool = &pool;
+    Server server(config);
+    server.start();
+
+    std::string traceId = obs::newTraceId();
+    {
+        Client client = Client::connectTo(config.socketPath);
+        Request request = simulateRequest(kTinyProgram);
+        request.trace = traceId;
+        ASSERT_TRUE(client.call(request).ok);
+    }
+    server.beginDrain();
+    server.wait();
+
+    std::string doc = tracer.json();
+    tracer.reset();
+    ASSERT_TRUE(jsonValid(doc)) << doc;
+
+    // The shared trace_id shows up on the client-side request span
+    // and on the server-side request + simulate spans.
+    std::string needle = "\"trace_id\":\"" + traceId + "\"";
+    size_t hits = 0;
+    for (size_t p = doc.find(needle); p != std::string::npos;
+         p = doc.find(needle, p + 1)) {
+        ++hits;
+    }
+    EXPECT_GE(hits, 3u) << doc;
+    EXPECT_NE(doc.find("\"cat\":\"client\""), std::string::npos);
+    EXPECT_NE(doc.find("\"cat\":\"serve\""), std::string::npos);
+}
+
+#endif // ELAG_NO_SPANS
 
 TEST(Serve, OversizedRequestGetsTypedErrorThenClose)
 {

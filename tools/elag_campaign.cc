@@ -55,6 +55,8 @@
 #include <time.h>
 #include <unistd.h>
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "sim/simulator.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
@@ -369,6 +371,7 @@ struct CampaignOptions
     bool shrink = true;
     bool dryRun = false;
     std::string self; ///< worker binary (default: this binary)
+    std::string traceOut; ///< span-trace file; empty disables
 };
 
 /**
@@ -728,6 +731,12 @@ Coordinator::shrinkFailure(const Job &job, const JobOutcome &outcome)
 void
 Coordinator::recordJob(const Job &job, const JobOutcome &outcome)
 {
+    obs::Registry::process()
+        .counter("elag_campaign_jobs_total",
+                 "Campaign jobs settled, by crash-taxonomy bucket.",
+                 {{"taxonomy", outcome.taxonomy}})
+        .inc();
+
     JsonWriter w(0);
     w.beginObject();
     w.field("type", "job");
@@ -763,7 +772,13 @@ Coordinator::workerLoop()
         if (i >= pending.size())
             return;
         const Job &job = pending[i];
+        obs::Span span("job", "campaign");
+        span.arg("id", job.id);
+        span.arg("kind", job.kind);
         JobOutcome outcome = runWithRetries(job);
+        span.arg("taxonomy", outcome.taxonomy);
+        span.arg("attempts", std::to_string(outcome.attempts));
+        span.end();
         recordJob(job, outcome);
         if (isFailureTaxonomy(outcome.taxonomy) && opts.shrink &&
             !gStopSignal) {
@@ -795,12 +810,25 @@ Coordinator::run()
     if (opts.resume) {
         std::ifstream in(opts.manifestPath);
         std::string line;
+        std::string lastMetrics;
         while (std::getline(in, line)) {
             std::string type, id;
-            if (jsonExtractString(line, "type", type) &&
-                type == "job" && jsonExtractString(line, "id", id)) {
+            if (!jsonExtractString(line, "type", type))
+                continue;
+            if (type == "job" &&
+                jsonExtractString(line, "id", id)) {
                 done.insert(id);
+            } else if (type == "metrics") {
+                lastMetrics = line;
             }
+        }
+        // Re-seed the metrics registry from the last snapshot, so
+        // counters accumulate across the resumed run instead of
+        // restarting from zero.
+        std::string counters;
+        if (!lastMetrics.empty() &&
+            jsonExtractRaw(lastMetrics, "counters", counters)) {
+            obs::Registry::process().restoreCounters(counters);
         }
     }
 
@@ -865,6 +893,18 @@ Coordinator::run()
         w.endObject();
         manifest.writeLine(w.str());
     }
+    {
+        // Durable counter snapshot: --resume reads the last one of
+        // these back into the registry before scheduling.
+        JsonWriter w(0);
+        w.beginObject();
+        w.field("type", "metrics");
+        w.key("counters");
+        obs::Registry::process().writeCountersJson(w);
+        w.endObject();
+        manifest.writeLine(w.str());
+    }
+    obs::SpanTracer::process().flush();
     std::fprintf(stderr,
                  "elag_campaign: %zu processed, %llu clean, %llu "
                  "flaky-then-passed, %llu failed (%llu shrunk)%s\n",
@@ -923,6 +963,7 @@ usage()
         "  --max-jobs=N        stop after N jobs (exit 3)\n"
         "  --no-shrink         skip failure shrinking\n"
         "  --self=PATH         worker binary override\n"
+        "  --trace-out=FILE    per-job span trace (Chrome JSON)\n"
         "  --dry-run           print the job matrix and exit\n"
         "\n"
         "worker:\n"
@@ -1091,6 +1132,8 @@ coordinatorMain(int argc, char **argv)
             opts.benchOutDir = value("--bench-out=");
         } else if (startsWith(arg, "--self=")) {
             opts.self = value("--self=");
+        } else if (startsWith(arg, "--trace-out=")) {
+            opts.traceOut = value("--trace-out=");
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             bad = true;
@@ -1153,6 +1196,10 @@ coordinatorMain(int argc, char **argv)
             opts.self = argv[0];
         }
     }
+    obs::SpanTracer::process().setProcessLabel("elag_campaign");
+    if (!opts.traceOut.empty())
+        obs::SpanTracer::process().enable(opts.traceOut);
+    obs::SpanTracer::process().applyEnvironment();
     return Coordinator(opts).run();
 }
 

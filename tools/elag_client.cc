@@ -10,7 +10,14 @@
  *   elag_client --socket=/tmp/elagd.sock --verb=simulate \
  *               --source=prog.c
  *   elag_client --socket=S --verb=stats
+ *   elag_client --socket=S --verb=metrics
+ *   elag_client --socket=S --verb=metrics --format=prometheus
  *   elag_client --socket=S --verb=drain
+ *
+ * `--verb=metrics --format=prometheus` unwraps the envelope and
+ * prints the text exposition body verbatim, ready for a scraper.
+ * `--trace-out=FILE` records client-side request spans; requests
+ * carry fresh trace IDs the server echoes into its own spans.
  *
  * Load-generation mode runs a closed loop — N client threads, each
  * with its own connection, issuing M requests back to back — and
@@ -30,6 +37,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/span.hh"
 #include "serve/client.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
@@ -49,6 +57,7 @@ struct Options
     uint32_t requests = 1;
     bool json = false;
     bool quiet = false;
+    std::string traceOut;
     serve::Request request;
 };
 
@@ -59,16 +68,17 @@ usage()
         stderr,
         "usage: elag_client (--socket=PATH | --tcp-port=N)\n"
         "                   [--verb=compile|classify|simulate|stats|"
-        "health|drain]\n"
+        "health|metrics|drain]\n"
         "                   [--source=FILE] [--machine=baseline|"
         "proposed]\n"
         "                   [--selection=compiler|ev|all-predict|"
         "all-early]\n"
         "                   [--table=N] [--regs=N] [--no-opt]\n"
         "                   [--no-classify] [--max-inst=N]\n"
-        "                   [--deadline-ms=N]\n"
+        "                   [--deadline-ms=N] [--format=json|"
+        "prometheus]\n"
         "                   [--clients=N] [--requests=M] [--json]\n"
-        "                   [--quiet]\n");
+        "                   [--trace-out=FILE] [--quiet]\n");
 }
 
 /** Strict numeric option parsing, as in elagc: exit 2 on junk. */
@@ -145,6 +155,10 @@ parseArgs(int argc, char **argv, Options &opts)
                 return false;
         } else if (arg == "--json") {
             opts.json = true;
+        } else if (startsWith(arg, "--format=")) {
+            opts.request.format = value("--format=");
+        } else if (startsWith(arg, "--trace-out=")) {
+            opts.traceOut = value("--trace-out=");
         } else if (arg == "--quiet") {
             opts.quiet = true;
         } else {
@@ -203,6 +217,14 @@ main(int argc, char **argv)
     }
     if (opts.quiet)
         setQuiet(true);
+    obs::SpanTracer::process().setProcessLabel("elag_client");
+    if (!opts.traceOut.empty())
+        obs::SpanTracer::process().enable(opts.traceOut);
+    obs::SpanTracer::process().applyEnvironment();
+    struct TraceFlusher
+    {
+        ~TraceFlusher() { obs::SpanTracer::process().flush(); }
+    } traceFlusher;
 
     opts.request.verb = opts.verb;
     if (!opts.source.empty()) {
@@ -244,12 +266,24 @@ main(int argc, char **argv)
                 ? serve::Client::connectTcp(opts.tcpPort)
                 : serve::Client::connectTo(opts.socket);
         opts.request.id = 1;
+        if (opts.request.trace.empty())
+            opts.request.trace = obs::newTraceId();
         serve::Response response = client.call(opts.request);
         if (!response.ok) {
             std::fprintf(stderr, "elag_client: %s: %s\n",
                          response.errorType.c_str(),
                          response.errorMessage.c_str());
             return errorExitCode(response.errorType);
+        }
+        // A Prometheus metrics result arrives wrapped in a JSON
+        // envelope; print the body verbatim so the output pipes
+        // straight into a scraper or promtool.
+        std::string body;
+        if (opts.verb == "metrics" &&
+            opts.request.format == "prometheus" &&
+            jsonExtractString(response.result, "body", body)) {
+            std::fputs(body.c_str(), stdout);
+            return 0;
         }
         std::fputs(response.result.c_str(), stdout);
         std::fputc('\n', stdout);

@@ -23,6 +23,8 @@
  *   elagc --trace=CH[,CH...] prog.c   enable trace channels (pipeline,
  *                                     predict, raddr, cache, or 'all');
  *                                     ELAG_TRACE env works too
+ *   elagc --trace-out=FILE prog.c     span trace (Chrome trace-event
+ *                                     JSON; ELAG_TRACE_OUT env too)
  *   elagc --quiet                     silence warn()/inform() output
  *
  * Robustness harness:
@@ -47,6 +49,7 @@
 #include <optional>
 
 #include "isa/disasm.hh"
+#include "obs/span.hh"
 #include "sim/simulator.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
@@ -73,6 +76,7 @@ struct Options
     std::string selection;
     std::string jsonStats; ///< output path, '-' for stdout
     std::string traceSpec;
+    std::string traceOut;
     uint32_t table = 0;
     uint32_t regs = 0;
     uint64_t maxInst = 500'000'000;
@@ -89,7 +93,8 @@ usage()
     std::fprintf(stderr,
                  "usage: elagc [--disasm] [--stats] [--profile]\n"
                  "             [--json-stats=FILE|-] [--load-report]\n"
-                 "             [--trace=CH[,CH...]] [--quiet]\n"
+                 "             [--trace=CH[,CH...]] "
+                 "[--trace-out=FILE] [--quiet]\n"
                  "             [--no-opt] [--no-classify]\n"
                  "             [--machine=baseline|proposed]\n"
                  "             [--selection=compiler|ev|all-predict|"
@@ -145,6 +150,8 @@ parseArgs(int argc, char **argv, Options &opts)
             opts.jsonStats = value("--json-stats=");
         } else if (startsWith(arg, "--trace=")) {
             opts.traceSpec = value("--trace=");
+        } else if (startsWith(arg, "--trace-out=")) {
+            opts.traceOut = value("--trace-out=");
         } else if (arg == "--no-opt") {
             opts.noOpt = true;
         } else if (arg == "--no-classify") {
@@ -297,6 +304,15 @@ main(int argc, char **argv)
         setQuiet(true);
     if (!opts.traceSpec.empty())
         trace::enableSpec(opts.traceSpec);
+    obs::SpanTracer::process().setProcessLabel("elagc");
+    if (!opts.traceOut.empty())
+        obs::SpanTracer::process().enable(opts.traceOut);
+    obs::SpanTracer::process().applyEnvironment();
+    // Flush collected spans on every exit path, error exits included.
+    struct TraceFlusher
+    {
+        ~TraceFlusher() { obs::SpanTracer::process().flush(); }
+    } traceFlusher;
 
     // When the JSON document goes to stdout, keep stdout pure JSON
     // and move all human-readable output to stderr.

@@ -3,16 +3,17 @@
  * elagd — the elag simulation-as-a-service daemon.
  *
  * Serves the framed JSON protocol (compile / classify / simulate /
- * stats / health / drain) over a Unix-domain socket, optionally also
- * on a TCP loopback port. Simulations execute on the shared
- * support::parallel worker pool and repeated workloads hit the
- * bounded sim::RunCache.
+ * stats / health / metrics / drain) over a Unix-domain socket,
+ * optionally also on a TCP loopback port. Simulations execute on the
+ * shared support::parallel worker pool and repeated workloads hit
+ * the bounded sim::RunCache.
  *
  *   elagd --socket=/tmp/elagd.sock                serve until signalled
  *   elagd --socket=S --tcp-port=7878              extra TCP listener
  *   elagd --socket=S --jobs=8 --queue-depth=32    sizing
  *   elagd --socket=S --deadline-ms=2000           default deadline
  *   elagd --socket=S --cache-capacity=256         RunCache bound
+ *   elagd --socket=S --trace-out=trace.json       span tracing
  *
  * SIGTERM/SIGINT (or a `drain` request) drains gracefully: stop
  * accepting, finish in-flight requests, flush the stats document to
@@ -26,6 +27,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/span.hh"
 #include "serve/server.hh"
 #include "support/logging.hh"
 #include "support/parallel.hh"
@@ -47,6 +49,7 @@ struct Options
     uint64_t deadlineMs = 0;
     uint64_t cacheCapacity = sim::RunCache::kDefaultCapacity;
     std::string traceSpec;
+    std::string traceOut;
     bool quiet = false;
 };
 
@@ -57,7 +60,8 @@ usage()
                  "usage: elagd --socket=PATH [--tcp-port=N]\n"
                  "             [--queue-depth=N] [--jobs=N]\n"
                  "             [--deadline-ms=N] [--cache-capacity=N]\n"
-                 "             [--trace=CH[,CH...]] [--quiet]\n");
+                 "             [--trace=CH[,CH...]]\n"
+                 "             [--trace-out=FILE] [--quiet]\n");
 }
 
 /** Strict numeric option parsing, as in elagc: exit 2 on junk. */
@@ -116,6 +120,8 @@ parseArgs(int argc, char **argv, Options &opts)
                 return false;
         } else if (startsWith(arg, "--trace=")) {
             opts.traceSpec = value("--trace=");
+        } else if (startsWith(arg, "--trace-out=")) {
+            opts.traceOut = value("--trace-out=");
         } else if (arg == "--quiet") {
             opts.quiet = true;
         } else {
@@ -151,6 +157,10 @@ main(int argc, char **argv)
     if (!opts.traceSpec.empty())
         trace::enableSpec(opts.traceSpec);
     trace::applyEnvironment();
+    obs::SpanTracer::process().setProcessLabel("elagd");
+    if (!opts.traceOut.empty())
+        obs::SpanTracer::process().enable(opts.traceOut);
+    obs::SpanTracer::process().applyEnvironment();
     if (opts.jobs)
         parallel::setJobs(opts.jobs);
     sim::RunCache::instance().setCapacity(opts.cacheCapacity);
@@ -180,6 +190,10 @@ main(int argc, char **argv)
 
     server.wait();
     serve::Server::restoreSignalHandlers();
+
+    // Flush any collected spans before the stats snapshot, so the
+    // trace file is complete by the time the exit line appears.
+    obs::SpanTracer::process().flush();
 
     // Final stats snapshot so a scripted run (CI, experiments) can
     // harvest counters even without a live `stats` request.
