@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <mutex>
+#include <random>
 #include <thread>
 
 #include "obs/span.hh"
@@ -55,6 +56,61 @@ Client::call(const Request &request)
     return response;
 }
 
+ReconnectingClient::ReconnectingClient(const std::string &path,
+                                       uint16_t tcp_port,
+                                       const RetryConfig &retry)
+    : socketPath_(path), tcpPort_(tcp_port), retry_(retry)
+{
+    elag_assert(retry_.maxAttempts >= 1);
+}
+
+void
+ReconnectingClient::connect()
+{
+    Client fresh = socketPath_.empty()
+                       ? Client::connectTcp(tcpPort_)
+                       : Client::connectTo(socketPath_);
+    client_.reset(new Client(std::move(fresh)));
+}
+
+Response
+ReconnectingClient::call(const Request &request)
+{
+    // Thread-local so concurrent loadgen clients don't share (and
+    // serialize on) one generator; jitter decorrelates the retry
+    // storms of clients that all saw the same worker die.
+    static thread_local std::mt19937_64 rng{std::random_device{}()};
+
+    for (uint32_t attempt = 1;; ++attempt) {
+        try {
+            if (!client_)
+                connect();
+            return client_->call(request);
+        } catch (const FatalError &) {
+            // Connection refused (server restarting) or the stream
+            // broke mid-call (worker died). The dead connection is
+            // useless either way.
+            client_.reset();
+            if (attempt >= retry_.maxAttempts)
+                throw;
+            ++retries_;
+            uint64_t delay = retry_.baseDelayMs;
+            for (uint32_t i = 1;
+                 i < attempt && delay < retry_.capDelayMs; ++i) {
+                delay *= 2;
+            }
+            delay = std::min(delay, retry_.capDelayMs);
+            // Full jitter: anywhere in [delay/2, delay].
+            uint64_t floor = delay / 2;
+            delay = floor + (delay > floor
+                                 ? rng() % (delay - floor + 1)
+                                 : 0);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+        }
+    }
+}
+
 namespace {
 
 uint64_t
@@ -76,11 +132,13 @@ LoadGenReport::text() const
 {
     std::string out;
     out += formatString("requests:   %llu attempted, %llu ok, "
-                        "%llu error, %llu transport\n",
+                        "%llu error, %llu transport, "
+                        "%llu retries\n",
                         (unsigned long long)attempted,
                         (unsigned long long)succeeded,
                         (unsigned long long)failed,
-                        (unsigned long long)transportErrors);
+                        (unsigned long long)transportErrors,
+                        (unsigned long long)retries);
     out += formatString("wall:       %.3f s\n", wallSeconds);
     out += formatString("throughput: %.1f req/s\n", throughputRps);
     out += formatString("latency:    mean %.0f us, min %llu us, "
@@ -110,6 +168,7 @@ LoadGenReport::writeJson(JsonWriter &w) const
     w.field("succeeded", succeeded);
     w.field("failed", failed);
     w.field("transport_errors", transportErrors);
+    w.field("retries", retries);
     w.field("wall_seconds", wallSeconds);
     w.field("throughput_rps", throughputRps);
     w.key("latency_us").beginObject();
@@ -147,18 +206,22 @@ runLoadGen(const LoadGenConfig &config)
             std::map<std::string, uint64_t> localErrors;
             std::vector<uint64_t> local;
             local.reserve(config.requests);
-            try {
-                Client client =
-                    config.socketPath.empty()
-                        ? Client::connectTcp(config.tcpPort)
-                        : Client::connectTo(config.socketPath);
-                for (uint32_t i = 0; i < config.requests; ++i) {
-                    Request request = config.request;
-                    request.id = next_id.fetch_add(1);
-                    if (request.trace.empty())
-                        request.trace = obs::newTraceId();
-                    ++attempted;
-                    auto t0 = std::chrono::steady_clock::now();
+            // The reconnecting client absorbs worker deaths and
+            // supervisor restarts: a request whose connection broke
+            // is resent on a fresh one, and only a request that
+            // exhausted every attempt counts as a transport error —
+            // the thread then moves on to its next request rather
+            // than abandoning the run.
+            ReconnectingClient client(config.socketPath,
+                                      config.tcpPort, config.retry);
+            for (uint32_t i = 0; i < config.requests; ++i) {
+                Request request = config.request;
+                request.id = next_id.fetch_add(1);
+                if (request.trace.empty())
+                    request.trace = obs::newTraceId();
+                ++attempted;
+                auto t0 = std::chrono::steady_clock::now();
+                try {
                     Response response = client.call(request);
                     uint64_t us =
                         std::chrono::duration_cast<
@@ -174,18 +237,17 @@ runLoadGen(const LoadGenConfig &config)
                                           ? "unknown"
                                           : response.errorType];
                     }
+                } catch (const FatalError &) {
+                    ++transport;
+                    ++localErrors["transport"];
                 }
-            } catch (const FatalError &) {
-                // Connection refused or the server hung up; the
-                // remaining requests of this client are lost.
-                ++transport;
-                ++localErrors["transport"];
             }
             std::lock_guard<std::mutex> lock(mu);
             report.attempted += attempted;
             report.succeeded += ok;
             report.failed += err;
             report.transportErrors += transport;
+            report.retries += client.retries();
             for (const auto &kv : localErrors)
                 report.errorsByType[kv.first] += kv.second;
             latencies.insert(latencies.end(), local.begin(),

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,51 @@ class Client
     Fd fd_;
 };
 
+/** Connection-retry policy for ReconnectingClient. */
+struct RetryConfig
+{
+    /** Total attempts per call(); 1 disables retry. */
+    uint32_t maxAttempts = 4;
+    /** Backoff before the first retry; doubled per further retry. */
+    uint64_t baseDelayMs = 20;
+    /** Backoff ceiling. */
+    uint64_t capDelayMs = 1000;
+};
+
+/**
+ * A Client that survives its server's restarts: transport failures
+ * (connection refused while a supervisor respawns, EPIPE or a short
+ * read when a worker dies mid-call) are retried on a fresh
+ * connection with jittered exponential backoff, up to
+ * RetryConfig::maxAttempts. Requests against elagd are pure, so
+ * resending one that may already have executed is safe.
+ *
+ * Protocol-level errors (ok == false responses) are returned, never
+ * retried — the server answered; the answer was no. FatalError
+ * propagates only once every attempt is spent.
+ */
+class ReconnectingClient
+{
+  public:
+    /** Unix-domain target (or TCP loopback when @p path is empty). */
+    ReconnectingClient(const std::string &path, uint16_t tcp_port,
+                       const RetryConfig &retry = {});
+
+    Response call(const Request &request);
+
+    /** Reconnect-and-resend cycles performed so far. */
+    uint64_t retries() const { return retries_; }
+
+  private:
+    void connect();
+
+    std::string socketPath_;
+    uint16_t tcpPort_;
+    RetryConfig retry_;
+    std::unique_ptr<Client> client_;
+    uint64_t retries_ = 0;
+};
+
 /** Closed-loop load generation configuration. */
 struct LoadGenConfig
 {
@@ -64,6 +110,8 @@ struct LoadGenConfig
      * obs::newTraceId() so client and server spans correlate.
      */
     Request request;
+    /** Per-call reconnect policy (failover rides on this). */
+    RetryConfig retry;
 };
 
 /** Aggregated results of one load-generation run. */
@@ -73,8 +121,10 @@ struct LoadGenReport
     uint64_t succeeded = 0;
     /** Protocol-level errors by type (overloaded, timeout, ...). */
     uint64_t failed = 0;
-    /** Transport-level failures (connect/IO). */
+    /** Transport-level failures (connect/IO) after all retries. */
     uint64_t transportErrors = 0;
+    /** Reconnect-and-resend cycles absorbed by the retry policy. */
+    uint64_t retries = 0;
     double wallSeconds = 0.0;
     double throughputRps = 0.0;
     uint64_t minUs = 0, maxUs = 0;

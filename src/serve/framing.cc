@@ -1,5 +1,6 @@
 #include "serve/framing.hh"
 
+#include <chrono>
 #include <cstdint>
 
 #include "serve/socket.hh"
@@ -22,16 +23,27 @@ name(FrameStatus status)
         return "oversized";
       case FrameStatus::IoError:
         return "io_error";
+      case FrameStatus::Timeout:
+        return "timeout";
     }
     return "?";
 }
 
+namespace {
+
+/**
+ * The shared frame-read engine: the untimed entry point passes a 0
+ * budget, which readFullTimed forwards straight to readFull.
+ */
 FrameStatus
-readFrame(int fd, std::string &payload, size_t max_payload)
+readFrameBudget(int fd, std::string &payload, size_t max_payload,
+                uint64_t timeout_ms)
 {
+    auto started = std::chrono::steady_clock::now();
     uint8_t header[4];
     size_t got = 0;
-    switch (readFull(fd, header, sizeof(header), &got)) {
+    switch (readFullTimed(fd, header, sizeof(header), timeout_ms,
+                          &got)) {
       case IoStatus::Ok:
         break;
       case IoStatus::Eof:
@@ -40,6 +52,11 @@ readFrame(int fd, std::string &payload, size_t max_payload)
         return FrameStatus::Truncated;
       case IoStatus::Error:
         return FrameStatus::IoError;
+      case IoStatus::Timeout:
+        // A deadline that expires before the first header byte is
+        // still a frame timeout: the caller asked for a whole frame
+        // within the budget.
+        return FrameStatus::Timeout;
     }
     uint32_t length = (static_cast<uint32_t>(header[0]) << 24) |
                       (static_cast<uint32_t>(header[1]) << 16) |
@@ -51,7 +68,20 @@ readFrame(int fd, std::string &payload, size_t max_payload)
     payload.resize(length);
     if (length == 0)
         return FrameStatus::Ok;
-    switch (readFull(fd, payload.data(), length, &got)) {
+    // The budget covers the whole frame: charge the header's wait
+    // against the payload's share (never rounding a live budget down
+    // to "unlimited").
+    uint64_t remaining = timeout_ms;
+    if (timeout_ms) {
+        uint64_t elapsed = std::chrono::duration_cast<
+                               std::chrono::milliseconds>(
+                               std::chrono::steady_clock::now() -
+                               started)
+                               .count();
+        remaining = elapsed >= timeout_ms ? 1 : timeout_ms - elapsed;
+    }
+    switch (readFullTimed(fd, payload.data(), length, remaining,
+                          &got)) {
       case IoStatus::Ok:
         return FrameStatus::Ok;
       case IoStatus::Eof:
@@ -59,8 +89,25 @@ readFrame(int fd, std::string &payload, size_t max_payload)
         return FrameStatus::Truncated;
       case IoStatus::Error:
         return FrameStatus::IoError;
+      case IoStatus::Timeout:
+        return FrameStatus::Timeout;
     }
     return FrameStatus::IoError;
+}
+
+} // anonymous namespace
+
+FrameStatus
+readFrame(int fd, std::string &payload, size_t max_payload)
+{
+    return readFrameBudget(fd, payload, max_payload, 0);
+}
+
+FrameStatus
+readFrameTimed(int fd, std::string &payload, size_t max_payload,
+               uint64_t timeout_ms)
+{
+    return readFrameBudget(fd, payload, max_payload, timeout_ms);
 }
 
 bool

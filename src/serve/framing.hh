@@ -37,6 +37,7 @@ enum class FrameStatus
     Truncated, ///< EOF inside the header or payload
     Oversized, ///< declared length exceeds the receiver's limit
     IoError,   ///< read(2) failed
+    Timeout,   ///< deadline expired mid-frame (timed variant only)
 };
 
 /** Stable lowercase name for logging and error payloads. */
@@ -50,6 +51,16 @@ const char *name(FrameStatus status);
  */
 FrameStatus readFrame(int fd, std::string &payload,
                       size_t max_payload = kMaxFramePayload);
+
+/**
+ * readFrame with a wall-clock budget covering the whole frame
+ * (header + payload); 0 means no deadline. On Timeout the stream is
+ * mid-frame and cannot be resynchronized — close the connection.
+ * The supervisor uses this to bound proxy reads so a hung shard is
+ * detected instead of wedging a client connection forever.
+ */
+FrameStatus readFrameTimed(int fd, std::string &payload,
+                           size_t max_payload, uint64_t timeout_ms);
 
 /**
  * Write @p payload as one frame.

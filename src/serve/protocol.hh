@@ -52,6 +52,12 @@ constexpr const char *ShuttingDown = "shutting_down";
 constexpr const char *Timeout = "timeout";
 constexpr const char *Fatal = "fatal";
 constexpr const char *Panic = "panic";
+/** Content hash crashed workers too often; rejected pre-routing. */
+constexpr const char *Quarantined = "quarantined";
+/** The request crashed its worker and the failover retries too. */
+constexpr const char *ShardFailed = "shard_failed";
+/** No live shard workers to route to. */
+constexpr const char *Unavailable = "unavailable";
 
 } // namespace errtype
 

@@ -20,6 +20,7 @@
 
 #include <string>
 
+#include "cache/persistent_store.hh"
 #include "pipeline/config.hh"
 #include "serve/protocol.hh"
 
@@ -31,6 +32,13 @@ struct RouterConfig
 {
     /** Deadline applied when a request carries none; 0 = unlimited. */
     uint64_t defaultDeadlineMs = 0;
+    /**
+     * Durable simulate-result cache (not owned); null disables
+     * persistence. Hits return the stored rendered stats document —
+     * byte-identical to `elagc --json-stats` by construction — and
+     * skip compilation and simulation entirely.
+     */
+    cache::PersistentStore *persist = nullptr;
 };
 
 class Router

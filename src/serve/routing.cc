@@ -1,0 +1,88 @@
+#include "serve/routing.hh"
+
+#include "support/logging.hh"
+
+namespace elag {
+namespace serve {
+
+namespace {
+
+/** FNV-1a, the same hash family sim::RunCache keys with. */
+struct Fnv1a
+{
+    uint64_t state = 1469598103934665603ull;
+
+    void
+    mixBytes(const void *data, size_t n)
+    {
+        const unsigned char *p =
+            static_cast<const unsigned char *>(data);
+        for (size_t i = 0; i < n; ++i) {
+            state ^= p[i];
+            state *= 1099511628211ull;
+        }
+    }
+
+    void
+    mix(uint64_t v)
+    {
+        mixBytes(&v, sizeof(v));
+    }
+
+    void
+    mixString(const std::string &s)
+    {
+        // Length-prefix so adjacent strings cannot alias
+        // ("ab" + "c" vs "a" + "bc").
+        mix(s.size());
+        mixBytes(s.data(), s.size());
+    }
+};
+
+} // anonymous namespace
+
+uint64_t
+routingHash(const Request &request)
+{
+    Fnv1a h;
+    h.mixBytes(request.source.data(), request.source.size());
+    return h.state;
+}
+
+uint64_t
+persistKey(const Request &request)
+{
+    Fnv1a h;
+    h.mixString(request.verb);
+    h.mixString(request.source);
+    h.mixString(request.file);
+    h.mixString(request.machine);
+    h.mixString(request.selection);
+    h.mix(request.table);
+    h.mix(request.regs);
+    h.mix(request.noOpt ? 1 : 0);
+    h.mix(request.noClassify ? 1 : 0);
+    h.mix(request.maxInst);
+    return h.state;
+}
+
+uint32_t
+shardFor(uint64_t hash, uint32_t shards)
+{
+    elag_assert(shards >= 1);
+    return static_cast<uint32_t>(hash % shards);
+}
+
+std::vector<uint32_t>
+failoverOrder(uint64_t hash, uint32_t shards)
+{
+    std::vector<uint32_t> order;
+    order.reserve(shards);
+    uint32_t primary = shardFor(hash, shards);
+    for (uint32_t i = 0; i < shards; ++i)
+        order.push_back((primary + i) % shards);
+    return order;
+}
+
+} // namespace serve
+} // namespace elag

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Content-hash request routing for the sharded serving tier.
+ *
+ * The supervisor never compiles or simulates untrusted source — it
+ * picks a shard from a hash of the request's program text and proxies
+ * the frame. Hashing the content (not the connection) gives two
+ * properties the supervision tree leans on:
+ *
+ *  - Affinity: the same program lands on the same shard, so that
+ *    shard's in-memory RunCache stays hot for repeated workloads.
+ *  - Poison tracking: a request that keeps killing workers keeps
+ *    producing the same hash, so the supervisor can count crashes
+ *    per content hash and quarantine repeat offenders instead of
+ *    letting one bad program cycle every shard through restarts.
+ *
+ * Work verbs are pure functions of the request, so failover is safe:
+ * when the primary shard is down (or dies mid-request), the request
+ * may be retried verbatim on a sibling. failoverOrder() fixes the
+ * retry sequence deterministically per hash.
+ */
+
+#ifndef ELAG_SERVE_ROUTING_HH
+#define ELAG_SERVE_ROUTING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+namespace elag {
+namespace serve {
+
+/**
+ * FNV-1a of the request's program text: the routing identity of a
+ * work request. Control verbs (no source) all hash alike and are
+ * answered by the supervisor itself, never routed.
+ */
+uint64_t routingHash(const Request &request);
+
+/**
+ * Content key for the persistent result cache: FNV-1a over every
+ * request field that affects the simulate result document (source,
+ * file label, machine knobs, instruction budget) — and the verb, so
+ * verbs never collide. Deadlines and trace IDs are excluded: they
+ * affect whether a result arrives, not what it is.
+ */
+uint64_t persistKey(const Request &request);
+
+/** Primary shard for @p hash among @p shards workers (shards >= 1). */
+uint32_t shardFor(uint64_t hash, uint32_t shards);
+
+/**
+ * The deterministic retry sequence for @p hash: the primary shard
+ * first, then every sibling exactly once. Size == @p shards.
+ */
+std::vector<uint32_t> failoverOrder(uint64_t hash, uint32_t shards);
+
+} // namespace serve
+} // namespace elag
+
+#endif // ELAG_SERVE_ROUTING_HH

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 
@@ -95,7 +96,8 @@ struct ServeCounters
 } // anonymous namespace
 
 Server::Server(const ServerConfig &config)
-    : cfg(config), router(RouterConfig{config.defaultDeadlineMs})
+    : cfg(config), router(RouterConfig{config.defaultDeadlineMs,
+                                       config.persist})
 {
     if (cfg.queueDepth == 0)
         fatal("elagd: --queue-depth must be at least 1");
@@ -365,6 +367,15 @@ Server::handle(const Request &request, bool &initiate_drain)
             w.endObject();
             return okResponse(request, w.str());
         }
+        if (request.format == "counters") {
+            // Flat counters-only snapshot: what the supervisor
+            // scrapes from each shard to aggregate a fleet-wide
+            // metrics document (counters sum across processes;
+            // gauges and histograms do not).
+            JsonWriter w(0);
+            registry.writeCountersJson(w);
+            return okResponse(request, w.str());
+        }
         if (!request.format.empty() && request.format != "json") {
             return errorResponse(
                 request, errtype::BadRequest,
@@ -383,6 +394,15 @@ Server::handle(const Request &request, bool &initiate_drain)
         w.field("draining", true);
         w.endObject();
         return okResponse(request, w.str());
+    }
+
+    // Chaos hook for supervision-tree tests: with ELAG_CHAOS_CRASH
+    // set in the environment, the `crash` verb kills this process
+    // dead, mid-request, exactly like a wild simulator bug would.
+    // Without the env var the verb falls through to unknown_verb.
+    if (request.verb == "crash" && std::getenv("ELAG_CHAOS_CRASH")) {
+        warn("elagd: chaos crash requested; aborting");
+        std::abort();
     }
 
     if (!isWorkVerb(request.verb))
@@ -499,6 +519,24 @@ Server::statsJson() const
     w.field("entries", static_cast<uint64_t>(cache.size()));
     w.field("capacity", static_cast<uint64_t>(cache.capacity()));
     w.endObject();
+
+    if (cfg.persist) {
+        cache::PersistentStore::Stats ps = cfg.persist->stats();
+        w.key("persist").beginObject();
+        w.field("dir", cfg.persist->dir());
+        w.field("entries",
+                static_cast<uint64_t>(cfg.persist->size()));
+        w.field("appends", ps.appends);
+        w.field("dedup_skipped", ps.dedupSkipped);
+        w.field("hits", ps.hits);
+        w.field("misses", ps.misses);
+        w.field("recovered", ps.recovered);
+        w.field("torn_truncated", ps.tornTruncated);
+        w.field("corrupt_skipped", ps.corruptSkipped);
+        w.field("read_failures", ps.readFailures);
+        w.field("compactions", ps.compactions);
+        w.endObject();
+    }
 
     w.endObject();
     return w.str();

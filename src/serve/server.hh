@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/persistent_store.hh"
 #include "serve/framing.hh"
 #include "serve/metrics.hh"
 #include "serve/router.hh"
@@ -61,6 +62,12 @@ struct ServerConfig
     size_t maxFrameBytes = kMaxFramePayload;
     /** Worker pool; null uses parallel::ThreadPool::shared(). */
     parallel::ThreadPool *pool = nullptr;
+    /**
+     * Durable result cache layered under the RunCache (not owned);
+     * null runs memory-only. Shard workers and the embedded daemon
+     * both wire this from --cache-dir.
+     */
+    cache::PersistentStore *persist = nullptr;
 };
 
 class Server

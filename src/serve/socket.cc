@@ -5,9 +5,13 @@
 #include <csignal>
 #include <cstring>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
 
 #include "support/logging.hh"
 
@@ -157,6 +161,61 @@ readFull(int fd, void *buf, size_t n, size_t *got)
     size_t done = 0;
     char *p = static_cast<char *>(buf);
     while (done < n) {
+        ssize_t r = ::read(fd, p + done, n - done);
+        if (r > 0) {
+            done += static_cast<size_t>(r);
+            continue;
+        }
+        if (r == 0) {
+            if (got)
+                *got = done;
+            return done == 0 ? IoStatus::Eof : IoStatus::Short;
+        }
+        if (errno == EINTR)
+            continue;
+        if (got)
+            *got = done;
+        return IoStatus::Error;
+    }
+    if (got)
+        *got = done;
+    return IoStatus::Ok;
+}
+
+IoStatus
+readFullTimed(int fd, void *buf, size_t n, uint64_t timeout_ms,
+              size_t *got)
+{
+    if (timeout_ms == 0)
+        return readFull(fd, buf, n, got);
+
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    size_t done = 0;
+    char *p = static_cast<char *>(buf);
+    while (done < n) {
+        auto left = std::chrono::duration_cast<
+                        std::chrono::milliseconds>(
+                        deadline - std::chrono::steady_clock::now())
+                        .count();
+        if (left <= 0) {
+            if (got)
+                *got = done;
+            return IoStatus::Timeout;
+        }
+        struct pollfd pfd = {fd, POLLIN, 0};
+        int rv = ::poll(&pfd, 1,
+                        static_cast<int>(std::min<long long>(
+                            left, 1 << 30)));
+        if (rv < 0) {
+            if (errno == EINTR)
+                continue;
+            if (got)
+                *got = done;
+            return IoStatus::Error;
+        }
+        if (rv == 0)
+            continue; // recheck the deadline
         ssize_t r = ::read(fd, p + done, n - done);
         if (r > 0) {
             done += static_cast<size_t>(r);

@@ -97,10 +97,11 @@ int acceptOn(int listen_fd);
 /** How a full-buffer read ended. */
 enum class IoStatus
 {
-    Ok,    ///< all n bytes transferred
-    Eof,   ///< clean EOF before the first byte
-    Short, ///< EOF after some bytes (peer died mid-message)
-    Error, ///< read/write error (errno-level)
+    Ok,      ///< all n bytes transferred
+    Eof,     ///< clean EOF before the first byte
+    Short,   ///< EOF after some bytes (peer died mid-message)
+    Error,   ///< read/write error (errno-level)
+    Timeout, ///< deadline expired before all n bytes arrived
 };
 
 /**
@@ -108,6 +109,17 @@ enum class IoStatus
  * or Error, @p got (when non-null) holds the bytes transferred.
  */
 IoStatus readFull(int fd, void *buf, size_t n, size_t *got = nullptr);
+
+/**
+ * readFull with a wall-clock budget: gives up with IoStatus::Timeout
+ * when @p timeout_ms elapses before all @p n bytes arrive (the bytes
+ * read so far are in the buffer and counted in @p got). A budget of
+ * 0 means no deadline — identical to readFull. The fd stays in
+ * blocking mode; readiness is awaited with poll(2), so only readable
+ * fds are ever read.
+ */
+IoStatus readFullTimed(int fd, void *buf, size_t n,
+                       uint64_t timeout_ms, size_t *got = nullptr);
 
 /**
  * Write exactly @p n bytes, retrying EINTR and short writes.

@@ -213,6 +213,95 @@ runSubprocess(const std::vector<std::string> &argv,
     return result;
 }
 
+pid_t
+spawnSubprocess(const std::vector<std::string> &argv,
+                const SpawnLimits &limits, std::string &error)
+{
+    if (argv.empty()) {
+        error = "empty argv";
+        return -1;
+    }
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string &arg : argv)
+        cargv.push_back(const_cast<char *>(arg.c_str()));
+    cargv.push_back(nullptr);
+
+    pid_t pid = fork();
+    if (pid < 0) {
+        error = std::string("fork: ") + std::strerror(errno);
+        return -1;
+    }
+    if (pid == 0) {
+        setpgid(0, 0);
+        if (limits.cpuSeconds)
+            setLimit(RLIMIT_CPU, limits.cpuSeconds);
+        if (limits.addressSpaceBytes)
+            setLimit(RLIMIT_AS, limits.addressSpaceBytes);
+        execvp(cargv[0], cargv.data());
+        _exit(127);
+    }
+    return pid;
+}
+
+namespace {
+
+SpawnedStatus
+statusFromWait(int status)
+{
+    SpawnedStatus s;
+    s.running = false;
+    if (WIFEXITED(status))
+        s.exitCode = WEXITSTATUS(status);
+    else if (WIFSIGNALED(status))
+        s.termSignal = WTERMSIG(status);
+    return s;
+}
+
+} // anonymous namespace
+
+SpawnedStatus
+pollSpawned(pid_t pid)
+{
+    int status = 0;
+    for (;;) {
+        pid_t w = waitpid(pid, &status, WNOHANG);
+        if (w == pid)
+            return statusFromWait(status);
+        if (w == 0)
+            return SpawnedStatus{};
+        if (errno != EINTR) {
+            // ECHILD: already reaped (or never ours). Report it down
+            // with neither exit code nor signal known.
+            SpawnedStatus s;
+            s.running = false;
+            return s;
+        }
+    }
+}
+
+SpawnedStatus
+waitSpawned(pid_t pid, uint64_t timeout_ms)
+{
+    uint64_t start = monotonicMs();
+    for (;;) {
+        SpawnedStatus s = pollSpawned(pid);
+        if (!s.running)
+            return s;
+        if (monotonicMs() - start >= timeout_ms)
+            return s;
+        struct timespec nap = {0, 2'000'000}; // 2 ms
+        nanosleep(&nap, nullptr);
+    }
+}
+
+void
+killSpawnedGroup(pid_t pid, int sig)
+{
+    if (pid > 0)
+        kill(-pid, sig);
+}
+
 std::string
 describeSubprocessResult(const SubprocessResult &result)
 {

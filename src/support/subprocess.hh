@@ -87,6 +87,66 @@ SubprocessResult runSubprocess(const std::vector<std::string> &argv,
 /** "exit 7", "signal 11 (SIGSEGV)", "timeout after 1200 ms", ... */
 std::string describeSubprocessResult(const SubprocessResult &result);
 
+/**
+ * Resource caps applied to a long-lived spawned child. Unlike
+ * SubprocessLimits there is no wall-clock cap: supervision-tree
+ * children live until their supervisor stops them, and hang
+ * detection is the supervisor's job (heartbeats, per-request
+ * deadlines), not the spawn layer's.
+ */
+struct SpawnLimits
+{
+    /** RLIMIT_CPU in seconds (kernel delivers SIGXCPU/SIGKILL). */
+    uint64_t cpuSeconds = 0;
+    /** RLIMIT_AS in bytes (allocations past it fail in the child). */
+    uint64_t addressSpaceBytes = 0;
+};
+
+/**
+ * Fork+exec @p argv as a long-lived child in its own process group,
+ * with @p limits applied before exec and stdio inherited from the
+ * parent. The same fork discipline as runSubprocess applies (only
+ * async-signal-safe calls before exec), so a multithreaded
+ * supervisor may spawn and respawn workers at any time.
+ *
+ * @return the child pid, or -1 with @p error set when fork failed.
+ * An exec failure surfaces as the child exiting 127, observable
+ * through pollSpawned().
+ */
+pid_t spawnSubprocess(const std::vector<std::string> &argv,
+                      const SpawnLimits &limits, std::string &error);
+
+/** Snapshot of a spawned child's state from a non-blocking poll. */
+struct SpawnedStatus
+{
+    /** False once the child has been reaped (exit/signal below). */
+    bool running = true;
+    /** Exit code when the child exited normally, else -1. */
+    int exitCode = -1;
+    /** Terminating signal when the child was killed, else 0. */
+    int termSignal = 0;
+};
+
+/**
+ * waitpid(WNOHANG) for a child created with spawnSubprocess. Once a
+ * poll reports the child down it has been reaped; further polls on
+ * that pid are invalid.
+ */
+SpawnedStatus pollSpawned(pid_t pid);
+
+/**
+ * Block up to @p timeout_ms for the child to exit, reaping it.
+ * @return running == true when the deadline passed first.
+ */
+SpawnedStatus waitSpawned(pid_t pid, uint64_t timeout_ms);
+
+/**
+ * Deliver @p sig to the child's whole process group (spawned
+ * children are their own group leaders), so helpers the worker
+ * forked die with it. Safe on an already-dead group.
+ */
+void killSpawnedGroup(pid_t pid, int sig);
+
 } // namespace elag
 
 #endif // ELAG_SUPPORT_SUBPROCESS_HH

@@ -26,9 +26,16 @@
  *   elag_client --socket=S --source=prog.c --clients=8 --requests=32
  *   elag_client ... --json          machine-readable loadgen report
  *
+ * Against a sharded elagd, --retries=N (default 4 attempts) rides
+ * out worker deaths and supervisor restarts: broken connections are
+ * retried on a fresh one with jittered exponential backoff, and the
+ * loadgen report counts the absorbed `retries` separately from real
+ * failures.
+ *
  * Exit codes: 0 success, 1 request failed (fatal / bad_request /
- * unknown_verb), 2 usage, 69 rejected (overloaded / shutting_down),
- * 70 server panic, 75 deadline timeout.
+ * unknown_verb / quarantined), 2 usage, 69 rejected (overloaded /
+ * shutting_down / unavailable), 70 server panic or shard_failed,
+ * 75 deadline timeout.
  */
 
 #include <cstdio>
@@ -55,6 +62,8 @@ struct Options
     std::string source; ///< path to the mini-C source file
     uint32_t clients = 0;
     uint32_t requests = 1;
+    /** Total attempts per call; 1 disables reconnect-retry. */
+    uint32_t retries = 4;
     bool json = false;
     bool quiet = false;
     std::string traceOut;
@@ -78,6 +87,7 @@ usage()
         "                   [--deadline-ms=N] [--format=json|"
         "prometheus]\n"
         "                   [--clients=N] [--requests=M] [--json]\n"
+        "                   [--retries=N]\n"
         "                   [--trace-out=FILE] [--quiet]\n");
 }
 
@@ -153,6 +163,15 @@ parseArgs(int argc, char **argv, Options &opts)
         } else if (startsWith(arg, "--requests=")) {
             if (!numericOption(arg, "--requests=", opts.requests))
                 return false;
+        } else if (startsWith(arg, "--retries=")) {
+            if (!numericOption(arg, "--retries=", opts.retries))
+                return false;
+            if (opts.retries == 0) {
+                std::fprintf(stderr,
+                             "elag_client: --retries must be at "
+                             "least 1\n");
+                return false;
+            }
         } else if (arg == "--json") {
             opts.json = true;
         } else if (startsWith(arg, "--format=")) {
@@ -195,14 +214,17 @@ int
 errorExitCode(const std::string &type)
 {
     if (type == serve::errtype::Overloaded ||
-        type == serve::errtype::ShuttingDown) {
+        type == serve::errtype::ShuttingDown ||
+        type == serve::errtype::Unavailable) {
         return 69; // EX_UNAVAILABLE
     }
     if (type == serve::errtype::Timeout)
         return 75; // matches elagc's watchdog exit
-    if (type == serve::errtype::Panic)
+    if (type == serve::errtype::Panic ||
+        type == serve::errtype::ShardFailed) {
         return 70; // matches elagc's invariant-violation exit
-    return 1;
+    }
+    return 1; // fatal / bad_request / unknown_verb / quarantined
 }
 
 } // anonymous namespace
@@ -250,6 +272,7 @@ main(int argc, char **argv)
             config.clients = opts.clients;
             config.requests = opts.requests;
             config.request = opts.request;
+            config.retry.maxAttempts = opts.retries;
             serve::LoadGenReport report = serve::runLoadGen(config);
             if (opts.json) {
                 JsonWriter w;
@@ -261,10 +284,10 @@ main(int argc, char **argv)
             return report.transportErrors ? 1 : 0;
         }
 
-        serve::Client client =
-            opts.socket.empty()
-                ? serve::Client::connectTcp(opts.tcpPort)
-                : serve::Client::connectTo(opts.socket);
+        serve::RetryConfig retry;
+        retry.maxAttempts = opts.retries;
+        serve::ReconnectingClient client(opts.socket, opts.tcpPort,
+                                         retry);
         opts.request.id = 1;
         if (opts.request.trace.empty())
             opts.request.trace = obs::newTraceId();

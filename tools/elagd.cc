@@ -13,7 +13,19 @@
  *   elagd --socket=S --jobs=8 --queue-depth=32    sizing
  *   elagd --socket=S --deadline-ms=2000           default deadline
  *   elagd --socket=S --cache-capacity=256         RunCache bound
+ *   elagd --socket=S --cache-dir=DIR              persistent results
  *   elagd --socket=S --trace-out=trace.json       span tracing
+ *
+ * With --shards=N the daemon becomes a supervision tree: the process
+ * itself only accepts, routes, and proxies; N sandboxed shard worker
+ * processes (this same binary, re-exec'd with the hidden
+ * --shard-worker flag) do the compiling and simulating on sockets of
+ * their own. Workers that crash are restarted with backoff, workers
+ * that hang are killed, poisonous requests are quarantined after
+ * --quarantine-threshold worker deaths, and --cache-dir gives the
+ * fleet a durable result cache that survives all of it:
+ *
+ *   elagd --socket=S --shards=4 --cache-dir=/var/cache/elagd
  *
  * SIGTERM/SIGINT (or a `drain` request) drains gracefully: stop
  * accepting, finish in-flight requests, flush the stats document to
@@ -25,10 +37,14 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "cache/persistent_store.hh"
 #include "obs/span.hh"
 #include "serve/server.hh"
+#include "serve/supervisor.hh"
 #include "support/logging.hh"
 #include "support/parallel.hh"
 #include "support/strings.hh"
@@ -48,6 +64,18 @@ struct Options
     uint32_t jobs = 0; ///< 0 keeps the parallel layer's default
     uint64_t deadlineMs = 0;
     uint64_t cacheCapacity = sim::RunCache::kDefaultCapacity;
+    /** 0 = single-process embedded mode; N = supervision tree. */
+    uint32_t shards = 0;
+    /** Worker deaths per content hash before quarantine. */
+    uint32_t quarantineThreshold = 3;
+    /** Persistent result cache directory; empty disables it. */
+    std::string cacheDir;
+    /** RLIMIT_AS per shard worker, in MiB; 0 = unlimited. */
+    uint32_t shardMemMb = 0;
+    /** Hidden: run as a shard worker of a supervisor. */
+    bool shardWorker = false;
+    uint32_t shardIndex = 0;
+    bool shardIndexSet = false;
     std::string traceSpec;
     std::string traceOut;
     bool quiet = false;
@@ -60,6 +88,8 @@ usage()
                  "usage: elagd --socket=PATH [--tcp-port=N]\n"
                  "             [--queue-depth=N] [--jobs=N]\n"
                  "             [--deadline-ms=N] [--cache-capacity=N]\n"
+                 "             [--shards=N] [--quarantine-threshold=N]\n"
+                 "             [--cache-dir=PATH] [--shard-mem-mb=N]\n"
                  "             [--trace=CH[,CH...]]\n"
                  "             [--trace-out=FILE] [--quiet]\n");
 }
@@ -118,6 +148,42 @@ parseArgs(int argc, char **argv, Options &opts)
             if (!numericOption(arg, "--cache-capacity=",
                                opts.cacheCapacity))
                 return false;
+        } else if (startsWith(arg, "--shards=")) {
+            if (!numericOption(arg, "--shards=", opts.shards))
+                return false;
+            if (opts.shards > 64) {
+                std::fprintf(stderr,
+                             "elagd: --shards must be at most 64\n");
+                return false;
+            }
+        } else if (startsWith(arg, "--quarantine-threshold=")) {
+            if (!numericOption(arg, "--quarantine-threshold=",
+                               opts.quarantineThreshold))
+                return false;
+            if (opts.quarantineThreshold == 0) {
+                std::fprintf(stderr,
+                             "elagd: --quarantine-threshold must "
+                             "be at least 1\n");
+                return false;
+            }
+        } else if (startsWith(arg, "--cache-dir=")) {
+            opts.cacheDir = value("--cache-dir=");
+            if (opts.cacheDir.empty()) {
+                std::fprintf(stderr,
+                             "elagd: --cache-dir needs a path\n");
+                return false;
+            }
+        } else if (startsWith(arg, "--shard-mem-mb=")) {
+            if (!numericOption(arg, "--shard-mem-mb=",
+                               opts.shardMemMb))
+                return false;
+        } else if (arg == "--shard-worker") {
+            opts.shardWorker = true;
+        } else if (startsWith(arg, "--shard-index=")) {
+            if (!numericOption(arg, "--shard-index=",
+                               opts.shardIndex))
+                return false;
+            opts.shardIndexSet = true;
         } else if (startsWith(arg, "--trace=")) {
             opts.traceSpec = value("--trace=");
         } else if (startsWith(arg, "--trace-out=")) {
@@ -139,37 +205,46 @@ parseArgs(int argc, char **argv, Options &opts)
                      "elagd: --queue-depth must be at least 1\n");
         return false;
     }
+    if (opts.shardWorker && opts.shards) {
+        std::fprintf(stderr,
+                     "elagd: --shard-worker and --shards are "
+                     "mutually exclusive\n");
+        return false;
+    }
+    if (opts.shardIndexSet && !opts.shardWorker) {
+        std::fprintf(stderr,
+                     "elagd: --shard-index is only valid with "
+                     "--shard-worker\n");
+        return false;
+    }
     return true;
 }
 
-} // anonymous namespace
-
+/**
+ * Embedded single-process mode, and the body of a shard worker: one
+ * Server on opts.socket. Workers skip the exit-stats print (stdout
+ * is shared with the supervisor, whose exit document is the one a
+ * scripted run harvests).
+ */
 int
-main(int argc, char **argv)
+runServer(const Options &opts)
 {
-    Options opts;
-    if (!parseArgs(argc, argv, opts)) {
-        usage();
-        return 2;
+    std::unique_ptr<cache::PersistentStore> persist;
+    if (!opts.cacheDir.empty()) {
+        cache::PersistentStoreConfig pc;
+        pc.dir = opts.cacheDir;
+        pc.owner = opts.shardWorker
+                       ? formatString("shard%u", opts.shardIndex)
+                       : "main";
+        persist.reset(new cache::PersistentStore(pc));
     }
-    if (opts.quiet)
-        setQuiet(true);
-    if (!opts.traceSpec.empty())
-        trace::enableSpec(opts.traceSpec);
-    trace::applyEnvironment();
-    obs::SpanTracer::process().setProcessLabel("elagd");
-    if (!opts.traceOut.empty())
-        obs::SpanTracer::process().enable(opts.traceOut);
-    obs::SpanTracer::process().applyEnvironment();
-    if (opts.jobs)
-        parallel::setJobs(opts.jobs);
-    sim::RunCache::instance().setCapacity(opts.cacheCapacity);
 
     serve::ServerConfig config;
     config.socketPath = opts.socket;
     config.tcpPort = opts.tcpPort;
     config.queueDepth = opts.queueDepth;
     config.defaultDeadlineMs = opts.deadlineMs;
+    config.persist = persist.get();
 
     serve::Server server(config);
     try {
@@ -190,14 +265,120 @@ main(int argc, char **argv)
 
     server.wait();
     serve::Server::restoreSignalHandlers();
-
-    // Flush any collected spans before the stats snapshot, so the
-    // trace file is complete by the time the exit line appears.
     obs::SpanTracer::process().flush();
 
-    // Final stats snapshot so a scripted run (CI, experiments) can
-    // harvest counters even without a live `stats` request.
-    std::fputs(server.statsJson().c_str(), stdout);
+    if (!opts.shardWorker) {
+        // Final stats snapshot so a scripted run (CI, experiments)
+        // can harvest counters even without a live `stats` request.
+        std::fputs(server.statsJson().c_str(), stdout);
+        std::fputc('\n', stdout);
+    }
+    return 0;
+}
+
+/** Supervision-tree mode: this process proxies, workers compute. */
+int
+runSupervisor(const Options &opts)
+{
+    serve::SupervisorConfig config;
+    config.socketPath = opts.socket;
+    config.tcpPort = opts.tcpPort;
+    config.queueDepth = opts.queueDepth;
+    config.defaultDeadlineMs = opts.deadlineMs;
+    config.shards.shards = opts.shards;
+    config.shards.quarantineThreshold = opts.quarantineThreshold;
+    if (opts.shardMemMb) {
+        config.shards.limits.addressSpaceBytes =
+            static_cast<uint64_t>(opts.shardMemMb) << 20;
+    }
+    config.shards.socketPathFor = [&opts](uint32_t index) {
+        return formatString("%s.shard%u", opts.socket.c_str(),
+                            index);
+    };
+    config.shards.workerArgv = [&opts](uint32_t index,
+                                       const std::string &socket) {
+        // Re-exec this very image: /proc/self/exe survives renames
+        // and never races a PATH lookup. Workers are quiet (their
+        // stderr is the supervisor's) and print no exit stats.
+        std::vector<std::string> argv = {
+            "/proc/self/exe",
+            "--shard-worker",
+            formatString("--shard-index=%u", index),
+            "--socket=" + socket,
+            formatString("--queue-depth=%u", opts.queueDepth),
+            "--quiet",
+        };
+        if (opts.jobs)
+            argv.push_back(formatString("--jobs=%u", opts.jobs));
+        if (opts.deadlineMs) {
+            argv.push_back(formatString("--deadline-ms=%llu",
+                                        (unsigned long long)
+                                            opts.deadlineMs));
+        }
+        argv.push_back(formatString(
+            "--cache-capacity=%llu",
+            (unsigned long long)opts.cacheCapacity));
+        if (!opts.cacheDir.empty())
+            argv.push_back("--cache-dir=" + opts.cacheDir);
+        return argv;
+    };
+
+    serve::Supervisor supervisor(config);
+    try {
+        supervisor.start();
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "elagd: %s\n", e.what());
+        return 1;
+    }
+    supervisor.installSignalHandlers();
+
+    inform("elagd: supervising %u shards on %s%s (queue depth %u)",
+           opts.shards, opts.socket.c_str(),
+           opts.tcpPort
+               ? formatString(" and 127.0.0.1:%u", opts.tcpPort)
+                     .c_str()
+               : "",
+           opts.queueDepth);
+
+    supervisor.wait();
+    serve::Supervisor::restoreSignalHandlers();
+    obs::SpanTracer::process().flush();
+
+    std::fputs(supervisor.statsJson().c_str(), stdout);
     std::fputc('\n', stdout);
     return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseArgs(argc, argv, opts)) {
+        usage();
+        return 2;
+    }
+    if (opts.quiet)
+        setQuiet(true);
+    if (!opts.traceSpec.empty())
+        trace::enableSpec(opts.traceSpec);
+    trace::applyEnvironment();
+    obs::SpanTracer::process().setProcessLabel(
+        opts.shardWorker
+            ? formatString("elagd-shard%u", opts.shardIndex)
+            : "elagd");
+    if (!opts.traceOut.empty())
+        obs::SpanTracer::process().enable(opts.traceOut);
+    obs::SpanTracer::process().applyEnvironment();
+    if (opts.jobs)
+        parallel::setJobs(opts.jobs);
+    sim::RunCache::instance().setCapacity(opts.cacheCapacity);
+
+    try {
+        return opts.shards ? runSupervisor(opts) : runServer(opts);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "elagd: %s\n", e.what());
+        return 1;
+    }
 }
