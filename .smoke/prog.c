@@ -1,0 +1,11 @@
+int main() {
+    int a[64];
+    int sum = 0;
+    for (int i = 0; i < 64; i = i + 1) {
+        a[i] = i * 3;
+    }
+    for (int i = 0; i < 64; i = i + 1) {
+        sum = sum + a[i];
+    }
+    return sum;
+}
