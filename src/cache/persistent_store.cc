@@ -33,6 +33,7 @@ struct PersistCounters
     obs::Counter &hits;
     obs::Counter &misses;
     obs::Counter &compactions;
+    obs::Counter &writeFailures;
 
     static PersistCounters &
     instance()
@@ -57,6 +58,10 @@ struct PersistCounters
                           "compute."),
                 r.counter("elag_cache_persist_compactions_total",
                           "Segment compaction passes completed."),
+                r.counter("elag_cache_persist_write_failures_total",
+                          "Segment appends dropped on write failure "
+                          "(ENOSPC, short write); degraded to a "
+                          "future cache miss."),
             };
         }();
         return counters;
@@ -494,6 +499,13 @@ PersistentStore::append(uint64_t key, const std::string &value)
         ++stats_.dedupSkipped;
         return;
     }
+    if (activeFd_ < 0) {
+        // Appending was disabled by an earlier unrecoverable write
+        // failure; the store keeps serving lookups.
+        ++stats_.writeFailures;
+        PersistCounters::instance().writeFailures.inc();
+        return;
+    }
     std::string line = buildRecordLine(key, value);
     line += '\n';
     if (activeSize_ > 0 &&
@@ -502,8 +514,30 @@ PersistentStore::append(uint64_t key, const std::string &value)
     }
     uint64_t offset = activeSize_;
     if (!writeAll(activeFd_, line.data(), line.size())) {
-        warn("cache: append to segment failed: %s",
-             std::strerror(errno));
+        // ENOSPC or a short write: the segment tail may now hold a
+        // torn record. Truncate back to the last good byte so the
+        // on-disk offsets stay truthful, drop this record (a future
+        // cache miss), and never fail the request that computed it.
+        int saved = errno;
+        ++stats_.writeFailures;
+        PersistCounters::instance().writeFailures.inc();
+        if (::ftruncate(activeFd_, static_cast<off_t>(activeSize_)) !=
+                0 ||
+            ::lseek(activeFd_, static_cast<off_t>(activeSize_),
+                    SEEK_SET) < 0) {
+            // Cannot restore the tail: stop appending entirely
+            // rather than risk indexing records at wrong offsets.
+            ::close(activeFd_);
+            activeFd_ = -1;
+            warn("cache: append failed (%s) and the segment tail "
+                 "could not be restored; appends disabled, lookups "
+                 "unaffected",
+                 std::strerror(saved));
+        } else {
+            warn("cache: append to segment failed (%s); record "
+                 "dropped, cache degrades to a miss",
+                 std::strerror(saved));
+        }
         return;
     }
     activeSize_ += line.size();
@@ -511,6 +545,19 @@ PersistentStore::append(uint64_t key, const std::string &value)
                            static_cast<uint32_t>(line.size())};
     ++stats_.appends;
     PersistCounters::instance().appends.inc();
+}
+
+void
+PersistentStore::breakActiveSegmentForTesting()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (activeFd_ >= 0)
+        ::close(activeFd_);
+    // /dev/full makes write(2) return a genuine ENOSPC; ftruncate on
+    // a character device then fails too, so the store walks the full
+    // degradation path: record dropped, tail unrestorable, appends
+    // disabled, lookups untouched.
+    activeFd_ = ::open("/dev/full", O_WRONLY);
 }
 
 void

@@ -102,8 +102,21 @@ class PersistentStore
      * A key already present is skipped — values are content-addressed
      * and deterministic, so the first write wins and duplicates from
      * shard failover cost nothing.
+     *
+     * Write failures (ENOSPC, short write) never propagate to the
+     * caller: the torn bytes are truncated back off the segment, the
+     * record is dropped (a future cache miss), and the failure is
+     * counted. If even the truncate-back fails the store stops
+     * appending — lookups of everything already stored keep working.
      */
     void append(uint64_t key, const std::string &value);
+
+    /**
+     * Close the active segment fd out from under the store, forcing
+     * every subsequent append down the write-failure path (tests
+     * only; simulates ENOSPC/short-write degradation).
+     */
+    void breakActiveSegmentForTesting();
 
     /**
      * Fold this owner's segments into one: live records only, temp
@@ -128,6 +141,12 @@ class PersistentStore
         uint64_t corruptSkipped = 0;
         /** Hits that failed re-verification and became misses. */
         uint64_t readFailures = 0;
+        /**
+         * Appends dropped because the segment write failed (ENOSPC,
+         * short write, dead fd). The record simply stays uncached —
+         * a future miss — the request that computed it is unharmed.
+         */
+        uint64_t writeFailures = 0;
         uint64_t compactions = 0;
     };
 

@@ -1,5 +1,6 @@
 #include "mem/cache.hh"
 
+#include "ckpt/serial.hh"
 #include "support/logging.hh"
 
 namespace elag {
@@ -146,6 +147,70 @@ Btb::reset()
 {
     for (auto &entry : table)
         entry = Entry();
+}
+
+void
+Cache::serialize(ckpt::Writer &w) const
+{
+    w.varint(lines.size());
+    for (const Line &line : lines) {
+        w.b(line.valid);
+        w.varint(line.tag);
+        w.varint(line.lastUsed);
+        w.varint(line.fillDone);
+    }
+    w.varint(numHits);
+    w.varint(numMisses);
+    w.varint(numMerges);
+}
+
+void
+Cache::restore(ckpt::Reader &r)
+{
+    uint64_t count = r.varint();
+    if (count != lines.size()) {
+        throw ckpt::CkptError(ckpt::ErrorKind::Mismatch,
+                              "cache geometry mismatch between "
+                              "checkpoint and machine config");
+    }
+    for (Line &line : lines) {
+        line.valid = r.b();
+        line.tag = static_cast<uint32_t>(r.varint());
+        line.lastUsed = r.varint();
+        line.fillDone = r.varint();
+    }
+    numHits = r.varint();
+    numMisses = r.varint();
+    numMerges = r.varint();
+}
+
+void
+Btb::serialize(ckpt::Writer &w) const
+{
+    w.varint(table.size());
+    for (const Entry &entry : table) {
+        w.b(entry.valid);
+        w.varint(entry.tag);
+        w.varint(entry.target);
+        w.u8(entry.counter);
+    }
+}
+
+void
+Btb::restore(ckpt::Reader &r)
+{
+    uint64_t count = r.varint();
+    if (count != table.size()) {
+        throw ckpt::CkptError(ckpt::ErrorKind::Mismatch,
+                              "BTB geometry mismatch between "
+                              "checkpoint and machine config");
+    }
+    for (Entry &entry : table) {
+        entry.valid = r.b();
+        entry.tag = static_cast<uint32_t>(r.varint());
+        entry.target = static_cast<uint32_t>(r.varint());
+        entry.counter = r.u8();
+    }
 }
 
 } // namespace mem

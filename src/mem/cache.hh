@@ -17,6 +17,12 @@
 #include <vector>
 
 namespace elag {
+
+namespace ckpt {
+class Writer;
+class Reader;
+} // namespace ckpt
+
 namespace mem {
 
 /** Cache geometry and timing parameters. */
@@ -75,6 +81,14 @@ class Cache
 
     void reset();
 
+    /**
+     * Checkpoint every line (valid/tag/LRU stamp/fill cycle) plus
+     * the hit/miss/merge tallies. The restoring cache must have been
+     * constructed with the same geometry.
+     */
+    void serialize(ckpt::Writer &w) const;
+    void restore(ckpt::Reader &r);
+
   private:
     struct Line
     {
@@ -122,6 +136,10 @@ class Btb
     void update(uint32_t pc, bool taken, uint32_t target);
 
     void reset();
+
+    /** Checkpoint every entry; geometry must match on restore. */
+    void serialize(ckpt::Writer &w) const;
+    void restore(ckpt::Reader &r);
 
   private:
     struct Entry

@@ -2,7 +2,9 @@
 
 #include <cstring>
 
+#include "ckpt/serial.hh"
 #include "support/logging.hh"
+#include "support/strings.hh"
 
 namespace elag {
 namespace mem {
@@ -105,6 +107,86 @@ MainMemory::writeBlock(uint32_t addr, const std::vector<uint8_t> &data)
 {
     for (size_t i = 0; i < data.size(); ++i)
         writeByte(addr + static_cast<uint32_t>(i), data[i]);
+}
+
+void
+MainMemory::serialize(ckpt::Writer &w) const
+{
+    w.u64(size_);
+    w.varint(pages.size());
+    // std::map iterates in ascending page order, so the encoding is
+    // deterministic for a given image.
+    for (const auto &kv : pages) {
+        w.varint(kv.first);
+        const uint8_t *data = kv.second.get();
+        // Alternating (zero run, literal run) pairs until the page
+        // is covered. Literal runs extend until 8 consecutive zero
+        // bytes appear, so short zero gaps don't fragment them.
+        uint32_t pos = 0;
+        while (pos < PageSize) {
+            uint32_t zeroStart = pos;
+            while (pos < PageSize && data[pos] == 0)
+                ++pos;
+            w.varint(pos - zeroStart);
+            uint32_t litStart = pos;
+            while (pos < PageSize) {
+                if (data[pos] != 0) {
+                    ++pos;
+                    continue;
+                }
+                uint32_t z = pos;
+                while (z < PageSize && z - pos < 8 && data[z] == 0)
+                    ++z;
+                if (z - pos >= 8 || z == PageSize)
+                    break;
+                pos = z;
+            }
+            w.varint(pos - litStart);
+            w.bytes(data + litStart, pos - litStart);
+        }
+    }
+}
+
+void
+MainMemory::restore(ckpt::Reader &r)
+{
+    uint64_t size = r.u64();
+    if (size != size_) {
+        throw ckpt::CkptError(
+            ckpt::ErrorKind::Mismatch,
+            formatString("memory image size mismatch: checkpoint "
+                         "%llu bytes, machine %llu",
+                         static_cast<unsigned long long>(size),
+                         static_cast<unsigned long long>(size_)));
+    }
+    pages.clear();
+    cachedPageNo = ~0u;
+    cachedPage = nullptr;
+    uint64_t count = r.varint();
+    for (uint64_t i = 0; i < count; ++i) {
+        uint64_t pageNo = r.varint();
+        if ((pageNo << PageShift) >= size_) {
+            throw ckpt::CkptError(ckpt::ErrorKind::Corrupt,
+                                  "memory checkpoint page out of "
+                                  "range");
+        }
+        auto data = std::make_unique<uint8_t[]>(PageSize);
+        std::memset(data.get(), 0, PageSize);
+        uint64_t pos = 0;
+        while (pos < PageSize) {
+            pos += r.varint();
+            uint64_t lit = r.varint();
+            if (pos + lit > PageSize) {
+                throw ckpt::CkptError(ckpt::ErrorKind::Corrupt,
+                                      "memory checkpoint page run "
+                                      "overflows the page");
+            }
+            r.bytes(data.get() + pos, lit);
+            pos += lit;
+        }
+        pages.emplace(static_cast<uint32_t>(pageNo),
+                      std::move(data));
+    }
 }
 
 } // namespace mem

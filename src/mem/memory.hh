@@ -12,6 +12,12 @@
 #include <vector>
 
 namespace elag {
+
+namespace ckpt {
+class Writer;
+class Reader;
+} // namespace ckpt
+
 namespace mem {
 
 /**
@@ -39,6 +45,15 @@ class MainMemory
 
     /** Number of pages actually allocated (for tests). */
     size_t allocatedPages() const { return pages.size(); }
+
+    /**
+     * Checkpoint the memory image: allocated pages only, each
+     * zero-run-length + varint compressed (sparse images shrink to a
+     * few bytes per untouched region). restore() replaces the whole
+     * image and must see the same configured size.
+     */
+    void serialize(ckpt::Writer &w) const;
+    void restore(ckpt::Reader &r);
 
   private:
     static constexpr uint32_t PageShift = 12;

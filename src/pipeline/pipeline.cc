@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/serial.hh"
 #include "isa/disasm.hh"
 #include "support/logging.hh"
 #include "verify/fault_injector.hh"
@@ -617,6 +618,95 @@ Pipeline::finish()
         stats_.bindLifetime = regCache.lifetimeHistogram();
     }
     return stats_;
+}
+
+void
+Pipeline::serialize(ckpt::Writer &w) const
+{
+    pipeline::serialize(w, stats_);
+    icache.serialize(w);
+    dcache.serialize(w);
+    btb.serialize(w);
+    table.serialize(w);
+    regCache.serialize(w);
+
+    w.varint(books.size());
+    for (const BookSlot &slot : books) {
+        w.u64(slot.cycle);
+        w.i32(slot.use.issue);
+        w.i32(slot.use.intAlu);
+        w.i32(slot.use.mem);
+        w.i32(slot.use.fp);
+        w.i32(slot.use.branch);
+        w.i32(slot.use.dcachePorts);
+    }
+
+    w.varint(inFlightStores.size());
+    for (const InFlightStore &st : inFlightStores) {
+        w.varint(st.addr);
+        w.varint(st.bytes);
+        w.varint(st.exeCycle);
+        w.varint(st.writeCycle);
+    }
+
+    for (uint64_t ready : intReady)
+        w.varint(ready);
+    for (uint64_t ready : fpReady)
+        w.varint(ready);
+
+    w.varint(nextIssue);
+    w.varint(nextFetch);
+    w.i32(fetchedThisCycle);
+    w.varint(lastCompletion);
+    w.b(finished);
+}
+
+void
+Pipeline::restore(ckpt::Reader &r)
+{
+    pipeline::restore(r, stats_);
+    icache.restore(r);
+    dcache.restore(r);
+    btb.restore(r);
+    table.restore(r);
+    regCache.restore(r);
+
+    uint64_t slots = r.varint();
+    if (slots != books.size()) {
+        throw ckpt::CkptError(ckpt::ErrorKind::Mismatch,
+                              "pipeline booking-ring size mismatch");
+    }
+    for (BookSlot &slot : books) {
+        slot.cycle = r.u64();
+        slot.use.issue = r.i32();
+        slot.use.intAlu = r.i32();
+        slot.use.mem = r.i32();
+        slot.use.fp = r.i32();
+        slot.use.branch = r.i32();
+        slot.use.dcachePorts = r.i32();
+    }
+
+    inFlightStores.clear();
+    uint64_t stores = r.varint();
+    for (uint64_t i = 0; i < stores; ++i) {
+        InFlightStore st;
+        st.addr = static_cast<uint32_t>(r.varint());
+        st.bytes = static_cast<uint32_t>(r.varint());
+        st.exeCycle = r.varint();
+        st.writeCycle = r.varint();
+        inFlightStores.push_back(st);
+    }
+
+    for (uint64_t &ready : intReady)
+        ready = r.varint();
+    for (uint64_t &ready : fpReady)
+        ready = r.varint();
+
+    nextIssue = r.varint();
+    nextFetch = r.varint();
+    fetchedThisCycle = r.i32();
+    lastCompletion = r.varint();
+    finished = r.b();
 }
 
 } // namespace pipeline

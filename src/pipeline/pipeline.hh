@@ -93,6 +93,18 @@ class Pipeline
         return regCache;
     }
 
+    /**
+     * Checkpoint the complete timing state: aggregate stats, caches,
+     * BTB, predictor tables, the cycle-resource booking ring,
+     * in-flight stores, register ready-times, and the issue/fetch
+     * frontiers. Configuration, observers, and the fault-injector
+     * pointer are NOT captured — restore() requires a Pipeline built
+     * from the identical MachineConfig (the checkpoint layer checks
+     * config hashes before calling it).
+     */
+    void serialize(ckpt::Writer &w) const;
+    void restore(ckpt::Reader &r);
+
   private:
     /** Per-cycle resource books. */
     struct CycleUse

@@ -1,5 +1,6 @@
 #include "pipeline/stats.hh"
 
+#include "ckpt/serial.hh"
 #include "support/json.hh"
 
 namespace elag {
@@ -51,6 +52,76 @@ writeJson(JsonWriter &w, const PipelineStats &s)
     writeJson(w, s.bindLifetime);
     w.endObject();
     w.endObject();
+}
+
+void
+serialize(ckpt::Writer &w, const SpecCounters &c)
+{
+    w.varint(c.executed);
+    w.varint(c.speculated);
+    w.varint(c.forwarded);
+    w.varint(c.noPrediction);
+    w.varint(c.notBound);
+    w.varint(c.portDenied);
+    w.varint(c.regInterlock);
+    w.varint(c.memInterlock);
+    w.varint(c.wrongAddress);
+    w.varint(c.cacheMiss);
+}
+
+void
+restore(ckpt::Reader &r, SpecCounters &c)
+{
+    c.executed = r.varint();
+    c.speculated = r.varint();
+    c.forwarded = r.varint();
+    c.noPrediction = r.varint();
+    c.notBound = r.varint();
+    c.portDenied = r.varint();
+    c.regInterlock = r.varint();
+    c.memInterlock = r.varint();
+    c.wrongAddress = r.varint();
+    c.cacheMiss = r.varint();
+}
+
+void
+serialize(ckpt::Writer &w, const PipelineStats &s)
+{
+    w.varint(s.cycles);
+    w.varint(s.instructions);
+    w.varint(s.loads);
+    w.varint(s.stores);
+    w.varint(s.branches);
+    w.varint(s.mispredicts);
+    w.varint(s.icacheMisses);
+    w.varint(s.dcacheMisses);
+    w.varint(s.extraAccesses);
+    serialize(w, s.normal);
+    serialize(w, s.predict);
+    serialize(w, s.earlyCalc);
+    ckpt::serialize(w, s.loadLatency);
+    ckpt::serialize(w, s.strideConfidence);
+    ckpt::serialize(w, s.bindLifetime);
+}
+
+void
+restore(ckpt::Reader &r, PipelineStats &s)
+{
+    s.cycles = r.varint();
+    s.instructions = r.varint();
+    s.loads = r.varint();
+    s.stores = r.varint();
+    s.branches = r.varint();
+    s.mispredicts = r.varint();
+    s.icacheMisses = r.varint();
+    s.dcacheMisses = r.varint();
+    s.extraAccesses = r.varint();
+    restore(r, s.normal);
+    restore(r, s.predict);
+    restore(r, s.earlyCalc);
+    ckpt::restore(r, s.loadLatency);
+    ckpt::restore(r, s.strideConfidence);
+    ckpt::restore(r, s.bindLifetime);
 }
 
 } // namespace pipeline

@@ -11,6 +11,12 @@
 #include "support/stats.hh"
 
 namespace elag {
+
+namespace ckpt {
+class Writer;
+class Reader;
+} // namespace ckpt
+
 namespace pipeline {
 
 /** Per-load-specifier dynamic counters. */
@@ -85,6 +91,17 @@ void writeJson(JsonWriter &w, const SpecCounters &c);
  * histograms, suitable for elagc --json-stats and bench --json.
  */
 void writeJson(JsonWriter &w, const PipelineStats &s);
+
+/**
+ * Checkpoint codec for the aggregate counters. Every field — the
+ * scalars, all three SpecCounters blocks, and the histograms — is
+ * captured, so a restored run's final JSON report is byte-identical
+ * to an uninterrupted one.
+ */
+void serialize(ckpt::Writer &w, const SpecCounters &c);
+void restore(ckpt::Reader &r, SpecCounters &c);
+void serialize(ckpt::Writer &w, const PipelineStats &s);
+void restore(ckpt::Reader &r, PipelineStats &s);
 
 } // namespace pipeline
 } // namespace elag

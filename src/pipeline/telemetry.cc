@@ -1,5 +1,6 @@
 #include "pipeline/telemetry.hh"
 
+#include "ckpt/serial.hh"
 #include "pipeline/pipeline.hh"
 
 namespace elag {
@@ -51,6 +52,37 @@ LoadTelemetry::totalExecuted() const
     for (const auto &kv : loads_)
         total += kv.second.executed;
     return total;
+}
+
+void
+LoadTelemetry::serialize(ckpt::Writer &w) const
+{
+    w.varint(loads_.size());
+    for (const auto &kv : loads_) {
+        const LoadRecord &rec = kv.second;
+        w.varint(kv.first);
+        w.u8(static_cast<uint8_t>(rec.path));
+        w.varint(rec.executed);
+        w.varint(rec.speculated);
+        for (uint64_t count : rec.outcomes)
+            w.varint(count);
+    }
+}
+
+void
+LoadTelemetry::restore(ckpt::Reader &r)
+{
+    loads_.clear();
+    uint64_t entries = r.varint();
+    for (uint64_t i = 0; i < entries; ++i) {
+        uint32_t pc = static_cast<uint32_t>(r.varint());
+        LoadRecord &rec = loads_[pc];
+        rec.path = static_cast<LoadPath>(r.u8());
+        rec.executed = r.varint();
+        rec.speculated = r.varint();
+        for (uint64_t &count : rec.outcomes)
+            count = r.varint();
+    }
 }
 
 } // namespace pipeline

@@ -19,6 +19,12 @@
 #include "pipeline/observer.hh"
 
 namespace elag {
+
+namespace ckpt {
+class Writer;
+class Reader;
+} // namespace ckpt
+
 namespace pipeline {
 
 /** Dynamic record for one static load site. */
@@ -74,6 +80,13 @@ class LoadTelemetry : public Observer
     uint64_t totalExecuted() const;
 
     void reset() { loads_.clear(); }
+
+    /**
+     * Checkpoint the full per-PC table so a resumed run's
+     * --load-report matches an uninterrupted run's exactly.
+     */
+    void serialize(ckpt::Writer &w) const;
+    void restore(ckpt::Reader &r);
 
   private:
     std::map<uint32_t, LoadRecord> loads_;

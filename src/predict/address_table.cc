@@ -1,5 +1,6 @@
 #include "predict/address_table.hh"
 
+#include "ckpt/serial.hh"
 #include "support/logging.hh"
 #include "verify/fault_injector.hh"
 
@@ -70,6 +71,49 @@ AddressTable::reset()
         entry = Entry();
     confHist.reset();
     numProbes = numProbeHits = numReplacements = 0;
+}
+
+void
+AddressTable::serialize(ckpt::Writer &w) const
+{
+    w.varint(table.size());
+    for (const Entry &entry : table) {
+        w.b(entry.valid);
+        w.varint(entry.tag);
+        w.varint(entry.fsm.predictedAddress());
+        w.varint(entry.fsm.stride());
+        w.varint(entry.fsm.confidentStreak());
+        w.b(entry.fsm.willPredict());
+    }
+    ckpt::serialize(w, confHist);
+    w.varint(numProbes);
+    w.varint(numProbeHits);
+    w.varint(numReplacements);
+}
+
+void
+AddressTable::restore(ckpt::Reader &r)
+{
+    uint64_t count = r.varint();
+    if (count != table.size()) {
+        throw ckpt::CkptError(ckpt::ErrorKind::Mismatch,
+                              "address-table geometry mismatch "
+                              "between checkpoint and machine "
+                              "config");
+    }
+    for (Entry &entry : table) {
+        entry.valid = r.b();
+        entry.tag = static_cast<uint32_t>(r.varint());
+        uint32_t pa = static_cast<uint32_t>(r.varint());
+        uint32_t stride = static_cast<uint32_t>(r.varint());
+        uint32_t streak = static_cast<uint32_t>(r.varint());
+        bool confident = r.b();
+        entry.fsm.restoreRaw(pa, stride, streak, confident);
+    }
+    ckpt::restore(r, confHist);
+    numProbes = r.varint();
+    numProbeHits = r.varint();
+    numReplacements = r.varint();
 }
 
 } // namespace predict

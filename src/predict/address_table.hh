@@ -15,6 +15,11 @@
 
 namespace elag {
 
+namespace ckpt {
+class Writer;
+class Reader;
+} // namespace ckpt
+
 namespace verify {
 class FaultInjector;
 } // namespace verify
@@ -83,6 +88,14 @@ class AddressTable
     }
 
     void reset();
+
+    /**
+     * Checkpoint every entry (tag + full stride-FSM state), the
+     * confidence histogram, and the probe/replacement tallies. The
+     * restoring table must have the same entry count.
+     */
+    void serialize(ckpt::Writer &w) const;
+    void restore(ckpt::Reader &r);
 
   private:
     struct Entry

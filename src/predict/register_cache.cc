@@ -1,5 +1,6 @@
 #include "predict/register_cache.hh"
 
+#include "ckpt/serial.hh"
 #include "support/logging.hh"
 
 namespace elag {
@@ -88,6 +89,48 @@ RegisterCache::reset()
     lifeHist.reset();
     tick = 0;
     numLookups = numHits = numBindings = 0;
+}
+
+void
+RegisterCache::serialize(ckpt::Writer &w) const
+{
+    w.varint(slots.size());
+    for (const Slot &slot : slots) {
+        w.b(slot.valid);
+        w.i32(slot.reg);
+        w.varint(slot.value);
+        w.varint(slot.lastUsed);
+        w.varint(slot.boundCycle);
+    }
+    ckpt::serialize(w, lifeHist);
+    w.varint(tick);
+    w.varint(numLookups);
+    w.varint(numHits);
+    w.varint(numBindings);
+}
+
+void
+RegisterCache::restore(ckpt::Reader &r)
+{
+    uint64_t count = r.varint();
+    if (count != slots.size()) {
+        throw ckpt::CkptError(ckpt::ErrorKind::Mismatch,
+                              "register-cache capacity mismatch "
+                              "between checkpoint and machine "
+                              "config");
+    }
+    for (Slot &slot : slots) {
+        slot.valid = r.b();
+        slot.reg = r.i32();
+        slot.value = static_cast<uint32_t>(r.varint());
+        slot.lastUsed = r.varint();
+        slot.boundCycle = r.varint();
+    }
+    ckpt::restore(r, lifeHist);
+    tick = r.varint();
+    numLookups = r.varint();
+    numHits = r.varint();
+    numBindings = r.varint();
 }
 
 } // namespace predict

@@ -20,6 +20,12 @@
 #include "support/stats.hh"
 
 namespace elag {
+
+namespace ckpt {
+class Writer;
+class Reader;
+} // namespace ckpt
+
 namespace predict {
 
 /** LRU cache of (register specifier -> cached value). */
@@ -76,6 +82,13 @@ class RegisterCache
     const Histogram &lifetimeHistogram() const { return lifeHist; }
 
     void reset();
+
+    /**
+     * Checkpoint every slot, the lifetime histogram, the LRU tick
+     * and the lookup/binding tallies. Capacity must match.
+     */
+    void serialize(ckpt::Writer &w) const;
+    void restore(ckpt::Reader &r);
 
   private:
     struct Slot

@@ -91,6 +91,22 @@ class StrideFsm
      */
     uint32_t confidentStreak() const { return streak_; }
 
+    /**
+     * Overwrite the full FSM state (checkpoint restore). The getters
+     * above expose every field, so restoreRaw(predictedAddress(),
+     * stride(), confidentStreak(), willPredict()) is an exact round
+     * trip.
+     */
+    void
+    restoreRaw(uint32_t pa, uint32_t stride, uint32_t streak,
+               bool confident)
+    {
+        pa_ = pa;
+        stride_ = stride;
+        streak_ = streak;
+        confident_ = confident;
+    }
+
   private:
     uint32_t pa_ = 0;
     uint32_t stride_ = 0;

@@ -1,7 +1,9 @@
 #include "serve/router.hh"
 
+#include "ckpt/checkpoint.hh"
 #include "obs/span.hh"
 #include "serve/routing.hh"
+#include "sim/ckpt_run.hh"
 #include "sim/run_cache.hh"
 #include "sim/simulator.hh"
 #include "support/json.hh"
@@ -88,6 +90,52 @@ Router::machineFor(const Request &request)
 }
 
 std::string
+Router::checkpointedSimulate(const Request &request,
+                             const sim::CompiledProgram &prog,
+                             const sim::Watchdog &watchdog) const
+{
+    // Keyed by the same content hash as the persistent tier, so the
+    // retried request a supervisor re-routes after a worker death
+    // lands on the snapshot its predecessor left behind. Bypasses
+    // the in-memory RunCache: a checkpointed run owns its telemetry
+    // end to end so the resumed document stays byte-identical.
+    sim::CkptPolicy policy;
+    policy.path = formatString(
+        "%s/req-%016llx.ckpt", cfg.checkpointDir.c_str(),
+        static_cast<unsigned long long>(persistKey(request)));
+    policy.everyRetires = cfg.checkpointEvery;
+    std::string resume =
+        ckpt::fileExists(policy.path) ? policy.path : std::string();
+
+    pipeline::LoadTelemetry telemetry;
+    sim::CkptStatsOutcome out;
+    try {
+        out = sim::runTimedCheckpointed(
+            prog, machineFor(request),
+            pipeline::MachineConfig::baseline(), request.maxInst,
+            &telemetry, nullptr, nullptr, watchdog, policy, resume);
+    } catch (const ckpt::CkptError &e) {
+        // A snapshot this worker cannot use (torn, corrupt, other
+        // run) is never fatal to the request: re-run clean and let
+        // the fresh snapshots overwrite it.
+        warn("unusable request checkpoint '%s' (%s: %s); re-running "
+             "clean",
+             policy.path.c_str(), ckpt::name(e.kind()), e.what());
+        telemetry.reset();
+        out = sim::runTimedCheckpointed(
+            prog, machineFor(request),
+            pipeline::MachineConfig::baseline(), request.maxInst,
+            &telemetry, nullptr, nullptr, watchdog, policy);
+    }
+    if (out.resumed)
+        inform("simulate request resumed from '%s'",
+               policy.path.c_str());
+    return sim::statsReportJson(request.file, request.machine,
+                                request.selection, prog, out.base,
+                                out.timed, telemetry);
+}
+
+std::string
 Router::execute(const Request &request) const
 {
     // The durable tier answers before anything is compiled: a
@@ -136,18 +184,25 @@ Router::execute(const Request &request) const
         watchdog.maxWallMs = request.deadlineMs
                                  ? request.deadlineMs
                                  : cfg.defaultDeadlineMs;
-        auto &cache = sim::RunCache::instance();
-        // Identical structure to elagc --json-stats: a clean
-        // baseline run plus the configured machine observed by load
-        // telemetry, both shareable across requests via the cache.
-        sim::TimedResult base =
-            cache.run(prog, pipeline::MachineConfig::baseline(),
-                      request.maxInst, watchdog);
-        sim::RunCache::Report report = cache.runReport(
-            prog, machineFor(request), request.maxInst, watchdog);
-        std::string doc = sim::statsReportJson(
-            request.file, request.machine, request.selection, prog,
-            base, report.timed, report.telemetry);
+        std::string doc;
+        if (!cfg.checkpointDir.empty()) {
+            doc = checkpointedSimulate(request, prog, watchdog);
+        } else {
+            auto &cache = sim::RunCache::instance();
+            // Identical structure to elagc --json-stats: a clean
+            // baseline run plus the configured machine observed by
+            // load telemetry, both shareable across requests via the
+            // cache.
+            sim::TimedResult base =
+                cache.run(prog, pipeline::MachineConfig::baseline(),
+                          request.maxInst, watchdog);
+            sim::RunCache::Report report = cache.runReport(
+                prog, machineFor(request), request.maxInst, watchdog);
+            doc = sim::statsReportJson(request.file, request.machine,
+                                       request.selection, prog, base,
+                                       report.timed,
+                                       report.telemetry);
+        }
         if (cfg.persist)
             cfg.persist->append(persist_key, doc);
         return doc;

@@ -25,6 +25,12 @@
 #include "serve/protocol.hh"
 
 namespace elag {
+
+namespace sim {
+struct CompiledProgram;
+struct Watchdog;
+} // namespace sim
+
 namespace serve {
 
 /** Router policy knobs (from elagd flags). */
@@ -39,6 +45,16 @@ struct RouterConfig
      * skip compilation and simulation entirely.
      */
     cache::PersistentStore *persist = nullptr;
+    /**
+     * Durable mid-request checkpoints for simulate work: when set,
+     * each simulate run snapshots to DIR/req-<key>.ckpt (keyed by
+     * the same content hash as the persistent tier) and a restarted
+     * worker handed the same request resumes from the last snapshot
+     * instead of replaying the whole interval. Empty disables.
+     */
+    std::string checkpointDir;
+    /** Retires between request snapshots (0 = the 5M default). */
+    uint64_t checkpointEvery = 0;
 };
 
 class Router
@@ -62,6 +78,16 @@ class Router
     static pipeline::MachineConfig machineFor(const Request &request);
 
   private:
+    /**
+     * Simulate with durable mid-run snapshots (checkpointDir set):
+     * resumes a predecessor worker's snapshot when one exists, falls
+     * back to a clean run on any unusable snapshot.
+     */
+    std::string checkpointedSimulate(const Request &request,
+                                     const sim::CompiledProgram &prog,
+                                     const sim::Watchdog &watchdog)
+        const;
+
     RouterConfig cfg;
 };
 

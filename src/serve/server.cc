@@ -97,7 +97,9 @@ struct ServeCounters
 
 Server::Server(const ServerConfig &config)
     : cfg(config), router(RouterConfig{config.defaultDeadlineMs,
-                                       config.persist})
+                                       config.persist,
+                                       config.checkpointDir,
+                                       config.checkpointEvery})
 {
     if (cfg.queueDepth == 0)
         fatal("elagd: --queue-depth must be at least 1");
@@ -534,6 +536,7 @@ Server::statsJson() const
         w.field("torn_truncated", ps.tornTruncated);
         w.field("corrupt_skipped", ps.corruptSkipped);
         w.field("read_failures", ps.readFailures);
+        w.field("write_failures", ps.writeFailures);
         w.field("compactions", ps.compactions);
         w.endObject();
     }

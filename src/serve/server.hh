@@ -68,6 +68,15 @@ struct ServerConfig
      * both wire this from --cache-dir.
      */
     cache::PersistentStore *persist = nullptr;
+    /**
+     * Durable mid-request simulate checkpoints (see RouterConfig);
+     * shard workers wire this from elagd --checkpoint-dir so a
+     * supervisor-restarted worker finishes the interval instead of
+     * replaying it. Empty disables.
+     */
+    std::string checkpointDir;
+    /** Retires between request snapshots (0 = the 5M default). */
+    uint64_t checkpointEvery = 0;
 };
 
 class Server

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "ckpt/serial.hh"
+
 namespace elag {
 namespace sim {
 
@@ -32,6 +34,52 @@ Emulator::reg(int index) const
 {
     elag_assert(index >= 0 && index < isa::NumIntRegs);
     return regs[index];
+}
+
+void
+Emulator::serialize(ckpt::Writer &w) const
+{
+    w.u32(pc);
+    for (int32_t reg : regs)
+        w.i32(reg);
+    for (float freg : fregs)
+        w.f32(freg);
+    mem_.serialize(w);
+}
+
+void
+Emulator::restore(ckpt::Reader &r)
+{
+    pc = r.u32();
+    for (int32_t &reg : regs)
+        reg = r.i32();
+    for (float &freg : fregs)
+        freg = r.f32();
+    mem_.restore(r);
+}
+
+void
+serialize(ckpt::Writer &w, const EmulationResult &result)
+{
+    w.varint(result.instructions);
+    w.varint(result.output.size());
+    for (int32_t value : result.output)
+        w.i32(value);
+    w.b(result.halted);
+    w.i32(result.exitValue);
+}
+
+void
+restore(ckpt::Reader &r, EmulationResult &result)
+{
+    result.instructions = r.varint();
+    result.output.clear();
+    uint64_t values = r.varint();
+    result.output.reserve(values);
+    for (uint64_t i = 0; i < values; ++i)
+        result.output.push_back(r.i32());
+    result.halted = r.b();
+    result.exitValue = r.i32();
 }
 
 } // namespace sim

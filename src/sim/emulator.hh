@@ -45,6 +45,14 @@ struct EmulationResult
     int32_t exitValue = 0;
 };
 
+/**
+ * Checkpoint codec for a (possibly partial) emulation result — used
+ * to carry the retired-instruction count and accumulated print()
+ * output across a checkpoint/restore boundary.
+ */
+void serialize(ckpt::Writer &w, const EmulationResult &result);
+void restore(ckpt::Reader &r, EmulationResult &result);
+
 /** The emulator. */
 class Emulator
 {
@@ -72,6 +80,16 @@ class Emulator
     /** The memory image (for tests). */
     const mem::MainMemory &memory() const { return mem_; }
     mem::MainMemory &memory() { return mem_; }
+
+    /**
+     * Checkpoint the architectural state: PC, integer and FP
+     * register files, and the full memory image. The program itself
+     * is not captured; restore() requires an Emulator constructed
+     * over the identical MachineProgram (checked by program hash at
+     * the checkpoint layer).
+     */
+    void serialize(ckpt::Writer &w) const;
+    void restore(ckpt::Reader &r);
 
   private:
     void reset();

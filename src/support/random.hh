@@ -40,6 +40,20 @@ class Pcg32
     /** @return true with probability p. */
     bool nextBool(double p = 0.5);
 
+    /**
+     * Raw generator state, for checkpointing. setRaw() with values
+     * from rawState()/rawInc() resumes the stream exactly where the
+     * snapshot left it.
+     */
+    uint64_t rawState() const { return state; }
+    uint64_t rawInc() const { return inc; }
+    void
+    setRaw(uint64_t raw_state, uint64_t raw_inc)
+    {
+        state = raw_state;
+        inc = raw_inc;
+    }
+
   private:
     uint64_t state;
     uint64_t inc;

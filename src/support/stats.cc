@@ -36,6 +36,18 @@ Histogram::reset()
     overflow_ = samples_ = total_ = 0;
 }
 
+void
+Histogram::restoreRaw(const std::vector<uint64_t> &counts,
+                      uint64_t overflow, uint64_t samples,
+                      uint64_t total)
+{
+    elag_assert(counts.size() == buckets.size());
+    buckets = counts;
+    overflow_ = overflow;
+    samples_ = samples;
+    total_ = total;
+}
+
 Counter &
 StatGroup::counter(const std::string &name)
 {

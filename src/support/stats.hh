@@ -73,6 +73,15 @@ class Histogram
     uint64_t bucketWidth() const { return width; }
     void reset();
 
+    /**
+     * Replace all counts wholesale (checkpoint restore). @p counts
+     * must have exactly numBuckets() entries; geometry (bucket count
+     * and width) is the constructed histogram's and is not changed.
+     */
+    void restoreRaw(const std::vector<uint64_t> &counts,
+                    uint64_t overflow, uint64_t samples,
+                    uint64_t total);
+
   private:
     std::vector<uint64_t> buckets;
     uint64_t width;

@@ -1,0 +1,107 @@
+#include "verify/ckpt_diff.hh"
+
+#include <cstdio>
+
+#include "sim/ckpt_run.hh"
+#include "support/logging.hh"
+#include "verify/invariant_checker.hh"
+
+namespace elag {
+namespace verify {
+
+namespace {
+
+/** First byte offset where @p a and @p b differ, with context. */
+std::string
+describeDivergence(const std::string &a, const std::string &b)
+{
+    size_t limit = a.size() < b.size() ? a.size() : b.size();
+    size_t at = 0;
+    while (at < limit && a[at] == b[at])
+        ++at;
+    size_t from = at > 30 ? at - 30 : 0;
+    return formatString(
+        "documents diverge at byte %zu (sizes %zu vs %zu): "
+        "\"...%s\" vs \"...%s\"",
+        at, a.size(), b.size(),
+        a.substr(from, 60).c_str(), b.substr(from, 60).c_str());
+}
+
+} // anonymous namespace
+
+CkptDiffResult
+checkKillResumeEquivalence(const std::string &source,
+                           const std::string &ckpt_path,
+                           uint64_t max_instructions,
+                           uint64_t boundary_retires,
+                           bool with_checker)
+{
+    CkptDiffResult result;
+
+    sim::CompiledProgram prog = sim::compile(source);
+    const auto machine = pipeline::MachineConfig::proposed();
+    const auto baseline = pipeline::MachineConfig::baseline();
+    const sim::Watchdog watchdog;
+
+    // Reference: one uninterrupted run through the same checkpointed
+    // driver (with no snapshot path), so both sides share chunking.
+    std::string reference;
+    {
+        pipeline::LoadTelemetry telemetry;
+        InvariantChecker checker;
+        sim::CkptPolicy policy;
+        policy.everyRetires = boundary_retires;
+        sim::CkptStatsOutcome ref = sim::runTimedCheckpointed(
+            prog, machine, baseline, max_instructions, &telemetry,
+            with_checker ? &checker : nullptr, nullptr, watchdog,
+            policy);
+        if (with_checker)
+            checker.finish(ref.timed.pipe);
+        reference = sim::statsReportJson("ckptdiff", "proposed", "",
+                                         prog, ref.base, ref.timed,
+                                         telemetry);
+    }
+
+    // Interrupted side: stop at the first boundary of every leg,
+    // discard all live objects, restore from the file into fresh
+    // ones — the in-process equivalent of SIGKILL + re-exec.
+    std::string resumed;
+    {
+        std::string resume_from;
+        for (;;) {
+            pipeline::LoadTelemetry telemetry;
+            InvariantChecker checker;
+            sim::CkptPolicy policy;
+            policy.path = ckpt_path;
+            policy.everyRetires = boundary_retires;
+            bool stop = true;
+            policy.interrupted = [&stop] { return stop; };
+            sim::CkptStatsOutcome leg = sim::runTimedCheckpointed(
+                prog, machine, baseline, max_instructions, &telemetry,
+                with_checker ? &checker : nullptr, nullptr, watchdog,
+                policy, resume_from);
+            if (!leg.interrupted) {
+                if (with_checker)
+                    checker.finish(leg.timed.pipe);
+                resumed = sim::statsReportJson("ckptdiff", "proposed",
+                                               "", prog, leg.base,
+                                               leg.timed, telemetry);
+                break;
+            }
+            ++result.legs;
+            resume_from = ckpt_path;
+        }
+    }
+
+    result.reference = reference;
+    result.resumed = resumed;
+    result.equivalent = reference == resumed;
+    if (!result.equivalent)
+        result.detail = describeDivergence(reference, resumed);
+    else
+        std::remove(ckpt_path.c_str());
+    return result;
+}
+
+} // namespace verify
+} // namespace elag

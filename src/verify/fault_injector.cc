@@ -1,5 +1,6 @@
 #include "verify/fault_injector.hh"
 
+#include "ckpt/serial.hh"
 #include "support/logging.hh"
 
 namespace elag {
@@ -187,6 +188,59 @@ FaultInjector::corruptAddress(uint32_t addr)
     uint32_t low = 1u << rng.nextBounded(6);
     uint32_t high = 1u << (6 + rng.nextBounded(10));
     return addr ^ low ^ high;
+}
+
+void
+FaultInjector::serialize(ckpt::Writer &w) const
+{
+    w.str(plan_.name);
+    w.f64(plan_.tagAliasRate);
+    w.f64(plan_.entryCorruptRate);
+    w.f64(plan_.raddrInvalidateRate);
+    w.f64(plan_.forceInterlockRate);
+    w.f64(plan_.portStealRate);
+    w.f64(plan_.verifyFailRate);
+    w.f64(plan_.latencyJitterRate);
+    w.varint(plan_.latencyJitterMax);
+    w.b(plan_.bypassAddressCheck);
+    w.b(plan_.bypassInterlockCheck);
+    w.u64(seed_);
+    w.u64(rng.rawState());
+    w.u64(rng.rawInc());
+    w.varint(counts_.tagAlias);
+    w.varint(counts_.entryCorrupt);
+    w.varint(counts_.raddrInvalidate);
+    w.varint(counts_.forceInterlock);
+    w.varint(counts_.portSteal);
+    w.varint(counts_.verifyFail);
+    w.varint(counts_.latencyJitter);
+}
+
+void
+FaultInjector::restore(ckpt::Reader &r)
+{
+    plan_.name = r.str();
+    plan_.tagAliasRate = r.f64();
+    plan_.entryCorruptRate = r.f64();
+    plan_.raddrInvalidateRate = r.f64();
+    plan_.forceInterlockRate = r.f64();
+    plan_.portStealRate = r.f64();
+    plan_.verifyFailRate = r.f64();
+    plan_.latencyJitterRate = r.f64();
+    plan_.latencyJitterMax = static_cast<uint32_t>(r.varint());
+    plan_.bypassAddressCheck = r.b();
+    plan_.bypassInterlockCheck = r.b();
+    seed_ = r.u64();
+    uint64_t state = r.u64();
+    uint64_t inc = r.u64();
+    rng.setRaw(state, inc);
+    counts_.tagAlias = r.varint();
+    counts_.entryCorrupt = r.varint();
+    counts_.raddrInvalidate = r.varint();
+    counts_.forceInterlock = r.varint();
+    counts_.portSteal = r.varint();
+    counts_.verifyFail = r.varint();
+    counts_.latencyJitter = r.varint();
 }
 
 } // namespace verify

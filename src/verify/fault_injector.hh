@@ -28,6 +28,12 @@
 #include "support/random.hh"
 
 namespace elag {
+
+namespace ckpt {
+class Writer;
+class Reader;
+} // namespace ckpt
+
 namespace verify {
 
 /** Per-fault firing rates; all zero means a no-op injector. */
@@ -120,6 +126,15 @@ class FaultInjector
     const FaultPlan &plan() const { return plan_; }
     uint64_t seed() const { return seed_; }
     const Counts &counts() const { return counts_; }
+
+    /**
+     * Checkpoint the full injector: plan, seed, raw PRNG state and
+     * fired counts. Restoring resumes the fault stream exactly where
+     * the snapshot left it, so an injected run replayed from a
+     * checkpoint sees the identical fault sequence.
+     */
+    void serialize(ckpt::Writer &w) const;
+    void restore(ckpt::Reader &r);
 
   private:
     bool fire(double rate, uint64_t &counter);

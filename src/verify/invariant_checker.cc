@@ -1,5 +1,6 @@
 #include "verify/invariant_checker.hh"
 
+#include "ckpt/serial.hh"
 #include "pipeline/pipeline.hh"
 #include "support/logging.hh"
 
@@ -306,6 +307,72 @@ InvariantChecker::finish(const PipelineStats &stats) const
               static_cast<unsigned long long>(stats.cycles),
               static_cast<unsigned long long>(lastExeCycle));
     }
+}
+
+void
+InvariantChecker::serialize(ckpt::Writer &w) const
+{
+    for (const Shadow *shadow : {&normal, &predict, &earlyCalc}) {
+        w.varint(shadow->executed);
+        w.varint(shadow->speculated);
+        for (uint64_t count : shadow->outcomes)
+            w.varint(count);
+    }
+
+    w.b(dispatchPending);
+    w.varint(pendingPc);
+    w.varint(pendingAddr);
+    w.varint(pendingCycle);
+    w.u8(static_cast<uint8_t>(pendingPath));
+
+    w.b(conditionsPending);
+    w.b(pendingConditions.portAllocated);
+    w.b(pendingConditions.addrMatch);
+    w.b(pendingConditions.cacheHit);
+    w.b(pendingConditions.regInterlockFree);
+    w.b(pendingConditions.memInterlockFree);
+    w.u8(static_cast<uint8_t>(conditionsOutcome));
+
+    w.b(forwardPending);
+    w.varint(forwardPc);
+    w.varint(forwardExeCycle);
+
+    w.varint(lastExeCycle);
+    w.varint(forwards);
+    w.varint(checked);
+}
+
+void
+InvariantChecker::restore(ckpt::Reader &r)
+{
+    for (Shadow *shadow : {&normal, &predict, &earlyCalc}) {
+        shadow->executed = r.varint();
+        shadow->speculated = r.varint();
+        for (uint64_t &count : shadow->outcomes)
+            count = r.varint();
+    }
+
+    dispatchPending = r.b();
+    pendingPc = static_cast<uint32_t>(r.varint());
+    pendingAddr = static_cast<uint32_t>(r.varint());
+    pendingCycle = r.varint();
+    pendingPath = static_cast<pipeline::LoadPath>(r.u8());
+
+    conditionsPending = r.b();
+    pendingConditions.portAllocated = r.b();
+    pendingConditions.addrMatch = r.b();
+    pendingConditions.cacheHit = r.b();
+    pendingConditions.regInterlockFree = r.b();
+    pendingConditions.memInterlockFree = r.b();
+    conditionsOutcome = static_cast<pipeline::SpecOutcome>(r.u8());
+
+    forwardPending = r.b();
+    forwardPc = static_cast<uint32_t>(r.varint());
+    forwardExeCycle = r.varint();
+
+    lastExeCycle = r.varint();
+    forwards = r.varint();
+    checked = r.varint();
 }
 
 } // namespace verify

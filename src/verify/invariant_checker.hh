@@ -35,6 +35,12 @@
 #include "pipeline/stats.hh"
 
 namespace elag {
+
+namespace ckpt {
+class Writer;
+class Reader;
+} // namespace ckpt
+
 namespace verify {
 
 /** The lockstep checker. Attach with Pipeline::attach(). */
@@ -67,6 +73,14 @@ class InvariantChecker : public pipeline::Observer
 
     /** Total observer events validated (for "not vacuous" checks). */
     uint64_t eventsChecked() const { return checked; }
+
+    /**
+     * Checkpoint the shadow state (per-path counters, pending
+     * events, cycle watermark), so a resumed verified run passes the
+     * same end-of-run conservation checks as an uninterrupted one.
+     */
+    void serialize(ckpt::Writer &w) const;
+    void restore(ckpt::Reader &r);
 
   private:
     /** Shadow of one path's SpecCounters, rebuilt from events. */

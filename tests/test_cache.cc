@@ -388,6 +388,39 @@ TEST(CacheStore, DamagedRecordBecomesMissNeverWrongAnswer)
     EXPECT_EQ(value, "alpha");
 }
 
+TEST(CacheStore, WriteFailureDegradesToMissNeverAnError)
+{
+    setQuiet(true);
+    PersistentStoreConfig config;
+    config.dir = uniqueDir("enospc");
+    PersistentStore store(config);
+    store.append(1, "kept");
+
+    // Swap the active segment for /dev/full: every append now hits
+    // a genuine ENOSPC from write(2). Appends must not throw, must
+    // be counted, and must leave existing records servable.
+    store.breakActiveSegmentForTesting();
+    EXPECT_NO_THROW(store.append(2, "dropped"));
+    EXPECT_NO_THROW(store.append(3, "also dropped"));
+    EXPECT_EQ(store.stats().writeFailures, 2u);
+
+    std::string value;
+    ASSERT_TRUE(store.lookup(1, value));
+    EXPECT_EQ(value, "kept");
+    EXPECT_FALSE(store.lookup(2, value)); // degraded to a miss
+    EXPECT_FALSE(store.lookup(3, value));
+    EXPECT_EQ(store.size(), 1u);
+
+    // Reopening the directory recovers cleanly: the failed appends
+    // left no torn bytes behind.
+    PersistentStore reopened(config);
+    EXPECT_EQ(reopened.size(), 1u);
+    EXPECT_EQ(reopened.stats().tornTruncated, 0u);
+    EXPECT_EQ(reopened.stats().corruptSkipped, 0u);
+    ASSERT_TRUE(reopened.lookup(1, value));
+    EXPECT_EQ(value, "kept");
+}
+
 TEST(CacheStore, RejectsMalformedConfiguration)
 {
     setQuiet(true);

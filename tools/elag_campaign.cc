@@ -16,6 +16,14 @@
  *   elag_campaign --gen-programs=40 --gen-chunk=5 --plans=graceful
  *                 --machines=baseline,proposed --manifest=run.jsonl
  *   elag_campaign --resume --manifest=run.jsonl      # pick up a crash
+ *
+ * With --checkpoint-dir=DIR every gen/workload worker also writes a
+ * durable per-job progress checkpoint (DIR/job-<hash>.ckpt, recorded
+ * in the job's manifest line). A worker that is killed mid-job —
+ * wall-clock timeout, OOM, SIGKILL — resumes past its completed
+ * programs on the next attempt instead of starting over, and
+ * --resume therefore continues interrupted jobs from their last
+ * durable checkpoint rather than from scratch.
  *   elag_campaign --workloads=130.li,132.ijpeg --plans=chaos+tag-alias
  *   elag_campaign --bench=build/bench/bench_table2   # batch bench runs
  *
@@ -55,6 +63,7 @@
 #include <time.h>
 #include <unistd.h>
 
+#include "ckpt/checkpoint.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
 #include "sim/simulator.hh"
@@ -151,7 +160,67 @@ struct WorkerOptions
     uint64_t maxCycles = 100'000'000;
     uint64_t maxWallMs = 0;
     uint64_t attempt = 1;
+    std::string checkpointPath;
 };
+
+/**
+ * Canonical identity of one worker job, stored inside its progress
+ * checkpoint so a stale file from a different job parameterisation is
+ * rejected (Mismatch) instead of silently fast-forwarding the wrong
+ * run.
+ */
+std::string
+workerIdentity(const WorkerOptions &opts)
+{
+    std::string id = opts.workload + "|" +
+                     std::to_string(opts.genSeed) + "|" +
+                     std::to_string(opts.genSkip) + "|" +
+                     std::to_string(opts.genCount) + "|" +
+                     opts.machine + "|" + opts.selection + "|" +
+                     joinStrings(opts.plans, ",") + "|" +
+                     std::to_string(opts.injectSeed) + "|" +
+                     std::to_string(opts.maxInst);
+    for (uint64_t pick : opts.genPick)
+        id += "|p" + std::to_string(pick);
+    return id;
+}
+
+/** Persist worker progress: identity + completed-program prefix. */
+void
+writeWorkerCheckpoint(const WorkerOptions &opts, uint64_t completed,
+                      uint64_t runs, uint64_t faults_fired,
+                      uint64_t events_checked)
+{
+    ckpt::CheckpointWriter w;
+    w.section("META").str(workerIdentity(opts));
+    ckpt::Writer &prog = w.section("PROG");
+    prog.varint(completed);
+    prog.varint(runs);
+    prog.varint(faults_fired);
+    prog.varint(events_checked);
+    w.writeFile(opts.checkpointPath);
+}
+
+/**
+ * Restore worker progress; throws CkptError (Mismatch when the file
+ * belongs to a different job, container errors otherwise).
+ */
+uint64_t
+loadWorkerCheckpoint(const WorkerOptions &opts, uint64_t &runs,
+                     uint64_t &faults_fired, uint64_t &events_checked)
+{
+    auto r = ckpt::CheckpointReader::fromFile(opts.checkpointPath);
+    if (r.section("META").str() != workerIdentity(opts))
+        throw ckpt::CkptError(
+            ckpt::ErrorKind::Mismatch,
+            "checkpoint belongs to a different job");
+    ckpt::Reader prog = r.section("PROG");
+    uint64_t completed = prog.varint();
+    runs = prog.varint();
+    faults_fired = prog.varint();
+    events_checked = prog.varint();
+    return completed;
+}
 
 bool
 sameArchitecture(const sim::EmulationResult &a,
@@ -231,7 +300,37 @@ runWorker(const WorkerOptions &opts)
     uint64_t runs = 0;
     uint64_t faultsFired = 0;
     uint64_t eventsChecked = 0;
-    for (size_t s = 0; s < sources.size(); ++s) {
+
+    // Resume a killed attempt past its fully-soaked programs. An
+    // unusable checkpoint (different job, torn, corrupt) is never
+    // restored: start clean and overwrite it at the next snapshot.
+    uint64_t resumeAt = 0;
+    if (!opts.checkpointPath.empty() &&
+        ckpt::fileExists(opts.checkpointPath)) {
+        try {
+            resumeAt = loadWorkerCheckpoint(opts, runs, faultsFired,
+                                            eventsChecked);
+            if (resumeAt > sources.size())
+                throw ckpt::CkptError(
+                    ckpt::ErrorKind::Mismatch,
+                    "checkpoint progress exceeds the job size");
+            std::fprintf(
+                stderr,
+                "worker: resumed from '%s' at program %llu/%zu\n",
+                opts.checkpointPath.c_str(),
+                static_cast<unsigned long long>(resumeAt),
+                sources.size());
+        } catch (const ckpt::CkptError &e) {
+            std::fprintf(stderr,
+                         "worker: unusable checkpoint '%s' (%s: %s); "
+                         "starting clean\n",
+                         opts.checkpointPath.c_str(),
+                         ckpt::name(e.kind()), e.what());
+            resumeAt = runs = faultsFired = eventsChecked = 0;
+        }
+    }
+
+    for (size_t s = resumeAt; s < sources.size(); ++s) {
         auto prog = sim::compile(sources[s]);
 
         // Clean differential reference: baseline vs. job machine,
@@ -316,7 +415,23 @@ runWorker(const WorkerOptions &opts)
                 return 1;
             }
         }
+
+        // One snapshot per fully-soaked program: a killed worker's
+        // next attempt restarts at most one program back.
+        if (!opts.checkpointPath.empty()) {
+            try {
+                writeWorkerCheckpoint(opts, s + 1, runs, faultsFired,
+                                      eventsChecked);
+            } catch (const ckpt::CkptError &e) {
+                std::fprintf(stderr,
+                             "worker: checkpoint write failed (%s); "
+                             "continuing unprotected\n",
+                             e.what());
+            }
+        }
     }
+    if (!opts.checkpointPath.empty())
+        std::remove(opts.checkpointPath.c_str());
 
     // Machine-readable success line for the coordinator's manifest.
     JsonWriter w(0);
@@ -344,6 +459,8 @@ struct Job
     std::vector<std::string> plans;
     uint64_t genSkip = 0;
     uint64_t genCount = 0;
+    /** Durable progress checkpoint (empty without --checkpoint-dir). */
+    std::string ckptPath;
 };
 
 struct CampaignOptions
@@ -367,6 +484,7 @@ struct CampaignOptions
     uint64_t maxCycles = 100'000'000;
     std::vector<std::string> benches;
     std::string benchOutDir;
+    std::string checkpointDir; ///< per-job worker checkpoints
     uint64_t maxJobs = 0; ///< 0 = unlimited
     bool shrink = true;
     bool dryRun = false;
@@ -511,6 +629,16 @@ Coordinator::buildMatrix() const
     auto planGroupName = [](const std::vector<std::string> &group) {
         return joinStrings(group, "+");
     };
+    // Job ids contain '/' and ':'; the checkpoint file is named by
+    // the id's hash, which --resume reproduces for the same matrix.
+    auto attachCheckpoint = [&](Job &job) {
+        if (opts.checkpointDir.empty())
+            return;
+        job.ckptPath = formatString(
+            "%s/job-%016llx.ckpt", opts.checkpointDir.c_str(),
+            static_cast<unsigned long long>(fnv1a64(job.id)));
+        job.argv.push_back("--checkpoint=" + job.ckptPath);
+    };
 
     for (const std::string &bench : opts.benches) {
         std::string base = bench;
@@ -540,6 +668,7 @@ Coordinator::buildMatrix() const
                 job.argv.push_back(
                     "--inject-seed=" +
                     std::to_string(mixSeed(opts.seed, fnv1a64(name))));
+                attachCheckpoint(job);
                 jobs.push_back(std::move(job));
             }
             for (uint64_t skip = 0; skip < opts.genPrograms;
@@ -567,6 +696,7 @@ Coordinator::buildMatrix() const
                 job.argv.push_back(
                     "--inject-seed=" +
                     std::to_string(mixSeed(opts.seed, 1000 + skip)));
+                attachCheckpoint(job);
                 jobs.push_back(std::move(job));
             }
         }
@@ -747,6 +877,8 @@ Coordinator::recordJob(const Job &job, const JobOutcome &outcome)
     w.field("signal", static_cast<int64_t>(outcome.termSignal));
     w.field("attempts", outcome.attempts);
     w.field("wall_ms", outcome.wallMs);
+    if (!job.ckptPath.empty())
+        w.field("ckpt", job.ckptPath);
     w.field("cmd", joinArgv(job.argv));
     if (!outcome.stderrTail.empty())
         w.field("stderr_tail", outcome.stderrTail);
@@ -960,6 +1092,9 @@ usage()
         "  --seed=N --max-inst=N --max-cycles=N\n"
         "  --bench=p1,p2       bench binaries run as batch jobs\n"
         "  --bench-out=DIR     bench artifact dir (default '.')\n"
+        "  --checkpoint-dir=DIR  durable per-job worker checkpoints;\n"
+        "                      killed jobs resume mid-job on retry or "
+        "--resume\n"
         "  --max-jobs=N        stop after N jobs (exit 3)\n"
         "  --no-shrink         skip failure shrinking\n"
         "  --self=PATH         worker binary override\n"
@@ -972,7 +1107,8 @@ usage()
         "  --gen-pick=i,j --machine=M --selection=POLICY "
         "--plans=p1,p2\n"
         "  --inject-seed=N --max-inst=N --max-cycles=N "
-        "--max-wall-ms=N --attempt=N\n");
+        "--max-wall-ms=N --attempt=N\n"
+        "  --checkpoint=FILE   durable progress checkpoint\n");
 }
 
 /** Parse `--opt=N` into @p out; report + exit 2 on malformed input. */
@@ -1040,6 +1176,8 @@ workerMain(int argc, char **argv)
             opts.selection = value("--selection=");
         } else if (startsWith(arg, "--plans=")) {
             opts.plans = splitString(value("--plans="), ',');
+        } else if (startsWith(arg, "--checkpoint=")) {
+            opts.checkpointPath = value("--checkpoint=");
         } else {
             std::fprintf(stderr, "unknown worker option '%s'\n",
                          arg.c_str());
@@ -1130,6 +1268,8 @@ coordinatorMain(int argc, char **argv)
             opts.benches = splitString(value("--bench="), ',');
         } else if (startsWith(arg, "--bench-out=")) {
             opts.benchOutDir = value("--bench-out=");
+        } else if (startsWith(arg, "--checkpoint-dir=")) {
+            opts.checkpointDir = value("--checkpoint-dir=");
         } else if (startsWith(arg, "--self=")) {
             opts.self = value("--self=");
         } else if (startsWith(arg, "--trace-out=")) {
@@ -1182,6 +1322,14 @@ coordinatorMain(int argc, char **argv)
         mkdir(opts.benchOutDir.c_str(), 0755) != 0 && errno != EEXIST) {
         std::fprintf(stderr, "cannot create bench-out dir '%s': %s\n",
                      opts.benchOutDir.c_str(), std::strerror(errno));
+        return 1;
+    }
+    if (!opts.checkpointDir.empty() &&
+        mkdir(opts.checkpointDir.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+        std::fprintf(stderr,
+                     "cannot create checkpoint dir '%s': %s\n",
+                     opts.checkpointDir.c_str(), std::strerror(errno));
         return 1;
     }
     if (opts.self.empty()) {

@@ -20,13 +20,24 @@
  * (address-check bypass) must be caught by the checker (PanicError).
  *
  *   elag_soak [--programs=N] [--seed=N] [--plans=a,b,...]
- *             [--json=FILE] [--max-inst=N] [--max-cycles=N] [--quiet]
+ *             [--json=FILE] [--max-inst=N] [--max-cycles=N]
+ *             [--checkpoint=FILE] [--quiet]
+ *
+ * With --checkpoint=FILE the soak is resumable: a tiny progress
+ * checkpoint (programs completed + running totals + the run identity)
+ * is written atomically after every program and flushed once more on
+ * SIGINT/SIGTERM before exiting 130/143. Restarting with the same
+ * flags and the same --checkpoint file fast-forwards the program
+ * generator past the soaked prefix and continues; a checkpoint whose
+ * identity does not match the current flags, or that fails its CRC,
+ * is rejected with a warning and the soak starts clean. The file is
+ * removed on clean completion.
  *
  * Exit codes: 0 all green, 1 differential mismatch or failed
  * self-check, 2 usage (including malformed numeric options), 70
  * unexpected invariant violation, 75 unexpected watchdog timeout,
  * 130/143 interrupted by SIGINT/SIGTERM (the partial JSON artifact
- * is still flushed).
+ * and the progress checkpoint are still flushed).
  */
 
 #include <csignal>
@@ -36,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.hh"
 #include "sim/simulator.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
@@ -56,6 +68,7 @@ struct Options
     std::string jsonPath;
     uint64_t maxInst = 20'000'000;
     uint64_t maxCycles = 100'000'000;
+    std::string checkpointPath;
 };
 
 void
@@ -64,8 +77,8 @@ usage()
     std::fprintf(stderr,
                  "usage: elag_soak [--programs=N] [--seed=N]\n"
                  "                 [--plans=a,b,...] [--json=FILE]\n"
-                 "                 [--max-inst=N] [--max-cycles=N]"
-                 " [--quiet]\n");
+                 "                 [--max-inst=N] [--max-cycles=N]\n"
+                 "                 [--checkpoint=FILE] [--quiet]\n");
 }
 
 /** Strict numeric option parse; malformed values are usage errors. */
@@ -107,6 +120,8 @@ parseArgs(int argc, char **argv, Options &opts)
         } else if (startsWith(arg, "--max-cycles=")) {
             if (!numericOption(arg, "--max-cycles=", opts.maxCycles))
                 return false;
+        } else if (startsWith(arg, "--checkpoint=")) {
+            opts.checkpointPath = value("--checkpoint=");
         } else if (arg == "--quiet") {
             setQuiet(true);
         } else {
@@ -235,6 +250,72 @@ checkerSelfCheck()
 }
 
 /**
+ * Persist soak progress: the run identity (so a checkpoint is never
+ * silently applied to a differently-parameterised soak) plus the
+ * completed-program count and running totals. Atomic via the ckpt
+ * container, so SIGKILL mid-write leaves the previous snapshot.
+ */
+void
+writeSoakCheckpoint(const Options &opts, const SoakTotals &totals,
+                    uint64_t programs_completed)
+{
+    ckpt::CheckpointWriter w;
+    ckpt::Writer &meta = w.section("META");
+    meta.varint(opts.seed);
+    meta.varint(opts.programs);
+    meta.varint(opts.maxInst);
+    meta.varint(opts.maxCycles);
+    meta.varint(opts.plans.size());
+    for (const std::string &plan : opts.plans)
+        meta.str(plan);
+    ckpt::Writer &prog = w.section("PROG");
+    prog.varint(programs_completed);
+    prog.varint(totals.runs);
+    prog.varint(totals.faultsFired);
+    prog.varint(totals.eventsChecked);
+    prog.varint(totals.timingMoved);
+    prog.varint(totals.mismatches);
+    w.writeFile(opts.checkpointPath);
+}
+
+/**
+ * Restore soak progress from @p opts.checkpointPath. Throws CkptError
+ * (Mismatch when the checkpoint belongs to a soak with different
+ * flags; Torn/Corrupt/VersionMismatch/Io per the container rules).
+ */
+uint64_t
+loadSoakCheckpoint(const Options &opts, SoakTotals &totals)
+{
+    auto r = ckpt::CheckpointReader::fromFile(opts.checkpointPath);
+    ckpt::Reader meta = r.section("META");
+    bool same = meta.varint() == opts.seed &&
+                meta.varint() == opts.programs &&
+                meta.varint() == opts.maxInst &&
+                meta.varint() == opts.maxCycles &&
+                meta.varint() == opts.plans.size();
+    if (same) {
+        for (const std::string &plan : opts.plans)
+            same = same && meta.str() == plan;
+    }
+    if (!same)
+        throw ckpt::CkptError(
+            ckpt::ErrorKind::Mismatch,
+            "checkpoint belongs to a soak with different parameters");
+    ckpt::Reader prog = r.section("PROG");
+    uint64_t programs_completed = prog.varint();
+    totals.runs = prog.varint();
+    totals.faultsFired = prog.varint();
+    totals.eventsChecked = prog.varint();
+    totals.timingMoved = prog.varint();
+    totals.mismatches = prog.varint();
+    if (programs_completed > opts.programs)
+        throw ckpt::CkptError(
+            ckpt::ErrorKind::Mismatch,
+            "checkpoint records more programs than this soak runs");
+    return programs_completed;
+}
+
+/**
  * Write the JSON artifact (complete or partial). Partial artifacts
  * carry "interrupted": true plus the count actually soaked, so a
  * supervisor can tell a clean report from a salvaged one.
@@ -303,8 +384,35 @@ main(int argc, char **argv)
     verify::ProgramGen gen(opts.seed);
     uint64_t programs_completed = 0;
 
+    // Resume an interrupted soak: restore totals and fast-forward the
+    // program generator past the already-soaked prefix. An unusable
+    // checkpoint (torn, corrupt, other flags) is never restored — the
+    // soak starts clean and will overwrite it at the next snapshot.
+    if (!opts.checkpointPath.empty() &&
+        ckpt::fileExists(opts.checkpointPath)) {
+        try {
+            programs_completed = loadSoakCheckpoint(opts, totals);
+            gen.skip(programs_completed);
+            std::fprintf(
+                stderr,
+                "elag_soak: resumed from '%s' at %llu/%llu programs\n",
+                opts.checkpointPath.c_str(),
+                static_cast<unsigned long long>(programs_completed),
+                static_cast<unsigned long long>(opts.programs));
+        } catch (const ckpt::CkptError &e) {
+            std::fprintf(stderr,
+                         "elag_soak: unusable checkpoint '%s' (%s: "
+                         "%s); starting clean\n",
+                         opts.checkpointPath.c_str(),
+                         ckpt::name(e.kind()), e.what());
+            totals = SoakTotals{};
+            programs_completed = 0;
+        }
+    }
+
     try {
-        for (uint64_t p = 0; p < opts.programs; ++p) {
+        for (uint64_t p = programs_completed; p < opts.programs;
+             ++p) {
             if (gStopSignal) {
                 std::fprintf(
                     stderr,
@@ -312,6 +420,17 @@ main(int argc, char **argv)
                     "flushing partial artifact\n",
                     static_cast<int>(gStopSignal),
                     static_cast<unsigned long long>(p));
+                if (!opts.checkpointPath.empty()) {
+                    try {
+                        writeSoakCheckpoint(opts, totals,
+                                            programs_completed);
+                    } catch (const ckpt::CkptError &e) {
+                        std::fprintf(
+                            stderr,
+                            "elag_soak: checkpoint flush failed: %s\n",
+                            e.what());
+                    }
+                }
                 writeJsonArtifact(opts, totals, programs_completed,
                                   static_cast<int>(gStopSignal));
                 return 128 + static_cast<int>(gStopSignal);
@@ -386,6 +505,20 @@ main(int argc, char **argv)
                 }
             }
             ++programs_completed;
+            // Snapshot after every program: the file is tiny next to
+            // the plans x machines simulations it summarises, and a
+            // SIGKILL then loses at most one program of soak time.
+            if (!opts.checkpointPath.empty()) {
+                try {
+                    writeSoakCheckpoint(opts, totals,
+                                        programs_completed);
+                } catch (const ckpt::CkptError &e) {
+                    std::fprintf(stderr,
+                                 "elag_soak: checkpoint write failed "
+                                 "(%s); continuing unprotected\n",
+                                 e.what());
+                }
+            }
             if ((p + 1) % 50 == 0) {
                 std::fprintf(
                     stderr, "  %llu/%llu programs soaked\n",
@@ -420,5 +553,7 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(totals.timingMoved));
 
     writeJsonArtifact(opts, totals, programs_completed, 0);
+    if (!opts.checkpointPath.empty())
+        std::remove(opts.checkpointPath.c_str());
     return 0;
 }

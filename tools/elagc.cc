@@ -35,11 +35,27 @@
  *   elagc --seed=N                    fault-injection seed
  *   elagc --max-cycles=N              watchdog: abort past cycle N
  *
+ * Crash-safe checkpointing (stats runs):
+ *   elagc --checkpoint-dir=D prog.c   periodic durable snapshots into
+ *                                     D, auto-resuming from the run's
+ *                                     own snapshot when one exists
+ *   elagc --checkpoint-every=N        snapshot every N retired
+ *                                     instructions (default 5M)
+ *   elagc --resume-from=FILE prog.c   resume from a specific snapshot;
+ *                                     a torn/corrupt/mismatched file
+ *                                     is a typed error (exit 65)
+ *   On SIGTERM/SIGINT a checkpointed run flushes a final snapshot and
+ *   exits 143/130, so an interrupted run is resumable. Resumed runs
+ *   produce byte-identical --json-stats to uninterrupted ones.
+ *
  * Exit codes: 0 success (or the program's exit value), 1 user error
- * (FatalError), 2 usage, 3 instruction cap reached, 70 invariant
- * violation (PanicError), 75 watchdog timeout (SimTimeoutError).
+ * (FatalError), 2 usage, 3 instruction cap reached, 65 unusable
+ * checkpoint under --resume-from, 70 invariant violation
+ * (PanicError), 75 watchdog timeout (SimTimeoutError), 130/143
+ * checkpointed run interrupted by SIGINT/SIGTERM.
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -48,8 +64,10 @@
 
 #include <optional>
 
+#include "ckpt/checkpoint.hh"
 #include "isa/disasm.hh"
 #include "obs/span.hh"
+#include "sim/ckpt_run.hh"
 #include "sim/simulator.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
@@ -85,7 +103,20 @@ struct Options
     std::string inject; ///< fault plan name, empty for none
     uint64_t seed = 0x853c49e6748fea9bULL; ///< the default PCG32 seed
     uint64_t maxCycles = 0; ///< watchdog; 0 = unlimited
+    // Crash-safe checkpointing.
+    std::string checkpointDir;  ///< snapshot dir; empty = disabled
+    uint64_t checkpointEvery = 0; ///< retires between snapshots
+    std::string resumeFrom;     ///< explicit snapshot to resume from
 };
+
+/** Last delivery of SIGINT/SIGTERM to a checkpointed run. */
+volatile std::sig_atomic_t signalSeen = 0;
+
+extern "C" void
+onSignal(int sig)
+{
+    signalSeen = sig;
+}
 
 void
 usage()
@@ -101,7 +132,10 @@ usage()
                  "all-early]\n"
                  "             [--table=N] [--regs=N] [--max-inst=N]\n"
                  "             [--verify-invariants] [--inject=PLAN]\n"
-                 "             [--seed=N] [--max-cycles=N]"
+                 "             [--seed=N] [--max-cycles=N]\n"
+                 "             [--checkpoint-dir=D] "
+                 "[--checkpoint-every=N]\n"
+                 "             [--resume-from=FILE]"
                  " file.c\n");
 }
 
@@ -179,6 +213,14 @@ parseArgs(int argc, char **argv, Options &opts)
         } else if (startsWith(arg, "--max-cycles=")) {
             if (!numericOption(arg, "--max-cycles=", opts.maxCycles))
                 return false;
+        } else if (startsWith(arg, "--checkpoint-dir=")) {
+            opts.checkpointDir = value("--checkpoint-dir=");
+        } else if (startsWith(arg, "--checkpoint-every=")) {
+            if (!numericOption(arg, "--checkpoint-every=",
+                               opts.checkpointEvery))
+                return false;
+        } else if (startsWith(arg, "--resume-from=")) {
+            opts.resumeFrom = value("--resume-from=");
         } else if (!startsWith(arg, "--")) {
             opts.file = arg;
         } else {
@@ -387,11 +429,109 @@ main(int argc, char **argv)
             if (opts.verifyInvariants)
                 observers.push_back(&checker);
 
-            auto base = sim::runTimed(
-                prog, pipeline::MachineConfig::baseline(),
-                opts.maxInst, {}, watchdog);
-            auto timed = sim::runTimed(prog, mcfg, opts.maxInst,
-                                       observers, watchdog);
+            sim::TimedResult base, timed;
+            const bool checkpointed = !opts.checkpointDir.empty() ||
+                                      !opts.resumeFrom.empty() ||
+                                      opts.checkpointEvery > 0;
+            if (!checkpointed) {
+                base = sim::runTimed(
+                    prog, pipeline::MachineConfig::baseline(),
+                    opts.maxInst, {}, watchdog);
+                timed = sim::runTimed(prog, mcfg, opts.maxInst,
+                                      observers, watchdog);
+            } else {
+                std::signal(SIGINT, onSignal);
+                std::signal(SIGTERM, onSignal);
+
+                verify::InvariantChecker *chk =
+                    opts.verifyInvariants ? &checker : nullptr;
+                verify::FaultInjector *inj =
+                    injector ? &*injector : nullptr;
+                auto baselineCfg = pipeline::MachineConfig::baseline();
+
+                sim::CkptPolicy policy;
+                policy.everyRetires = opts.checkpointEvery;
+                policy.interrupted = [] { return signalSeen != 0; };
+
+                // Auto-resume snapshots are named by run identity, so
+                // re-running the identical command finds its own file
+                // and nothing else's.
+                std::string resume = opts.resumeFrom;
+                if (!opts.checkpointDir.empty()) {
+                    sim::CkptRunKey key = sim::makeRunKey(
+                        prog, mcfg, baselineCfg, opts.maxInst,
+                        chk != nullptr, inj);
+                    policy.path = formatString(
+                        "%s/elagc-%016llx.ckpt",
+                        opts.checkpointDir.c_str(),
+                        static_cast<unsigned long long>(
+                            sim::hashRunKey(key)));
+                    if (resume.empty() &&
+                        ckpt::fileExists(policy.path)) {
+                        resume = policy.path;
+                    }
+                }
+
+                sim::CkptStatsOutcome outcome;
+                try {
+                    outcome = sim::runTimedCheckpointed(
+                        prog, mcfg, baselineCfg, opts.maxInst,
+                        &telemetry, chk, inj, watchdog, policy,
+                        resume);
+                } catch (const ckpt::CkptError &e) {
+                    if (!opts.resumeFrom.empty()) {
+                        // Explicit resume: rejection is fatal and
+                        // typed, never silently restored past.
+                        std::fprintf(
+                            stderr,
+                            "elagc: cannot resume from '%s' (%s): "
+                            "%s\n",
+                            opts.resumeFrom.c_str(),
+                            ckpt::name(e.kind()), e.what());
+                        writeErrorDoc(opts, "bad_checkpoint",
+                                      e.what(), 65);
+                        return 65;
+                    }
+                    // Auto-resume: an unusable snapshot costs the
+                    // saved progress, not the run. A failed restore
+                    // may have partially mutated the observers, so
+                    // reset them before the clean attempt.
+                    warn("unusable checkpoint '%s' (%s): %s; "
+                         "starting clean",
+                         resume.c_str(), ckpt::name(e.kind()),
+                         e.what());
+                    telemetry.reset();
+                    checker = verify::InvariantChecker{};
+                    if (injector) {
+                        injector.emplace(
+                            verify::planByName(opts.inject),
+                            opts.seed);
+                    }
+                    outcome = sim::runTimedCheckpointed(
+                        prog, mcfg, baselineCfg, opts.maxInst,
+                        &telemetry, chk, inj, watchdog, policy, "");
+                }
+
+                if (outcome.interrupted) {
+                    int sig = static_cast<int>(signalSeen);
+                    std::fprintf(
+                        stderr,
+                        "elagc: interrupted by signal %d after %u "
+                        "snapshot(s); resume with the same command%s\n",
+                        sig, outcome.snapshots,
+                        policy.path.empty() ? ""
+                                            : (" or --resume-from=" +
+                                               policy.path)
+                                                  .c_str());
+                    return sig == SIGINT ? 130 : 143;
+                }
+                if (outcome.resumed) {
+                    inform("resumed from checkpoint '%s'",
+                           resume.c_str());
+                }
+                base = outcome.base;
+                timed = outcome.timed;
+            }
 
             if (opts.verifyInvariants) {
                 checker.finish(timed.pipe);

@@ -35,11 +35,14 @@
  * 2 usage.
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include <sys/stat.h>
 
 #include "cache/persistent_store.hh"
 #include "obs/span.hh"
@@ -70,6 +73,10 @@ struct Options
     uint32_t quarantineThreshold = 3;
     /** Persistent result cache directory; empty disables it. */
     std::string cacheDir;
+    /** Mid-request simulate checkpoints; empty disables them. */
+    std::string checkpointDir;
+    /** Retires between request snapshots (0 = the 5M default). */
+    uint64_t checkpointEvery = 0;
     /** RLIMIT_AS per shard worker, in MiB; 0 = unlimited. */
     uint32_t shardMemMb = 0;
     /** Hidden: run as a shard worker of a supervisor. */
@@ -90,6 +97,8 @@ usage()
                  "             [--deadline-ms=N] [--cache-capacity=N]\n"
                  "             [--shards=N] [--quarantine-threshold=N]\n"
                  "             [--cache-dir=PATH] [--shard-mem-mb=N]\n"
+                 "             [--checkpoint-dir=PATH] "
+                 "[--checkpoint-every=N]\n"
                  "             [--trace=CH[,CH...]]\n"
                  "             [--trace-out=FILE] [--quiet]\n");
 }
@@ -173,6 +182,18 @@ parseArgs(int argc, char **argv, Options &opts)
                              "elagd: --cache-dir needs a path\n");
                 return false;
             }
+        } else if (startsWith(arg, "--checkpoint-dir=")) {
+            opts.checkpointDir = value("--checkpoint-dir=");
+            if (opts.checkpointDir.empty()) {
+                std::fprintf(stderr,
+                             "elagd: --checkpoint-dir needs a "
+                             "path\n");
+                return false;
+            }
+        } else if (startsWith(arg, "--checkpoint-every=")) {
+            if (!numericOption(arg, "--checkpoint-every=",
+                               opts.checkpointEvery))
+                return false;
         } else if (startsWith(arg, "--shard-mem-mb=")) {
             if (!numericOption(arg, "--shard-mem-mb=",
                                opts.shardMemMb))
@@ -245,6 +266,8 @@ runServer(const Options &opts)
     config.queueDepth = opts.queueDepth;
     config.defaultDeadlineMs = opts.deadlineMs;
     config.persist = persist.get();
+    config.checkpointDir = opts.checkpointDir;
+    config.checkpointEvery = opts.checkpointEvery;
 
     serve::Server server(config);
     try {
@@ -320,6 +343,17 @@ runSupervisor(const Options &opts)
             (unsigned long long)opts.cacheCapacity));
         if (!opts.cacheDir.empty())
             argv.push_back("--cache-dir=" + opts.cacheDir);
+        // Workers share the checkpoint directory: a restarted
+        // worker handed a retried request picks up the snapshot its
+        // dead predecessor left there.
+        if (!opts.checkpointDir.empty()) {
+            argv.push_back("--checkpoint-dir=" + opts.checkpointDir);
+            if (opts.checkpointEvery) {
+                argv.push_back(formatString(
+                    "--checkpoint-every=%llu",
+                    (unsigned long long)opts.checkpointEvery));
+            }
+        }
         return argv;
     };
 
@@ -374,6 +408,14 @@ main(int argc, char **argv)
     if (opts.jobs)
         parallel::setJobs(opts.jobs);
     sim::RunCache::instance().setCapacity(opts.cacheCapacity);
+    if (!opts.checkpointDir.empty() &&
+        mkdir(opts.checkpointDir.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+        std::fprintf(stderr,
+                     "elagd: cannot create checkpoint dir '%s': %s\n",
+                     opts.checkpointDir.c_str(), std::strerror(errno));
+        return 1;
+    }
 
     try {
         return opts.shards ? runSupervisor(opts) : runServer(opts);
