@@ -59,6 +59,45 @@ opcodeName(Opcode op)
     }
 }
 
+uint16_t
+decodeFlags(const Instruction &inst)
+{
+    uint16_t flags = flag::Valid;
+    if (inst.isLoad())
+        flags |= flag::Load;
+    if (inst.isStore())
+        flags |= flag::Store;
+    if (inst.isCondBranch())
+        flags |= flag::CondBranch;
+    if (inst.isControl())
+        flags |= flag::Control;
+    if (inst.writesIntReg())
+        flags |= flag::WritesInt;
+    if (inst.writesFpReg())
+        flags |= flag::WritesFp;
+    switch (inst.op) {
+      case Opcode::FADD:
+      case Opcode::FSUB:
+      case Opcode::FMUL:
+      case Opcode::FDIV:
+      case Opcode::FSTORE:
+      case Opcode::CVTFI:
+        flags |= flag::ReadsFp;
+        break;
+      default:
+        break;
+    }
+    if (inst.mode == AddrMode::BaseOffset)
+        flags |= flag::BaseOffset;
+    if (inst.width == MemWidth::Byte)
+        flags |= flag::WidthByte;
+    flags |= static_cast<uint16_t>(static_cast<uint16_t>(inst.spec)
+                                   << flag::SpecShift);
+    flags |= static_cast<uint16_t>(
+        static_cast<uint16_t>(inst.fuClass()) << flag::FuShift);
+    return flags;
+}
+
 std::string
 loadSpecName(LoadSpec spec)
 {

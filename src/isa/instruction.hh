@@ -265,6 +265,64 @@ Instruction::intSources(int &s1, int &s2) const
         s2 = -1;
 }
 
+/**
+ * Precomputed per-instruction predicate word.
+ *
+ * One bit (or small field) per question the per-retire hot paths ask
+ * of an instruction, so the timing model tests a cached word instead
+ * of re-walking the opcode switches above on every committed
+ * instruction. The word is a function of the whole Instruction (the
+ * register numbers matter: e.g. WritesInt is clear when rd is the
+ * hardwired-zero register), so it is computed once per static
+ * instruction by the predecoder and carried alongside the retire
+ * stream.
+ */
+namespace flag {
+
+/** Word was produced by decodeFlags (hand-built records leave 0). */
+constexpr uint16_t Valid = 1u << 0;
+constexpr uint16_t Load = 1u << 1;
+constexpr uint16_t Store = 1u << 2;
+constexpr uint16_t CondBranch = 1u << 3;
+constexpr uint16_t Control = 1u << 4;
+/** Writes an integer register (false when rd is r0). */
+constexpr uint16_t WritesInt = 1u << 5;
+/** Writes a floating-point register. */
+constexpr uint16_t WritesFp = 1u << 6;
+/** Reads at least one floating-point register. */
+constexpr uint16_t ReadsFp = 1u << 7;
+/** Memory access uses reg+imm addressing (clear: reg+reg). */
+constexpr uint16_t BaseOffset = 1u << 8;
+/** Memory access is byte-wide (clear: word). */
+constexpr uint16_t WidthByte = 1u << 9;
+/** LoadSpec, as a 2-bit field. */
+constexpr int SpecShift = 10;
+constexpr uint16_t SpecMask = 0x3u << SpecShift;
+/** FuClass, as a 3-bit field. */
+constexpr int FuShift = 12;
+constexpr uint16_t FuMask = 0x7u << FuShift;
+
+} // namespace flag
+
+/** Compute the full flag word (always has flag::Valid set). */
+uint16_t decodeFlags(const Instruction &inst);
+
+/** The FuClass field of a flag word. */
+inline FuClass
+flagFuClass(uint16_t flags)
+{
+    return static_cast<FuClass>((flags & flag::FuMask) >>
+                                flag::FuShift);
+}
+
+/** The LoadSpec field of a flag word. */
+inline LoadSpec
+flagLoadSpec(uint16_t flags)
+{
+    return static_cast<LoadSpec>((flags & flag::SpecMask) >>
+                                 flag::SpecShift);
+}
+
 /** Mnemonic for an opcode (e.g. "add", "ld_p"). */
 std::string opcodeName(Opcode op);
 

@@ -13,6 +13,14 @@ Cache::Cache(const CacheConfig &config)
     elag_assert(cfg.sizeBytes % (cfg.blockSize * cfg.assoc) == 0);
     numSets = cfg.sizeBytes / (cfg.blockSize * cfg.assoc);
     elag_assert(numSets > 0);
+    pow2Geometry = std::has_single_bit(cfg.blockSize) &&
+                   std::has_single_bit(numSets);
+    if (pow2Geometry) {
+        blockShift = static_cast<uint32_t>(
+            std::countr_zero(cfg.blockSize));
+        setShift = static_cast<uint32_t>(std::countr_zero(numSets));
+        setMask = numSets - 1;
+    }
     lines.assign(static_cast<size_t>(numSets) * cfg.assoc, Line());
 }
 
@@ -102,14 +110,19 @@ Btb::Btb(uint32_t num_entries)
     : entries(num_entries), table(num_entries)
 {
     elag_assert(num_entries > 0);
+    pow2Entries = std::has_single_bit(entries);
+    if (pow2Entries) {
+        indexShift = static_cast<uint32_t>(std::countr_zero(entries));
+        indexMask = entries - 1;
+    }
 }
 
 Btb::Prediction
 Btb::predict(uint32_t pc) const
 {
-    const Entry &entry = table[pc % entries];
+    const Entry &entry = table[indexOf(pc)];
     Prediction pred;
-    if (entry.valid && entry.tag == pc / entries) {
+    if (entry.valid && entry.tag == tagOf(pc)) {
         pred.hit = true;
         pred.taken = entry.counter >= 2;
         pred.target = entry.target;
@@ -120,8 +133,8 @@ Btb::predict(uint32_t pc) const
 void
 Btb::update(uint32_t pc, bool taken, uint32_t target)
 {
-    Entry &entry = table[pc % entries];
-    uint32_t tag = pc / entries;
+    Entry &entry = table[indexOf(pc)];
+    uint32_t tag = tagOf(pc);
     if (!entry.valid || entry.tag != tag) {
         // Allocate on taken branches only; not-taken branches fall
         // through and need no BTB entry.

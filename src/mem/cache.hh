@@ -12,6 +12,7 @@
 #ifndef ELAG_MEM_CACHE_HH
 #define ELAG_MEM_CACHE_HH
 
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -99,14 +100,31 @@ class Cache
         uint64_t fillDone = 0;
     };
 
-    uint32_t blockFor(uint32_t addr) const { return addr / cfg.blockSize; }
-    uint32_t setFor(uint32_t block) const { return block % numSets; }
-    uint32_t tagFor(uint32_t block) const { return block / numSets; }
+    // The geometry divisions sit on the per-retired-instruction hot
+    // path (one I$ access per instruction); with the usual
+    // power-of-two geometry they reduce to shifts and masks.
+    uint32_t blockFor(uint32_t addr) const
+    {
+        return pow2Geometry ? addr >> blockShift
+                            : addr / cfg.blockSize;
+    }
+    uint32_t setFor(uint32_t block) const
+    {
+        return pow2Geometry ? (block & setMask) : block % numSets;
+    }
+    uint32_t tagFor(uint32_t block) const
+    {
+        return pow2Geometry ? block >> setShift : block / numSets;
+    }
     Line *findLine(uint32_t addr);
     const Line *findLine(uint32_t addr) const;
 
     CacheConfig cfg;
     uint32_t numSets;
+    bool pow2Geometry = false;
+    uint32_t blockShift = 0;
+    uint32_t setShift = 0;
+    uint32_t setMask = 0;
     std::vector<Line> lines; ///< numSets * assoc, set-major
     uint64_t numHits = 0;
     uint64_t numMisses = 0;
@@ -150,7 +168,20 @@ class Btb
         uint8_t counter = 0; ///< 2-bit saturating
     };
 
+    // Two lookups per retired branch; shift/mask when pow2-sized.
+    uint32_t indexOf(uint32_t pc) const
+    {
+        return pow2Entries ? (pc & indexMask) : pc % entries;
+    }
+    uint32_t tagOf(uint32_t pc) const
+    {
+        return pow2Entries ? pc >> indexShift : pc / entries;
+    }
+
     uint32_t entries;
+    bool pow2Entries = false;
+    uint32_t indexShift = 0;
+    uint32_t indexMask = 0;
     std::vector<Entry> table;
 };
 

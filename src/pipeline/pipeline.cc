@@ -256,15 +256,16 @@ Pipeline::bumpOutcome(SpecCounters &ctr, SpecOutcome outcome)
 }
 
 uint64_t
-Pipeline::handleLoad(const RetiredInst &ri, uint64_t e)
+Pipeline::handleLoad(const RetiredInst &ri, uint64_t e,
+                     uint16_t flags)
 {
     const Instruction &inst = ri.inst;
     uint32_t ca = ri.effAddr;
-    uint32_t bytes = static_cast<uint32_t>(inst.width);
+    uint32_t bytes = (flags & isa::flag::WidthByte) ? 1u : 4u;
     uint64_t id1 = e - 2;
     uint64_t id2 = e - 1;
-    int base = inst.baseReg();
-    int index = inst.indexReg();
+    int base = inst.rs1;
+    int index = (flags & isa::flag::BaseOffset) ? -1 : inst.rs2;
 
     LoadPath path = routeLoad(inst, id1, base, index);
     SpecCounters &ctr = countersFor(path);
@@ -413,9 +414,7 @@ Pipeline::handleLoad(const RetiredInst &ri, uint64_t e)
                 // delivering only by MEM (latency 1) — the
                 // Austin-Sohi limitation the paper describes in
                 // Section 2.2.
-                ready = inst.mode == isa::AddrMode::BaseOffset
-                            ? e
-                            : e + 1;
+                ready = (flags & isa::flag::BaseOffset) ? e : e + 1;
             }
             if (outcome != SpecOutcome::Forwarded)
                 ++stats_.extraAccesses;
@@ -424,7 +423,7 @@ Pipeline::handleLoad(const RetiredInst &ri, uint64_t e)
         // the base register into the register cache.
         if (base > 0) {
             uint32_t base_value =
-                inst.mode == isa::AddrMode::BaseOffset
+                (flags & isa::flag::BaseOffset)
                     ? ca - static_cast<uint32_t>(inst.imm)
                     : 0;
             regCache.bind(base, base_value, id1);
@@ -468,13 +467,14 @@ Pipeline::handleLoad(const RetiredInst &ri, uint64_t e)
 }
 
 void
-Pipeline::handleBranch(const RetiredInst &ri, uint64_t e)
+Pipeline::handleBranch(const RetiredInst &ri, uint64_t e,
+                       uint16_t flags)
 {
     const Instruction &inst = ri.inst;
     uint64_t cur_fetch = nextFetch;
     mem::Btb::Prediction pred = btb.predict(ri.pc);
 
-    if (inst.isCondBranch()) {
+    if (flags & isa::flag::CondBranch) {
         ++stats_.branches;
         bool predicted_taken = pred.hit && pred.taken;
         bool correct =
@@ -540,61 +540,75 @@ Pipeline::retire(const RetiredInst &ri)
     e = std::max(e, nextIssue);
     uint64_t ready_to_issue = e;
 
-    // Integer source dependences.
+    // The emulator's predecoded stream supplies the flag word and the
+    // pre-resolved integer sources; hand-built records (tests, replay
+    // tooling) arrive without flag::Valid and decode here instead.
+    uint16_t flags = ri.flags;
     int s1, s2;
-    inst.intSources(s1, s2);
+    if (flags & isa::flag::Valid) {
+        s1 = ri.src1;
+        s2 = ri.src2;
+    } else {
+        flags = isa::decodeFlags(inst);
+        inst.intSources(s1, s2);
+    }
+
+    // Integer source dependences.
     if (s1 > 0)
         e = std::max(e, intReady[s1]);
     if (s2 > 0)
         e = std::max(e, intReady[s2]);
     // Floating-point source dependences.
-    switch (inst.op) {
-      case Opcode::FADD: case Opcode::FSUB:
-      case Opcode::FMUL: case Opcode::FDIV:
-        e = std::max({e, fpReady[inst.rs1], fpReady[inst.rs2]});
-        break;
-      case Opcode::FSTORE:
-        e = std::max(e, fpReady[inst.rs2]);
-        break;
-      case Opcode::CVTFI:
-        e = std::max(e, fpReady[inst.rs1]);
-        break;
-      default:
-        break;
+    if (flags & isa::flag::ReadsFp) {
+        switch (inst.op) {
+          case Opcode::FADD: case Opcode::FSUB:
+          case Opcode::FMUL: case Opcode::FDIV:
+            e = std::max({e, fpReady[inst.rs1], fpReady[inst.rs2]});
+            break;
+          case Opcode::FSTORE:
+            e = std::max(e, fpReady[inst.rs2]);
+            break;
+          case Opcode::CVTFI:
+            e = std::max(e, fpReady[inst.rs1]);
+            break;
+          default:
+            break;
+        }
     }
 
     if (e > ready_to_issue && hasObservers_)
         notifyStall(ri, StallKind::RegInterlock, e - ready_to_issue);
 
-    e = scheduleIssue(e, inst.fuClass());
+    e = scheduleIssue(e, isa::flagFuClass(flags));
 
     ELAG_TRACE_EVT(tcPipeline, e, "retire pc=%u %s", ri.pc,
                    isa::disassemble(inst).c_str());
 
     uint64_t completion = e + 2; // WB
 
-    if (inst.isLoad()) {
+    if (flags & isa::flag::Load) {
         ++stats_.loads;
-        uint64_t ready = handleLoad(ri, e);
-        if (inst.op == Opcode::FLOAD)
+        uint64_t ready = handleLoad(ri, e, flags);
+        if (flags & isa::flag::WritesFp)
             fpReady[inst.rd] = ready;
         else if (inst.rd != 0)
             intReady[inst.rd] = ready;
         completion = std::max(completion, ready);
-    } else if (inst.isStore()) {
+    } else if (flags & isa::flag::Store) {
         ++stats_.stores;
         ++use(e + 1).dcachePorts;
         dcache.access(ri.effAddr, e + 1, cfg.dcache.writeAllocate);
         inFlightStores.push_back(
-            {ri.effAddr, static_cast<uint32_t>(inst.width), e, e + 1});
-    } else if (inst.isControl()) {
-        handleBranch(ri, e);
+            {ri.effAddr, (flags & isa::flag::WidthByte) ? 1u : 4u, e,
+             e + 1});
+    } else if (flags & isa::flag::Control) {
+        handleBranch(ri, e, flags);
         if (inst.op == Opcode::JAL && inst.rd != 0)
             intReady[inst.rd] = e + 1;
-    } else if (inst.writesFpReg()) {
+    } else if (flags & isa::flag::WritesFp) {
         fpReady[inst.rd] =
             e + static_cast<uint64_t>(latencyOf(inst));
-    } else if (inst.writesIntReg()) {
+    } else if (flags & isa::flag::WritesInt) {
         intReady[inst.rd] =
             e + static_cast<uint64_t>(latencyOf(inst));
         completion = std::max(completion, intReady[inst.rd]);

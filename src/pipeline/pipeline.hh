@@ -56,6 +56,15 @@ struct RetiredInst
     bool taken = false;
     /** Next PC actually executed. */
     uint32_t nextPc = 0;
+    /**
+     * Precomputed isa::decodeFlags(inst) word and pre-resolved
+     * integer source registers, filled by the emulator's predecoded
+     * stream. Hand-built records may leave them zeroed (flag::Valid
+     * clear); retire() then decodes on the spot.
+     */
+    uint16_t flags = 0;
+    int8_t src1 = -1;
+    int8_t src2 = -1;
 };
 
 /** The timing model. */
@@ -145,8 +154,10 @@ class Pipeline
     /** Book one verdict into @p ctr (failure cause or forward). */
     static void bumpOutcome(SpecCounters &ctr, SpecOutcome outcome);
     /** Process load speculation; returns dest-ready cycle. */
-    uint64_t handleLoad(const RetiredInst &ri, uint64_t e);
-    void handleBranch(const RetiredInst &ri, uint64_t e);
+    uint64_t handleLoad(const RetiredInst &ri, uint64_t e,
+                        uint16_t flags);
+    void handleBranch(const RetiredInst &ri, uint64_t e,
+                      uint16_t flags);
     void notifyStall(const RetiredInst &ri, StallKind kind,
                      uint64_t cycles);
 

@@ -14,6 +14,11 @@ AddressTable::AddressTable(uint32_t num_entries,
       table(num_entries)
 {
     elag_assert(num_entries > 0);
+    pow2Entries = std::has_single_bit(entries);
+    if (pow2Entries) {
+        indexShift = static_cast<uint32_t>(std::countr_zero(entries));
+        indexMask = entries - 1;
+    }
 }
 
 std::optional<uint32_t>

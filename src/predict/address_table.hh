@@ -6,6 +6,7 @@
 #ifndef ELAG_PREDICT_ADDRESS_TABLE_HH
 #define ELAG_PREDICT_ADDRESS_TABLE_HH
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -105,10 +106,21 @@ class AddressTable
         StrideFsm fsm;
     };
 
-    uint32_t indexOf(uint32_t pc) const { return pc % entries; }
-    uint32_t tagOf(uint32_t pc) const { return pc / entries; }
+    // Probed and trained once per speculated load; shift/mask when
+    // the table is pow2-sized (it is for every paper configuration).
+    uint32_t indexOf(uint32_t pc) const
+    {
+        return pow2Entries ? (pc & indexMask) : pc % entries;
+    }
+    uint32_t tagOf(uint32_t pc) const
+    {
+        return pow2Entries ? pc >> indexShift : pc / entries;
+    }
 
     uint32_t entries;
+    bool pow2Entries = false;
+    uint32_t indexShift = 0;
+    uint32_t indexMask = 0;
     bool predictWhileLearning;
     verify::FaultInjector *faults = nullptr;
     std::vector<Entry> table;

@@ -52,6 +52,8 @@ constexpr const char *ShuttingDown = "shutting_down";
 constexpr const char *Timeout = "timeout";
 constexpr const char *Fatal = "fatal";
 constexpr const char *Panic = "panic";
+/** The *guest* program faulted (divide by zero, wild PC, ...). */
+constexpr const char *GuestTrap = "guest_trap";
 /** Content hash crashed workers too often; rejected pre-routing. */
 constexpr const char *Quarantined = "quarantined";
 /** The request crashed its worker and the failover retries too. */

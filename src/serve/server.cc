@@ -15,6 +15,7 @@
 #include "obs/build_info.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "sim/decoded.hh"
 #include "sim/run_cache.hh"
 #include "sim/simulator.hh"
 #include "support/json.hh"
@@ -454,6 +455,11 @@ Server::executeAdmitted(const Request &request)
             response = okResponse(request, router.execute(request));
         } catch (const sim::SimTimeoutError &e) {
             response = errorResponse(request, errtype::Timeout,
+                                     e.what());
+        } catch (const sim::GuestTrapError &e) {
+            // A guest fault is the submitted program's bug; the
+            // server stays up and answers with a typed frame.
+            response = errorResponse(request, errtype::GuestTrap,
                                      e.what());
         } catch (const FatalError &e) {
             response = errorResponse(request, errtype::Fatal,

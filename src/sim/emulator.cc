@@ -8,7 +8,8 @@ namespace elag {
 namespace sim {
 
 Emulator::Emulator(const isa::MachineProgram &program)
-    : prog(program), mem_(isa::MemorySize)
+    : prog(program), stream_(DecodedStream::get(program)),
+      mem_(isa::MemorySize)
 {
     reset();
 }
@@ -18,7 +19,7 @@ Emulator::reset()
 {
     std::memset(regs, 0, sizeof(regs));
     std::memset(fregs, 0, sizeof(fregs));
-    pc = prog.entry;
+    pc_ = prog.entry;
 
     // Load the global segment and patch the heap bump pointer, which
     // by construction is the last word of the segment.
@@ -39,7 +40,7 @@ Emulator::reg(int index) const
 void
 Emulator::serialize(ckpt::Writer &w) const
 {
-    w.u32(pc);
+    w.u32(pc_);
     for (int32_t reg : regs)
         w.i32(reg);
     for (float freg : fregs)
@@ -50,11 +51,15 @@ Emulator::serialize(ckpt::Writer &w) const
 void
 Emulator::restore(ckpt::Reader &r)
 {
-    pc = r.u32();
+    pc_ = r.u32();
     for (int32_t &reg : regs)
         reg = r.i32();
     for (float &freg : fregs)
         freg = r.f32();
+    // The dispatch loop reads regs[] unguarded and relies on the
+    // hardwired-zero register actually holding zero; re-pin it in
+    // case the checkpoint bytes were tampered with.
+    regs[0] = 0;
     mem_.restore(r);
 }
 

@@ -8,6 +8,25 @@
  * same committed stream drives the timing model and the address
  * profiler.
  *
+ * The emulator runs over a predecoded DecodedStream (sim/decoded.hh)
+ * rather than raw isa::Instruction records: handler specialization,
+ * operand pre-resolution, and the retire flag word all happen once
+ * per static instruction instead of once per committed instruction.
+ * Two dispatch loops share one set of handler bodies
+ * (sim/exec_loop.inc):
+ *
+ *  - runThreaded(): computed-goto threaded code, compiled in when the
+ *    ELAG_THREADED_DISPATCH build option is ON and the compiler
+ *    supports &&label (GCC/Clang). Each handler ends in its own
+ *    indirect jump, so the host branch predictor keys on the guest's
+ *    actual opcode-successor patterns.
+ *  - runSwitch(): a portable switch over the same handler indices,
+ *    always compiled, selectable at runtime (sim::setDispatchMode or
+ *    ELAG_DISPATCH=switch) for differential testing and A/B benches.
+ *
+ * Both loops produce identical observable behavior by construction;
+ * tests/test_dispatch.cc pins the stats documents byte-for-byte.
+ *
  * run() is a template over the observer callable so the per-retire
  * callback (typically "feed the pipeline timing model") inlines into
  * the dispatch loop; this loop executes once per simulated
@@ -21,13 +40,28 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "isa/program.hh"
 #include "isa/registers.hh"
 #include "mem/memory.hh"
 #include "pipeline/pipeline.hh"
+#include "sim/decoded.hh"
 #include "support/logging.hh"
+
+/**
+ * ELAG_EMU_CGOTO mirrors sim::threadedDispatchCompiled() at the
+ * preprocessor level: it gates the computed-goto loop's definition,
+ * which uses GNU &&label syntax a portable build cannot parse.
+ */
+#if defined(ELAG_THREADED_DISPATCH) && ELAG_THREADED_DISPATCH && \
+    (defined(__GNUC__) || defined(__clang__))
+#define ELAG_EMU_CGOTO 1
+#else
+#define ELAG_EMU_CGOTO 0
+#endif
 
 namespace elag {
 namespace sim {
@@ -68,6 +102,11 @@ class Emulator
     /**
      * Run until HALT or @p max_instructions, streaming every
      * committed instruction to @p observer in program order.
+     *
+     * Guest faults (divide by zero, wild PC, out-of-range effective
+     * address, undecodable opcode) raise GuestTrapError; the
+     * architected PC visible to serialize() is the faulting
+     * instruction's PC.
      */
     template <typename F>
     EmulationResult run(uint64_t max_instructions, F &&observer);
@@ -86,223 +125,336 @@ class Emulator
      * register files, and the full memory image. The program itself
      * is not captured; restore() requires an Emulator constructed
      * over the identical MachineProgram (checked by program hash at
-     * the checkpoint layer).
+     * the checkpoint layer). The predecoded stream is derived state
+     * and never serialized, so checkpoints taken under one dispatch
+     * mode restore under the other.
      */
     void serialize(ckpt::Writer &w) const;
     void restore(ckpt::Reader &r);
 
   private:
+    template <typename F>
+    EmulationResult runSwitch(uint64_t max_instructions, F &&observer);
+#if ELAG_EMU_CGOTO
+    template <typename F>
+    EmulationResult runThreaded(uint64_t max_instructions,
+                                F &&observer);
+#endif
+    template <typename F>
+    EmulationResult runLegacy(uint64_t max_instructions, F &&observer);
+
     void reset();
 
-    const isa::MachineProgram &prog;
+    // Owned copy, not a reference: the legacy loop decodes from the
+    // raw program at run time (the other engines only touch the
+    // shared DecodedStream), and callers may construct an Emulator
+    // from a temporary MachineProgram.
+    const isa::MachineProgram prog;
+    std::shared_ptr<const DecodedStream> stream_;
     mem::MainMemory mem_;
     int32_t regs[isa::NumIntRegs] = {};
     float fregs[isa::NumFpRegs] = {};
-    uint32_t pc = 0;
+    uint32_t pc_ = 0;
 };
 
 template <typename F>
 EmulationResult
 Emulator::run(uint64_t max_instructions, F &&observer)
 {
+    const DispatchMode mode = dispatchMode();
+    if (mode == DispatchMode::Legacy) [[unlikely]]
+        return runLegacy(max_instructions,
+                         std::forward<F>(observer));
+#if ELAG_EMU_CGOTO
+    if (mode != DispatchMode::Switch)
+        return runThreaded(max_instructions,
+                           std::forward<F>(observer));
+#endif
+    return runSwitch(max_instructions, std::forward<F>(observer));
+}
+
+template <typename F>
+EmulationResult
+Emulator::runSwitch(uint64_t max_instructions, F &&observer)
+{
+#define ELAG_EXEC_THREADED 0
+#include "sim/exec_loop.inc"
+#undef ELAG_EXEC_THREADED
+}
+
+#if ELAG_EMU_CGOTO
+template <typename F>
+EmulationResult
+Emulator::runThreaded(uint64_t max_instructions, F &&observer)
+{
+#define ELAG_EXEC_THREADED 1
+#include "sim/exec_loop.inc"
+#undef ELAG_EXEC_THREADED
+}
+#endif
+
+/**
+ * The pre-predecode reference interpreter: a decode-as-you-go switch
+ * over raw isa::Instruction records, kept alive (with the typed guest
+ * traps) as a third differential oracle — it shares no predecode
+ * machinery with the other modes — and as the same-runner baseline
+ * the dispatch A/B benches and the CI perf smoke measure against.
+ * RetiredInst records leave flag::Valid clear, so this mode also
+ * exercises the pipeline's decode-at-retire fallback.
+ */
+template <typename F>
+EmulationResult
+Emulator::runLegacy(uint64_t max_instructions, F &&observer)
+{
     using isa::Instruction;
     using isa::Opcode;
 
     EmulationResult result;
+    const uint32_t size = static_cast<uint32_t>(prog.code.size());
+    const uint64_t mem_size = mem_.size();
+    uint32_t pc = pc_;
 
-    auto read_reg = [&](int r) -> int32_t { return r == 0 ? 0 : regs[r]; };
+    if (pc > size) {
+        throw GuestTrapError(
+            GuestTrapKind::PcOutOfRange, pc,
+            formatString("emulator: PC 0x%x out of range", pc));
+    }
+    if (max_instructions == 0)
+        return result;
+
+    auto read_reg = [&](int r) -> int32_t {
+        return r == 0 ? 0 : regs[r];
+    };
     auto write_reg = [&](int r, int32_t v) {
         if (r != 0)
             regs[r] = v;
     };
-
-    while (result.instructions < max_instructions) {
-        if (pc >= prog.code.size())
-            fatal("emulator: PC 0x%x out of range", pc);
-        const Instruction &inst = prog.code[pc];
-
-        pipeline::RetiredInst ri;
-        ri.pc = pc;
-        ri.inst = inst;
-
-        uint32_t next_pc = pc + 1;
-        uint32_t a = static_cast<uint32_t>(read_reg(inst.rs1));
-        uint32_t b = static_cast<uint32_t>(read_reg(inst.rs2));
-        int32_t sa = static_cast<int32_t>(a);
-        int32_t sb = static_cast<int32_t>(b);
-        int32_t imm = inst.imm;
-
-        switch (inst.op) {
-          case Opcode::ADD: write_reg(inst.rd, sa + sb); break;
-          case Opcode::SUB: write_reg(inst.rd, sa - sb); break;
-          case Opcode::MUL:
-            write_reg(inst.rd,
-                      static_cast<int32_t>(a * b));
-            break;
-          case Opcode::DIV:
-            if (sb == 0)
-                fatal("emulator: divide by zero at pc %u", pc);
-            write_reg(inst.rd, (sa == INT32_MIN && sb == -1)
-                                   ? INT32_MIN
-                                   : sa / sb);
-            break;
-          case Opcode::REM:
-            if (sb == 0)
-                fatal("emulator: remainder by zero at pc %u", pc);
-            write_reg(inst.rd,
-                      (sa == INT32_MIN && sb == -1) ? 0 : sa % sb);
-            break;
-          case Opcode::AND: write_reg(inst.rd, sa & sb); break;
-          case Opcode::OR: write_reg(inst.rd, sa | sb); break;
-          case Opcode::XOR: write_reg(inst.rd, sa ^ sb); break;
-          case Opcode::SLL:
-            write_reg(inst.rd,
-                      static_cast<int32_t>(a << (b & 31)));
-            break;
-          case Opcode::SRL:
-            write_reg(inst.rd,
-                      static_cast<int32_t>(a >> (b & 31)));
-            break;
-          case Opcode::SRA: write_reg(inst.rd, sa >> (b & 31)); break;
-          case Opcode::SLT: write_reg(inst.rd, sa < sb); break;
-          case Opcode::SLTU: write_reg(inst.rd, a < b); break;
-          case Opcode::SEQ: write_reg(inst.rd, sa == sb); break;
-          case Opcode::ADDI: write_reg(inst.rd, sa + imm); break;
-          case Opcode::ANDI: write_reg(inst.rd, sa & imm); break;
-          case Opcode::ORI: write_reg(inst.rd, sa | imm); break;
-          case Opcode::XORI: write_reg(inst.rd, sa ^ imm); break;
-          case Opcode::SLLI:
-            write_reg(inst.rd,
-                      static_cast<int32_t>(a << (imm & 31)));
-            break;
-          case Opcode::SRLI:
-            write_reg(inst.rd,
-                      static_cast<int32_t>(a >> (imm & 31)));
-            break;
-          case Opcode::SRAI: write_reg(inst.rd, sa >> (imm & 31)); break;
-          case Opcode::SLTI: write_reg(inst.rd, sa < imm); break;
-          case Opcode::LUI:
-            write_reg(inst.rd, imm << 16);
-            break;
-          case Opcode::LOAD: {
-            uint32_t ea = inst.mode == isa::AddrMode::BaseOffset
-                              ? a + static_cast<uint32_t>(imm)
-                              : a + b;
-            ri.effAddr = ea;
-            int32_t value =
-                inst.width == isa::MemWidth::Byte
-                    ? static_cast<int32_t>(mem_.readByte(ea))
-                    : static_cast<int32_t>(mem_.readWord(ea));
-            write_reg(inst.rd, value);
-            break;
-          }
-          case Opcode::STORE: {
-            uint32_t ea = inst.mode == isa::AddrMode::BaseOffset
-                              ? a + static_cast<uint32_t>(imm)
-                              : a + b;
-            ri.effAddr = ea;
-            if (inst.width == isa::MemWidth::Byte)
-                mem_.writeByte(ea, static_cast<uint8_t>(b));
-            else
-                mem_.writeWord(ea, b);
-            break;
-          }
-          case Opcode::BEQ:
-            ri.taken = sa == sb;
-            break;
-          case Opcode::BNE:
-            ri.taken = sa != sb;
-            break;
-          case Opcode::BLT:
-            ri.taken = sa < sb;
-            break;
-          case Opcode::BGE:
-            ri.taken = sa >= sb;
-            break;
-          case Opcode::BLTU:
-            ri.taken = a < b;
-            break;
-          case Opcode::BGEU:
-            ri.taken = a >= b;
-            break;
-          case Opcode::JMP:
-            ri.taken = true;
-            next_pc = static_cast<uint32_t>(imm);
-            break;
-          case Opcode::JAL:
-            ri.taken = true;
-            write_reg(inst.rd, static_cast<int32_t>(pc + 1));
-            next_pc = static_cast<uint32_t>(imm);
-            break;
-          case Opcode::JR:
-            ri.taken = true;
-            next_pc = a;
-            break;
-          case Opcode::FADD:
-            fregs[inst.rd] = fregs[inst.rs1] + fregs[inst.rs2];
-            break;
-          case Opcode::FSUB:
-            fregs[inst.rd] = fregs[inst.rs1] - fregs[inst.rs2];
-            break;
-          case Opcode::FMUL:
-            fregs[inst.rd] = fregs[inst.rs1] * fregs[inst.rs2];
-            break;
-          case Opcode::FDIV:
-            fregs[inst.rd] = fregs[inst.rs1] / fregs[inst.rs2];
-            break;
-          case Opcode::FLOAD: {
-            uint32_t ea = inst.mode == isa::AddrMode::BaseOffset
-                              ? a + static_cast<uint32_t>(imm)
-                              : a + b;
-            ri.effAddr = ea;
-            uint32_t bits = mem_.readWord(ea);
-            float f;
-            std::memcpy(&f, &bits, 4);
-            fregs[inst.rd] = f;
-            break;
-          }
-          case Opcode::FSTORE: {
-            uint32_t ea = a + static_cast<uint32_t>(imm);
-            ri.effAddr = ea;
-            uint32_t bits;
-            std::memcpy(&bits, &fregs[inst.rs2], 4);
-            mem_.writeWord(ea, bits);
-            break;
-          }
-          case Opcode::CVTIF:
-            fregs[inst.rd] = static_cast<float>(sa);
-            break;
-          case Opcode::CVTFI:
-            write_reg(inst.rd,
-                      static_cast<int32_t>(fregs[inst.rs1]));
-            break;
-          case Opcode::PRINT:
-            result.output.push_back(sa);
-            break;
-          case Opcode::HALT:
-            ++result.instructions;
-            ri.nextPc = pc;
-            observer(ri);
-            result.halted = true;
-            result.exitValue = read_reg(isa::reg::Arg0);
-            return result;
-          case Opcode::NOP:
-            break;
-          default:
-            fatal("emulator: bad opcode at pc %u", pc);
+    auto check_ea = [&](uint32_t ea, uint32_t bytes) {
+        if (static_cast<uint64_t>(ea) + bytes > mem_size) {
+            throw GuestTrapError(
+                GuestTrapKind::BadAddress, pc,
+                formatString("emulator: memory access out of range "
+                             "at pc %u: addr=0x%x",
+                             pc, ea));
         }
+    };
 
-        // Conditional branches pick their target here.
-        if (inst.isCondBranch() && ri.taken)
-            next_pc = static_cast<uint32_t>(imm);
+    try {
+        while (result.instructions < max_instructions) {
+            if (pc >= size) {
+                throw GuestTrapError(
+                    GuestTrapKind::PcOutOfRange, pc,
+                    formatString("emulator: PC 0x%x out of range",
+                                 pc));
+            }
+            const Instruction &inst = prog.code[pc];
 
-        ri.nextPc = next_pc;
-        ++result.instructions;
-        observer(ri);
-        pc = next_pc;
+            pipeline::RetiredInst ri;
+            ri.pc = pc;
+            ri.inst = inst;
+
+            uint32_t next_pc = pc + 1;
+            uint32_t a = static_cast<uint32_t>(read_reg(inst.rs1));
+            uint32_t b = static_cast<uint32_t>(read_reg(inst.rs2));
+            int32_t sa = static_cast<int32_t>(a);
+            int32_t sb = static_cast<int32_t>(b);
+            int32_t imm = inst.imm;
+
+            switch (inst.op) {
+              case Opcode::ADD: write_reg(inst.rd, sa + sb); break;
+              case Opcode::SUB: write_reg(inst.rd, sa - sb); break;
+              case Opcode::MUL:
+                write_reg(inst.rd, static_cast<int32_t>(a * b));
+                break;
+              case Opcode::DIV:
+                if (sb == 0) {
+                    throw GuestTrapError(
+                        GuestTrapKind::DivideByZero, pc,
+                        formatString(
+                            "emulator: divide by zero at pc %u", pc));
+                }
+                write_reg(inst.rd, (sa == INT32_MIN && sb == -1)
+                                       ? INT32_MIN
+                                       : sa / sb);
+                break;
+              case Opcode::REM:
+                if (sb == 0) {
+                    throw GuestTrapError(
+                        GuestTrapKind::RemainderByZero, pc,
+                        formatString(
+                            "emulator: remainder by zero at pc %u",
+                            pc));
+                }
+                write_reg(inst.rd,
+                          (sa == INT32_MIN && sb == -1) ? 0 : sa % sb);
+                break;
+              case Opcode::AND: write_reg(inst.rd, sa & sb); break;
+              case Opcode::OR: write_reg(inst.rd, sa | sb); break;
+              case Opcode::XOR: write_reg(inst.rd, sa ^ sb); break;
+              case Opcode::SLL:
+                write_reg(inst.rd,
+                          static_cast<int32_t>(a << (b & 31)));
+                break;
+              case Opcode::SRL:
+                write_reg(inst.rd,
+                          static_cast<int32_t>(a >> (b & 31)));
+                break;
+              case Opcode::SRA:
+                write_reg(inst.rd, sa >> (b & 31));
+                break;
+              case Opcode::SLT: write_reg(inst.rd, sa < sb); break;
+              case Opcode::SLTU: write_reg(inst.rd, a < b); break;
+              case Opcode::SEQ: write_reg(inst.rd, sa == sb); break;
+              case Opcode::ADDI: write_reg(inst.rd, sa + imm); break;
+              case Opcode::ANDI: write_reg(inst.rd, sa & imm); break;
+              case Opcode::ORI: write_reg(inst.rd, sa | imm); break;
+              case Opcode::XORI: write_reg(inst.rd, sa ^ imm); break;
+              case Opcode::SLLI:
+                write_reg(inst.rd,
+                          static_cast<int32_t>(a << (imm & 31)));
+                break;
+              case Opcode::SRLI:
+                write_reg(inst.rd,
+                          static_cast<int32_t>(a >> (imm & 31)));
+                break;
+              case Opcode::SRAI:
+                write_reg(inst.rd, sa >> (imm & 31));
+                break;
+              case Opcode::SLTI: write_reg(inst.rd, sa < imm); break;
+              case Opcode::LUI: write_reg(inst.rd, imm << 16); break;
+              case Opcode::LOAD: {
+                uint32_t ea = inst.mode == isa::AddrMode::BaseOffset
+                                  ? a + static_cast<uint32_t>(imm)
+                                  : a + b;
+                ri.effAddr = ea;
+                uint32_t bytes =
+                    inst.width == isa::MemWidth::Byte ? 1u : 4u;
+                check_ea(ea, bytes);
+                int32_t value =
+                    inst.width == isa::MemWidth::Byte
+                        ? static_cast<int32_t>(mem_.readByte(ea))
+                        : static_cast<int32_t>(mem_.readWord(ea));
+                write_reg(inst.rd, value);
+                break;
+              }
+              case Opcode::STORE: {
+                uint32_t ea = inst.mode == isa::AddrMode::BaseOffset
+                                  ? a + static_cast<uint32_t>(imm)
+                                  : a + b;
+                ri.effAddr = ea;
+                uint32_t bytes =
+                    inst.width == isa::MemWidth::Byte ? 1u : 4u;
+                check_ea(ea, bytes);
+                if (inst.width == isa::MemWidth::Byte)
+                    mem_.writeByte(ea, static_cast<uint8_t>(b));
+                else
+                    mem_.writeWord(ea, b);
+                break;
+              }
+              case Opcode::BEQ: ri.taken = sa == sb; break;
+              case Opcode::BNE: ri.taken = sa != sb; break;
+              case Opcode::BLT: ri.taken = sa < sb; break;
+              case Opcode::BGE: ri.taken = sa >= sb; break;
+              case Opcode::BLTU: ri.taken = a < b; break;
+              case Opcode::BGEU: ri.taken = a >= b; break;
+              case Opcode::JMP:
+                ri.taken = true;
+                next_pc = static_cast<uint32_t>(imm);
+                break;
+              case Opcode::JAL:
+                ri.taken = true;
+                write_reg(inst.rd, static_cast<int32_t>(pc + 1));
+                next_pc = static_cast<uint32_t>(imm);
+                break;
+              case Opcode::JR:
+                ri.taken = true;
+                next_pc = a;
+                break;
+              case Opcode::FADD:
+                fregs[inst.rd] = fregs[inst.rs1] + fregs[inst.rs2];
+                break;
+              case Opcode::FSUB:
+                fregs[inst.rd] = fregs[inst.rs1] - fregs[inst.rs2];
+                break;
+              case Opcode::FMUL:
+                fregs[inst.rd] = fregs[inst.rs1] * fregs[inst.rs2];
+                break;
+              case Opcode::FDIV:
+                fregs[inst.rd] = fregs[inst.rs1] / fregs[inst.rs2];
+                break;
+              case Opcode::FLOAD: {
+                uint32_t ea = inst.mode == isa::AddrMode::BaseOffset
+                                  ? a + static_cast<uint32_t>(imm)
+                                  : a + b;
+                ri.effAddr = ea;
+                check_ea(ea, 4);
+                uint32_t bits = mem_.readWord(ea);
+                float f;
+                std::memcpy(&f, &bits, 4);
+                fregs[inst.rd] = f;
+                break;
+              }
+              case Opcode::FSTORE: {
+                uint32_t ea = a + static_cast<uint32_t>(imm);
+                ri.effAddr = ea;
+                check_ea(ea, 4);
+                uint32_t bits;
+                std::memcpy(&bits, &fregs[inst.rs2], 4);
+                mem_.writeWord(ea, bits);
+                break;
+              }
+              case Opcode::CVTIF:
+                fregs[inst.rd] = static_cast<float>(sa);
+                break;
+              case Opcode::CVTFI:
+                write_reg(inst.rd,
+                          static_cast<int32_t>(fregs[inst.rs1]));
+                break;
+              case Opcode::PRINT:
+                result.output.push_back(sa);
+                break;
+              case Opcode::HALT:
+                ++result.instructions;
+                ri.nextPc = pc;
+                observer(ri);
+                result.halted = true;
+                result.exitValue = read_reg(isa::reg::Arg0);
+                pc_ = pc;
+                return result;
+              case Opcode::NOP:
+                break;
+              default:
+                throw GuestTrapError(
+                    GuestTrapKind::BadOpcode, pc,
+                    formatString("emulator: bad opcode at pc %u",
+                                 pc));
+            }
+
+            // Conditional branches pick their target here; explicit
+            // transfers validate it like the predecoded loops do
+            // (== size flows to the next iteration's range trap).
+            if (inst.isCondBranch() && ri.taken)
+                next_pc = static_cast<uint32_t>(imm);
+            if (next_pc > size) {
+                throw GuestTrapError(
+                    GuestTrapKind::PcOutOfRange, pc,
+                    formatString("emulator: control transfer to PC "
+                                 "0x%x out of range at pc %u",
+                                 next_pc, pc));
+            }
+
+            ri.nextPc = next_pc;
+            ++result.instructions;
+            observer(ri);
+            pc = next_pc;
+        }
+        pc_ = pc;
+        result.halted = false;
+        return result;
+    } catch (...) {
+        pc_ = pc;
+        throw;
     }
-    result.halted = false;
-    return result;
 }
 
 inline EmulationResult

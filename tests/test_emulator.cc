@@ -120,7 +120,13 @@ TEST(Emulator, DivideByZeroFaults)
         build::halt(),
     });
     sim::Emulator emu(prog);
-    EXPECT_THROW(emu.run(), FatalError);
+    try {
+        emu.run();
+        FAIL() << "expected a guest trap";
+    } catch (const sim::GuestTrapError &e) {
+        EXPECT_EQ(e.kind(), sim::GuestTrapKind::DivideByZero);
+        EXPECT_EQ(e.trapPc(), 1u);
+    }
 }
 
 TEST(Emulator, ByteLoadsAreUnsigned)

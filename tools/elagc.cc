@@ -50,9 +50,11 @@
  *
  * Exit codes: 0 success (or the program's exit value), 1 user error
  * (FatalError), 2 usage, 3 instruction cap reached, 65 unusable
- * checkpoint under --resume-from, 70 invariant violation
- * (PanicError), 75 watchdog timeout (SimTimeoutError), 130/143
- * checkpointed run interrupted by SIGINT/SIGTERM.
+ * checkpoint under --resume-from, 70 guest fault (GuestTrapError:
+ * the simulated program divided by zero, jumped to a wild PC,
+ * accessed memory out of range, or hit a bad opcode) or invariant
+ * violation (PanicError), 75 watchdog timeout (SimTimeoutError),
+ * 130/143 checkpointed run interrupted by SIGINT/SIGTERM.
  */
 
 #include <csignal>
@@ -68,6 +70,7 @@
 #include "isa/disasm.hh"
 #include "obs/span.hh"
 #include "sim/ckpt_run.hh"
+#include "sim/decoded.hh"
 #include "sim/simulator.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
@@ -308,7 +311,8 @@ printStatsText(FILE *out, const sim::TimedResult &base,
  */
 void
 writeErrorDoc(const Options &opts, const char *type,
-              const char *message, int exit_code)
+              const char *message, int exit_code,
+              const sim::GuestTrapError *trap = nullptr)
 {
     if (opts.jsonStats.empty())
         return;
@@ -318,6 +322,13 @@ writeErrorDoc(const Options &opts, const char *type,
     w.field("type", type);
     w.field("message", message);
     w.field("exit_code", exit_code);
+    if (trap) {
+        // Typed guest-fault detail: which trap and where, so
+        // harnesses can triage guest bugs without parsing the
+        // human-readable message.
+        w.field("trap", sim::name(trap->kind()));
+        w.field("pc", trap->trapPc());
+    }
     w.endObject();
     w.endObject();
     std::string doc = w.str();
@@ -592,6 +603,14 @@ main(int argc, char **argv)
         std::fprintf(stderr, "elagc: %s\n", e.what());
         writeErrorDoc(opts, "timeout", e.what(), 75);
         return 75;
+    } catch (const sim::GuestTrapError &e) {
+        // The *guest* program faulted (divide by zero, wild PC, bad
+        // effective address, undecodable opcode) — the simulator
+        // itself is healthy. EX_SOFTWARE, with a typed error block.
+        std::fprintf(stderr, "elagc: guest trap (%s): %s\n",
+                     sim::name(e.kind()), e.what());
+        writeErrorDoc(opts, "guest_trap", e.what(), 70, &e);
+        return 70;
     } catch (const PanicError &e) {
         std::fprintf(stderr, "elagc: %s\n", e.what());
         writeErrorDoc(opts, "panic", e.what(), 70);
