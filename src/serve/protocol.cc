@@ -1,5 +1,6 @@
 #include "serve/protocol.hh"
 
+#include <algorithm>
 #include <cstdint>
 
 #include "support/json.hh"
@@ -12,7 +13,7 @@ bool
 isWorkVerb(const std::string &verb)
 {
     return verb == "compile" || verb == "classify" ||
-           verb == "simulate";
+           verb == "simulate" || verb == "generate";
 }
 
 bool
@@ -119,13 +120,15 @@ parseRequest(const std::string &doc, Request &request,
         return false;
     }
 
-    // Scalars are read from the prefix before the source member, so
-    // protocol-looking text inside the shipped program cannot
-    // shadow them.
+    // Scalars are read from the prefix before the source/spec
+    // members, so protocol-looking text inside the shipped payload
+    // cannot shadow them.
     size_t src_pos = keyPosition(doc, "source");
-    std::string prefix =
-        doc.substr(0, src_pos == std::string::npos ? doc.size()
-                                                   : src_pos);
+    size_t spec_pos = keyPosition(doc, "spec");
+    size_t payload_pos = std::min(src_pos, spec_pos);
+    std::string prefix = doc.substr(
+        0, payload_pos == std::string::npos ? doc.size()
+                                            : payload_pos);
 
     if (!optionalString(prefix, "verb", request.verb, error) ||
         !optionalUint(prefix, "id", request.id, error) ||
@@ -153,6 +156,12 @@ parseRequest(const std::string &doc, Request &request,
         !jsonExtractString(doc.substr(src_pos), "source",
                            request.source)) {
         error = "member 'source' must be a string";
+        return false;
+    }
+    if (spec_pos != std::string::npos &&
+        !jsonExtractString(doc.substr(spec_pos), "spec",
+                           request.spec)) {
+        error = "member 'spec' must be a string";
         return false;
     }
     return true;
@@ -184,7 +193,10 @@ buildRequestDoc(const Request &request)
         w.field("trace", request.trace);
     if (!request.format.empty())
         w.field("format", request.format);
-    // Scalar members above must precede source; see parseRequest.
+    // Scalar members above must precede the payloads; see
+    // parseRequest.
+    if (!request.spec.empty())
+        w.field("spec", request.spec);
     if (!request.source.empty())
         w.field("source", request.source);
     w.endObject();

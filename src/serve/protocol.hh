@@ -9,12 +9,14 @@
  *      "deadline_ms": 2000, "source": "int main() { ... }"}
  *
  * Verbs: `compile`, `classify`, `simulate` (work verbs that carry
- * mini-C source), and `stats`, `health`, `metrics`, `drain` (control
- * verbs the server answers itself, bypassing admission control so
- * they work under overload). Scalar members must precede `source`:
- * the parser reads them from the prefix before the source member,
- * which keeps field extraction immune to protocol-looking text
- * inside the program being shipped.
+ * mini-C source), `generate` (a work verb carrying a scenario-spec
+ * document in `spec` instead of source), and `stats`, `health`,
+ * `metrics`, `drain` (control verbs the server answers itself,
+ * bypassing admission control so they work under overload). Scalar
+ * members must precede `source`/`spec`: the parser reads them from
+ * the prefix before the payload members, which keeps field
+ * extraction immune to protocol-looking text inside the payload
+ * being shipped.
  *
  * Requests may carry a `trace` member: an opaque correlation ID the
  * client mints (obs::newTraceId) and both sides attach to their
@@ -70,6 +72,8 @@ struct Request
     uint64_t id = 0;
     /** mini-C program text (work verbs). */
     std::string source;
+    /** Scenario-spec JSON document text (`generate` verb). */
+    std::string spec;
     /** Label echoed into reports (elagc prints its input path). */
     std::string file = "<request>";
     std::string machine = "proposed";

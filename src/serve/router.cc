@@ -1,6 +1,7 @@
 #include "serve/router.hh"
 
 #include "ckpt/checkpoint.hh"
+#include "obs/metrics.hh"
 #include "obs/span.hh"
 #include "serve/routing.hh"
 #include "sim/ckpt_run.hh"
@@ -8,6 +9,7 @@
 #include "sim/simulator.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
+#include "workloads/synthetic/generator.hh"
 
 namespace elag {
 namespace serve {
@@ -56,6 +58,21 @@ writeProgramBlock(JsonWriter &w, const Request &request,
     w.field("ld_e", prog.classStats.numEarlyCalc);
     w.endObject();
     w.endObject();
+}
+
+/** Generate-memo hit/miss counters, registered on first use. */
+obs::Counter &
+generateMemoCounter(bool hit)
+{
+    static obs::Counter &hits = obs::Registry::process().counter(
+        "elag_serve_generate_memo_total",
+        "Generate-verb memo lookups, by outcome.",
+        {{"outcome", "hit"}});
+    static obs::Counter &misses = obs::Registry::process().counter(
+        "elag_serve_generate_memo_total",
+        "Generate-verb memo lookups, by outcome.",
+        {{"outcome", "miss"}});
+    return hit ? hits : misses;
 }
 
 } // anonymous namespace
@@ -138,17 +155,22 @@ Router::checkpointedSimulate(const Request &request,
 std::string
 Router::execute(const Request &request) const
 {
-    // The durable tier answers before anything is compiled: a
-    // simulate result is a pure function of the request content, so
-    // a persisted document (stored post-render) is the byte-exact
+    // The durable tier answers before anything is compiled: simulate
+    // and generate results are pure functions of the request content,
+    // so a persisted document (stored post-render) is the byte-exact
     // answer, at the cost of one disk read.
     uint64_t persist_key = 0;
-    if (cfg.persist && request.verb == "simulate") {
+    bool cacheable = request.verb == "simulate" ||
+                     request.verb == "generate";
+    if (cfg.persist && cacheable) {
         persist_key = persistKey(request);
         std::string doc;
         if (cfg.persist->lookup(persist_key, doc))
             return doc;
     }
+
+    if (request.verb == "generate")
+        return generate(request, persist_key);
 
     sim::CompiledProgram prog = compileRequest(request);
 
@@ -209,6 +231,59 @@ Router::execute(const Request &request) const
     }
 
     fatal("unhandled work verb '%s'", request.verb.c_str());
+}
+
+std::string
+Router::generate(const Request &request, uint64_t persist_key) const
+{
+    if (request.spec.empty())
+        fatal("verb 'generate' requires a 'spec' member");
+    if (persist_key == 0)
+        persist_key = persistKey(request);
+
+    {
+        std::lock_guard<std::mutex> lock(genMu);
+        auto it = genMemo.find(persist_key);
+        if (it != genMemo.end()) {
+            generateMemoCounter(true).inc();
+            return it->second;
+        }
+    }
+    generateMemoCounter(false).inc();
+
+    workloads::synthetic::ScenarioSpec spec;
+    std::string error;
+    if (!workloads::synthetic::parseScenarioSpec(request.spec, spec,
+                                                 error))
+        fatal("bad scenario spec: %s", error.c_str());
+
+    obs::Span span("generate", "serve");
+    if (!request.trace.empty())
+        span.arg("trace_id", request.trace);
+    workloads::synthetic::GeneratedScenario gen =
+        workloads::synthetic::generateScenario(spec);
+
+    JsonWriter w(0);
+    w.beginObject();
+    w.field("name", gen.name);
+    w.field("family", workloads::synthetic::name(spec.family));
+    w.field("content_hash", gen.contentHash);
+    w.key("spec").rawValue(spec.toJson());
+    w.field("source", gen.source);
+    w.endObject();
+    std::string doc = w.str();
+
+    {
+        std::lock_guard<std::mutex> lock(genMu);
+        // Bound the memo: generated documents are small, but the
+        // spec space is unbounded.
+        if (genMemo.size() >= 256)
+            genMemo.erase(genMemo.begin());
+        genMemo.emplace(persist_key, doc);
+    }
+    if (cfg.persist)
+        cfg.persist->append(persist_key, doc);
+    return doc;
 }
 
 } // namespace serve

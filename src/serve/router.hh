@@ -18,6 +18,9 @@
 #ifndef ELAG_SERVE_ROUTER_HH
 #define ELAG_SERVE_ROUTER_HH
 
+#include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 
 #include "cache/persistent_store.hh"
@@ -88,7 +91,20 @@ class Router
                                      const sim::Watchdog &watchdog)
         const;
 
+    /** `generate`: spec -> rendered scenario document, memoized. */
+    std::string generate(const Request &request,
+                         uint64_t persist_key) const;
+
     RouterConfig cfg;
+
+    /**
+     * Bounded in-process memo of rendered generate documents, keyed
+     * by the persistent-tier content key. Generation is cheap, but
+     * the memo makes repeat hits observable (and byte-stable) even
+     * without a --cache-dir durable tier behind the router.
+     */
+    mutable std::mutex genMu;
+    mutable std::map<uint64_t, std::string> genMemo;
 };
 
 } // namespace serve

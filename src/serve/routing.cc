@@ -44,8 +44,11 @@ struct Fnv1a
 uint64_t
 routingHash(const Request &request)
 {
+    // `generate` requests carry their content in spec, not source;
+    // mixing both keeps every work verb content-routable.
     Fnv1a h;
     h.mixBytes(request.source.data(), request.source.size());
+    h.mixBytes(request.spec.data(), request.spec.size());
     return h.state;
 }
 
@@ -55,6 +58,7 @@ persistKey(const Request &request)
     Fnv1a h;
     h.mixString(request.verb);
     h.mixString(request.source);
+    h.mixString(request.spec);
     h.mixString(request.file);
     h.mixString(request.machine);
     h.mixString(request.selection);

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Seeded sampling distributions for the synthetic workload generator.
+ *
+ * Scenario parameters are drawn from explicit distributions over the
+ * knobs the paper's evaluation axis cares about (working-set size,
+ * stride mix, alias density, hot-static-load count), in the style of
+ * scarab's synthetic frontend. Everything is driven by the
+ * deterministic Pcg32 stream, so the same seed always samples the
+ * same scenario on every platform.
+ */
+
+#ifndef ELAG_WORKLOADS_SYNTHETIC_DISTRIBUTIONS_HH
+#define ELAG_WORKLOADS_SYNTHETIC_DISTRIBUTIONS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace elag {
+namespace workloads {
+namespace synthetic {
+
+/** Uniform integer in [lo, hi] (inclusive; lo <= hi). */
+inline uint32_t
+uniformInRange(Pcg32 &rng, uint32_t lo, uint32_t hi)
+{
+    elag_assert(lo <= hi);
+    return lo + rng.nextBounded(hi - lo + 1);
+}
+
+/**
+ * Log2-uniform power of two: 2^k with k uniform in
+ * [lo_log2, hi_log2]. Working-set sizes are sampled this way so
+ * small cache-resident and large cache-busting sets are equally
+ * likely, instead of the linear-uniform bias toward large sets.
+ */
+inline uint32_t
+logUniformPow2(Pcg32 &rng, uint32_t lo_log2, uint32_t hi_log2)
+{
+    return 1u << uniformInRange(rng, lo_log2, hi_log2);
+}
+
+/**
+ * Index into @p weights chosen with probability proportional to the
+ * entry. Weights must be non-negative with a positive sum.
+ */
+inline size_t
+weightedChoice(Pcg32 &rng, const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        elag_assert(w >= 0.0);
+        total += w;
+    }
+    elag_assert(total > 0.0);
+    double roll = rng.nextDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        roll -= weights[i];
+        if (roll < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+/**
+ * A stride mix: 1-4 distinct strides drawn from the alphabet the
+ * paper's strided loops exhibit (unit, small-constant, and
+ * row-length strides), ordered as drawn.
+ */
+inline std::vector<uint32_t>
+sampleStrideMix(Pcg32 &rng)
+{
+    static const uint32_t alphabet[] = {1, 1, 1, 2, 3, 4, 8, 16, 64};
+    size_t count = 1 + rng.nextBounded(4);
+    std::vector<uint32_t> mix;
+    mix.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        mix.push_back(
+            alphabet[rng.nextBounded(sizeof(alphabet) /
+                                     sizeof(alphabet[0]))]);
+    }
+    return mix;
+}
+
+} // namespace synthetic
+} // namespace workloads
+} // namespace elag
+
+#endif // ELAG_WORKLOADS_SYNTHETIC_DISTRIBUTIONS_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic kernel-family generators: ScenarioSpec -> mini-C.
+ *
+ * Each generator expands a validated ScenarioSpec into an
+ * `elag::lang` program whose static load-site population matches the
+ * spec exactly: `hot_loads` distinct load instructions, spread over
+ * small kernel functions, with stride mix, alias density, chase
+ * depth, and branch interleave drawn from the spec's seeded stream.
+ * Generation is pure: the same spec always emits a byte-identical
+ * program (enforced by test_workgen the same way bench determinism
+ * is), so the emitted source can be content-hashed and served from
+ * caches like any other request payload.
+ *
+ * All emitted address arithmetic is masked to the power-of-two
+ * working set, so generated programs are guest-trap-free by
+ * construction — test_workgen sweeps seeded specs through the
+ * emulator to enforce this.
+ */
+
+#ifndef ELAG_WORKLOADS_SYNTHETIC_GENERATOR_HH
+#define ELAG_WORKLOADS_SYNTHETIC_GENERATOR_HH
+
+#include <string>
+
+#include "workloads/synthetic/scenario.hh"
+
+namespace elag {
+namespace workloads {
+namespace synthetic {
+
+/** One generated workload: spec, program text, and identity. */
+struct GeneratedScenario
+{
+    ScenarioSpec spec;
+    /** Self-describing scenario name (spec.name()). */
+    std::string name;
+    /** The generated `elag::lang` program. */
+    std::string source;
+    /** 16-hex-digit FNV-1a hash of the source bytes. */
+    std::string contentHash;
+};
+
+/**
+ * Expand @p spec into its program. The spec must validate
+ * (validateSpec() == ""); generation is deterministic in the spec
+ * alone. Records `elag_workgen_scenarios_generated_total{family}`
+ * and the per-family generation-latency histogram in the process
+ * metrics registry.
+ */
+GeneratedScenario generateScenario(const ScenarioSpec &spec);
+
+/** FNV-1a content hash of @p source, as 16 lowercase hex digits. */
+std::string sourceHash(const std::string &source);
+
+} // namespace synthetic
+} // namespace workloads
+} // namespace elag
+
+#endif // ELAG_WORKLOADS_SYNTHETIC_GENERATOR_HH

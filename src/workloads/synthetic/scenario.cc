@@ -1,0 +1,478 @@
+#include "workloads/synthetic/scenario.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+#include "support/strings.hh"
+#include "workloads/synthetic/distributions.hh"
+
+namespace elag {
+namespace workloads {
+namespace synthetic {
+
+namespace {
+
+const FamilyInfo familyTable[] = {
+    {KernelFamily::StridedWalk, "strided",
+     "strided array walks over seeded stride alphabets (ld_p-heavy)"},
+    {KernelFamily::PointerChase, "chase",
+     "pointer chasing through a scrambled permutation (serial loads)"},
+    {KernelFamily::IndirectGather, "gather",
+     "indirect gathers whose addresses come from an index array"},
+    {KernelFamily::BranchInterleaved, "branchy",
+     "loads interleaved with data-dependent branches"},
+};
+
+} // namespace
+
+const char *
+name(KernelFamily family)
+{
+    for (const FamilyInfo &info : familyTable) {
+        if (info.family == family)
+            return info.name;
+    }
+    fatal("unknown kernel family %d", int(family));
+}
+
+bool
+familyByName(const std::string &text, KernelFamily &out)
+{
+    for (const FamilyInfo &info : familyTable) {
+        if (text == info.name) {
+            out = info.family;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<FamilyInfo> &
+kernelFamilies()
+{
+    static const std::vector<FamilyInfo> table(
+        familyTable, familyTable + sizeof(familyTable) /
+                                       sizeof(familyTable[0]));
+    return table;
+}
+
+std::string
+ScenarioSpec::toJson() const
+{
+    JsonWriter w(0);
+    w.beginObject();
+    w.field("family", synthetic::name(family));
+    w.field("seed", seed);
+    w.field("working_set", workingSet);
+    w.field("hot_loads", hotLoads);
+    w.key("strides").beginArray();
+    for (uint32_t s : strides)
+        w.value(s);
+    w.endArray();
+    w.field("alias_density", aliasDensity);
+    w.field("chase_depth", chaseDepth);
+    w.field("branch_ratio", branchRatio);
+    w.field("iterations", iterations);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+ScenarioSpec::name() const
+{
+    char buf[96];
+    snprintf(buf, sizeof(buf), "%s-s%llu-h%u-w%u",
+             synthetic::name(family),
+             static_cast<unsigned long long>(seed), hotLoads, workingSet);
+    return buf;
+}
+
+std::string
+validateSpec(const ScenarioSpec &spec)
+{
+    if (spec.seed == 0)
+        return "seed must be nonzero";
+    if (spec.workingSet < 256 || spec.workingSet > (1u << 18))
+        return "working_set out of range [256, 262144]";
+    if ((spec.workingSet & (spec.workingSet - 1)) != 0)
+        return "working_set must be a power of two";
+    if (spec.hotLoads < 1 || spec.hotLoads > 2048)
+        return "hot_loads out of range [1, 2048]";
+    if (spec.strides.empty() || spec.strides.size() > 8)
+        return "strides must list 1-8 entries";
+    for (uint32_t s : spec.strides) {
+        if (s < 1 || s > 256)
+            return "stride out of range [1, 256]";
+    }
+    if (!(spec.aliasDensity >= 0.0 && spec.aliasDensity <= 1.0))
+        return "alias_density out of range [0, 1]";
+    if (spec.chaseDepth < 1 || spec.chaseDepth > 64)
+        return "chase_depth out of range [1, 64]";
+    if (!(spec.branchRatio >= 0.0 && spec.branchRatio <= 1.0))
+        return "branch_ratio out of range [0, 1]";
+    if (spec.iterations < 1 || spec.iterations > 65536)
+        return "iterations out of range [1, 65536]";
+    return "";
+}
+
+namespace {
+
+/**
+ * Strict cursor-based reader for the flat scenario-spec object. The
+ * generic jsonExtract* helpers are first-occurrence textual probes;
+ * spec parsing instead walks every member exactly once so unknown
+ * and duplicated keys can be rejected.
+ */
+struct SpecReader
+{
+    const std::string &doc;
+    size_t pos = 0;
+    std::string error;
+
+    explicit SpecReader(const std::string &d) : doc(d) {}
+
+    void
+    skipWs()
+    {
+        while (pos < doc.size() &&
+               std::isspace(static_cast<unsigned char>(doc[pos])))
+            ++pos;
+    }
+
+    bool
+    fail(const std::string &why)
+    {
+        if (error.empty())
+            error = why;
+        return false;
+    }
+
+    bool
+    expect(char c)
+    {
+        skipWs();
+        if (pos >= doc.size() || doc[pos] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos;
+        return true;
+    }
+
+    /** Peek the next non-space character without consuming it. */
+    char
+    peek()
+    {
+        skipWs();
+        return pos < doc.size() ? doc[pos] : '\0';
+    }
+
+    bool
+    readString(std::string &out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        while (pos < doc.size() && doc[pos] != '"') {
+            char c = doc[pos++];
+            if (c == '\\') {
+                if (pos >= doc.size())
+                    return fail("bad string escape");
+                char esc = doc[pos++];
+                switch (esc) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                default: return fail("unsupported string escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (pos >= doc.size())
+            return fail("unterminated string");
+        ++pos; // closing quote
+        return true;
+    }
+
+    bool
+    readUint(const char *key, uint64_t max, uint64_t &out)
+    {
+        skipWs();
+        size_t start = pos;
+        while (pos < doc.size() &&
+               std::isdigit(static_cast<unsigned char>(doc[pos])))
+            ++pos;
+        if (pos == start)
+            return fail(std::string(key) +
+                        " must be an unsigned integer");
+        if (pos < doc.size() &&
+            (doc[pos] == '.' || doc[pos] == 'e' || doc[pos] == 'E'))
+            return fail(std::string(key) +
+                        " must be an unsigned integer");
+        uint64_t value = 0;
+        if (!parseUint64(doc.substr(start, pos - start), value) ||
+            value > max)
+            return fail(std::string(key) + " out of range");
+        out = value;
+        return true;
+    }
+
+    bool
+    readDouble(const char *key, double &out)
+    {
+        skipWs();
+        size_t start = pos;
+        if (pos < doc.size() && (doc[pos] == '-' || doc[pos] == '+'))
+            ++pos;
+        while (pos < doc.size() &&
+               (std::isdigit(static_cast<unsigned char>(doc[pos])) ||
+                doc[pos] == '.' || doc[pos] == 'e' || doc[pos] == 'E' ||
+                doc[pos] == '-' || doc[pos] == '+'))
+            ++pos;
+        if (pos == start)
+            return fail(std::string(key) + " must be a number");
+        std::string text = doc.substr(start, pos - start);
+        char *end = nullptr;
+        double value = strtod(text.c_str(), &end);
+        if (end != text.c_str() + text.size() || !std::isfinite(value))
+            return fail(std::string(key) + " must be a finite number");
+        out = value;
+        return true;
+    }
+
+    bool
+    readUintArray(const char *key, uint64_t max,
+                  std::vector<uint32_t> &out)
+    {
+        if (!expect('['))
+            return false;
+        out.clear();
+        if (peek() == ']') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            uint64_t value = 0;
+            if (!readUint(key, max, value))
+                return false;
+            out.push_back(static_cast<uint32_t>(value));
+            char c = peek();
+            if (c == ',') {
+                ++pos;
+                continue;
+            }
+            if (c == ']') {
+                ++pos;
+                return true;
+            }
+            return fail(std::string("expected ',' or ']' in ") + key);
+        }
+    }
+};
+
+} // namespace
+
+bool
+parseScenarioSpec(const std::string &doc, ScenarioSpec &spec,
+                  std::string &error)
+{
+    ScenarioSpec parsed;
+    SpecReader r(doc);
+    bool seen_family = false, seen_seed = false, seen_ws = false,
+         seen_hot = false, seen_strides = false, seen_alias = false,
+         seen_chase = false, seen_branch = false, seen_iter = false;
+
+    auto failWith = [&](const std::string &why) {
+        error = why.empty() ? r.error : why;
+        if (error.empty())
+            error = "malformed scenario spec";
+        return false;
+    };
+
+    if (!r.expect('{'))
+        return failWith("");
+    if (r.peek() != '}') {
+        for (;;) {
+            std::string key;
+            if (!r.readString(key))
+                return failWith("");
+            if (!r.expect(':'))
+                return failWith("");
+
+            auto once = [&](bool &seen) {
+                if (seen) {
+                    r.fail("duplicate member '" + key + "'");
+                    return false;
+                }
+                seen = true;
+                return true;
+            };
+
+            uint64_t u = 0;
+            if (key == "family") {
+                std::string text;
+                if (!once(seen_family) || !r.readString(text))
+                    return failWith("");
+                if (!familyByName(text, parsed.family))
+                    return failWith("unknown family '" + text + "'");
+            } else if (key == "seed") {
+                if (!once(seen_seed) ||
+                    !r.readUint("seed", UINT64_MAX, parsed.seed))
+                    return failWith("");
+            } else if (key == "working_set") {
+                if (!once(seen_ws) ||
+                    !r.readUint("working_set", UINT32_MAX, u))
+                    return failWith("");
+                parsed.workingSet = static_cast<uint32_t>(u);
+            } else if (key == "hot_loads") {
+                if (!once(seen_hot) ||
+                    !r.readUint("hot_loads", UINT32_MAX, u))
+                    return failWith("");
+                parsed.hotLoads = static_cast<uint32_t>(u);
+            } else if (key == "strides") {
+                if (!once(seen_strides) ||
+                    !r.readUintArray("strides", UINT32_MAX,
+                                     parsed.strides))
+                    return failWith("");
+            } else if (key == "alias_density") {
+                if (!once(seen_alias) ||
+                    !r.readDouble("alias_density", parsed.aliasDensity))
+                    return failWith("");
+            } else if (key == "chase_depth") {
+                if (!once(seen_chase) ||
+                    !r.readUint("chase_depth", UINT32_MAX, u))
+                    return failWith("");
+                parsed.chaseDepth = static_cast<uint32_t>(u);
+            } else if (key == "branch_ratio") {
+                if (!once(seen_branch) ||
+                    !r.readDouble("branch_ratio", parsed.branchRatio))
+                    return failWith("");
+            } else if (key == "iterations") {
+                if (!once(seen_iter) ||
+                    !r.readUint("iterations", UINT32_MAX, u))
+                    return failWith("");
+                parsed.iterations = static_cast<uint32_t>(u);
+            } else {
+                return failWith("unknown member '" + key + "'");
+            }
+
+            char c = r.peek();
+            if (c == ',') {
+                ++r.pos;
+                continue;
+            }
+            if (c == '}')
+                break;
+            return failWith("expected ',' or '}'");
+        }
+    }
+    ++r.pos; // closing brace
+    r.skipWs();
+    if (r.pos != doc.size())
+        return failWith("trailing content after spec object");
+
+    if (!seen_family)
+        return failWith("missing required member 'family'");
+    if (!seen_seed)
+        return failWith("missing required member 'seed'");
+
+    std::string invalid = validateSpec(parsed);
+    if (!invalid.empty())
+        return failWith(invalid);
+
+    spec = parsed;
+    error.clear();
+    return true;
+}
+
+ScenarioSpec
+sampleSpec(KernelFamily family, uint64_t seed)
+{
+    elag_assert(seed != 0);
+    // A family-selected stream keeps the knob draws for different
+    // families at the same seed decorrelated.
+    Pcg32 rng(seed, 0x9e3779b97f4a7c15ULL + uint64_t(family));
+
+    ScenarioSpec spec;
+    spec.family = family;
+    spec.seed = seed;
+    spec.workingSet = logUniformPow2(rng, 10, 14);
+    spec.strides = sampleStrideMix(rng);
+
+    static const std::vector<double> alias_weights = {3, 2, 2, 1};
+    static const double alias_levels[] = {0.0, 0.1, 0.25, 0.5};
+    spec.aliasDensity = alias_levels[weightedChoice(rng, alias_weights)];
+
+    switch (family) {
+    case KernelFamily::StridedWalk:
+        spec.hotLoads = uniformInRange(rng, 16, 128);
+        spec.chaseDepth = uniformInRange(rng, 1, 4);
+        spec.branchRatio = rng.nextBool(0.25) ? 0.1 : 0.0;
+        break;
+    case KernelFamily::PointerChase:
+        spec.hotLoads = uniformInRange(rng, 8, 48);
+        spec.chaseDepth = uniformInRange(rng, 2, 12);
+        spec.branchRatio = rng.nextBool(0.25) ? 0.1 : 0.0;
+        break;
+    case KernelFamily::IndirectGather:
+        spec.hotLoads = uniformInRange(rng, 16, 96);
+        spec.chaseDepth = uniformInRange(rng, 1, 4);
+        spec.branchRatio = rng.nextBool(0.25) ? 0.1 : 0.0;
+        break;
+    case KernelFamily::BranchInterleaved: {
+        spec.hotLoads = uniformInRange(rng, 16, 96);
+        spec.chaseDepth = uniformInRange(rng, 1, 4);
+        static const double branch_levels[] = {0.25, 0.5, 0.75};
+        spec.branchRatio = branch_levels[rng.nextBounded(3)];
+        break;
+    }
+    }
+    spec.iterations = uniformInRange(rng, 2, 8);
+
+    elag_assert(validateSpec(spec).empty());
+    return spec;
+}
+
+std::vector<ScenarioSpec>
+expandMatrix(const MatrixOptions &options)
+{
+    elag_assert(!options.seeds.empty());
+
+    std::vector<KernelFamily> families = options.families;
+    if (families.empty()) {
+        for (const FamilyInfo &info : kernelFamilies())
+            families.push_back(info.family);
+    }
+
+    std::vector<ScenarioSpec> specs;
+    for (KernelFamily family : families) {
+        for (uint64_t seed : options.seeds) {
+            ScenarioSpec base = sampleSpec(family, seed);
+            if (options.workingSet != 0)
+                base.workingSet = options.workingSet;
+            if (options.hotLoads.empty()) {
+                specs.push_back(base);
+                continue;
+            }
+            for (uint32_t hot : options.hotLoads) {
+                ScenarioSpec spec = base;
+                spec.hotLoads = hot;
+                specs.push_back(spec);
+            }
+        }
+    }
+    for (const ScenarioSpec &spec : specs)
+        elag_assert(validateSpec(spec).empty());
+    return specs;
+}
+
+} // namespace synthetic
+} // namespace workloads
+} // namespace elag

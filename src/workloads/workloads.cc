@@ -1,5 +1,7 @@
 #include "workloads/workloads.hh"
 
+#include <algorithm>
+
 namespace elag {
 namespace workloads {
 
@@ -33,6 +35,55 @@ findWorkload(const std::string &name)
             return &w;
     }
     return nullptr;
+}
+
+std::vector<const Workload *>
+allWorkloads()
+{
+    std::vector<const Workload *> all;
+    for (const auto &w : specWorkloads())
+        all.push_back(&w);
+    for (const auto &w : mediaWorkloads())
+        all.push_back(&w);
+    return all;
+}
+
+namespace {
+
+/** Levenshtein distance, early-exiting via the row minimum. */
+size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<size_t> row(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+        size_t diag = row[0];
+        row[0] = i;
+        for (size_t j = 1; j <= b.size(); ++j) {
+            size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            diag = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+        }
+    }
+    return row[b.size()];
+}
+
+} // namespace
+
+std::string
+suggestWorkload(const std::string &name)
+{
+    std::string best;
+    size_t best_distance = 3; // hint only within edit distance 2
+    for (const Workload *w : allWorkloads()) {
+        size_t d = editDistance(name, w->name);
+        if (d < best_distance) {
+            best_distance = d;
+            best = w->name;
+        }
+    }
+    return best;
 }
 
 } // namespace workloads

@@ -45,6 +45,16 @@ const std::vector<Workload> &mediaWorkloads();
 /** Look up a workload by name in both suites (null if absent). */
 const Workload *findWorkload(const std::string &name);
 
+/** Both suites concatenated, SPEC first — `--list-workloads` order. */
+std::vector<const Workload *> allWorkloads();
+
+/**
+ * The closest registered workload name to a misspelled @p name
+ * (edit distance <= 2), or "" when nothing is close enough — the
+ * did-you-mean hint behind elagc's unknown-workload usage error.
+ */
+std::string suggestWorkload(const std::string &name);
+
 } // namespace workloads
 } // namespace elag
 

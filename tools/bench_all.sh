@@ -23,7 +23,7 @@ if [ ! -d "$build_dir/bench" ]; then
 fi
 mkdir -p "$out_dir"
 
-for name in table2 fig5a fig5b fig5c table3 table4 ablation; do
+for name in table2 fig5a fig5b fig5c table3 table4 ablation crossover; do
     bin="$build_dir/bench/bench_$name"
     out="$out_dir/BENCH_$name.json"
     echo "== bench_$name (--jobs=$jobs) -> $out" >&2

@@ -122,3 +122,15 @@ with open(os.environ["OUT_FILE"], "w") as f:
     f.write("\n")
 print(f"wrote {os.environ['OUT_FILE']}")
 PY
+
+# The table-pressure crossover capture rides along with the perf
+# snapshot: both are committed-baseline artifacts future PRs diff
+# against, and both need the same built tree.
+xbin="$build_dir/bench/bench_crossover"
+if [ -x "$xbin" ]; then
+    xout="$(dirname "$out_file")/BENCH_crossover.json"
+    echo "== bench_crossover -> $xout" >&2
+    "$xbin" --json --out="$xout"
+else
+    echo "note: $xbin not built; skipping crossover capture" >&2
+fi

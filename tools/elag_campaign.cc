@@ -25,6 +25,7 @@
  * --resume therefore continues interrupted jobs from their last
  * durable checkpoint rather than from scratch.
  *   elag_campaign --workloads=130.li,132.ijpeg --plans=chaos+tag-alias
+ *   elag_campaign --scenarios=matrix-dir --plans=chaos  # synthetic
  *   elag_campaign --bench=build/bench/bench_table2   # batch bench runs
  *
  * Worker (one job, in-process simulation; what the coordinator spawns
@@ -55,10 +56,12 @@
 #include <mutex>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <time.h>
 #include <unistd.h>
@@ -75,6 +78,8 @@
 #include "verify/invariant_checker.hh"
 #include "verify/program_gen.hh"
 #include "verify/shrinker.hh"
+#include "workloads/synthetic/generator.hh"
+#include "workloads/synthetic/scenario.hh"
 #include "workloads/workloads.hh"
 
 using namespace elag;
@@ -148,6 +153,10 @@ knownPlan(const std::string &name)
 struct WorkerOptions
 {
     std::string workload = "gen"; ///< "gen" or a named workload
+    /** Scenario-spec file; when set, overrides workload. The worker
+     * regenerates the program from the spec deterministically, so
+     * only the small spec document crosses the process boundary. */
+    std::string scenarioPath;
     uint64_t genSeed = 1;
     uint64_t genSkip = 0;
     uint64_t genCount = 1;
@@ -182,6 +191,8 @@ workerIdentity(const WorkerOptions &opts)
                      std::to_string(opts.maxInst);
     for (uint64_t pick : opts.genPick)
         id += "|p" + std::to_string(pick);
+    if (!opts.scenarioPath.empty())
+        id += "|scn:" + opts.scenarioPath;
     return id;
 }
 
@@ -275,7 +286,23 @@ runWorker(const WorkerOptions &opts)
 
     std::vector<std::string> sources;
     std::vector<uint64_t> indices; ///< absolute gen index per source
-    if (opts.workload == "gen") {
+    if (!opts.scenarioPath.empty()) {
+        std::ifstream in(opts.scenarioPath);
+        if (!in)
+            fatal("cannot open scenario '%s'",
+                  opts.scenarioPath.c_str());
+        std::ostringstream text;
+        text << in.rdbuf();
+        workloads::synthetic::ScenarioSpec spec;
+        std::string error;
+        if (!workloads::synthetic::parseScenarioSpec(text.str(), spec,
+                                                     error))
+            fatal("bad scenario '%s': %s", opts.scenarioPath.c_str(),
+                  error.c_str());
+        sources.push_back(
+            workloads::synthetic::generateScenario(spec).source);
+        indices.push_back(0);
+    } else if (opts.workload == "gen") {
         verify::ProgramGen gen(opts.genSeed);
         gen.skip(opts.genSkip);
         for (uint64_t c = 0; c < opts.genCount; ++c) {
@@ -476,6 +503,8 @@ struct CampaignOptions
     uint64_t genPrograms = 0;
     uint64_t genChunk = 5;
     std::vector<std::string> workloadNames;
+    /** Scenario-spec files (expanded from --scenarios args). */
+    std::vector<std::string> scenarioFiles;
     std::vector<std::string> machines{"proposed"};
     std::vector<std::vector<std::string>> planGroups;
     std::string selection;
@@ -668,6 +697,27 @@ Coordinator::buildMatrix() const
                 job.argv.push_back(
                     "--inject-seed=" +
                     std::to_string(mixSeed(opts.seed, fnv1a64(name))));
+                attachCheckpoint(job);
+                jobs.push_back(std::move(job));
+            }
+            for (const std::string &path : opts.scenarioFiles) {
+                std::string base = path;
+                size_t slash = base.find_last_of('/');
+                if (slash != std::string::npos)
+                    base = base.substr(slash + 1);
+                Job job;
+                job.id = "scn:" + base + "/" + machine + "/" +
+                         planGroupName(group);
+                job.kind = "workload";
+                job.plans = group;
+                job.argv = workerArgvBase();
+                job.argv.push_back("--scenario=" + path);
+                job.argv.push_back("--machine=" + machine);
+                job.argv.push_back("--plans=" +
+                                   joinStrings(group, ","));
+                job.argv.push_back(
+                    "--inject-seed=" +
+                    std::to_string(mixSeed(opts.seed, fnv1a64(path))));
                 attachCheckpoint(job);
                 jobs.push_back(std::move(job));
             }
@@ -926,7 +976,8 @@ Coordinator::run()
     if (all.empty()) {
         std::fprintf(stderr,
                      "elag_campaign: empty job matrix (use "
-                     "--gen-programs, --workloads, or --bench)\n");
+                     "--gen-programs, --workloads, --scenarios, or "
+                     "--bench)\n");
         return 2;
     }
 
@@ -1083,6 +1134,10 @@ usage()
         "  --gen-programs=N    generated soak programs\n"
         "  --gen-chunk=N       programs per job (default 5)\n"
         "  --workloads=a,b     named workload jobs\n"
+        "  --scenarios=a,b     synthetic scenario jobs: spec files "
+        "or\n"
+        "                      directories of *.spec.json "
+        "(elag_workgen --matrix)\n"
         "  --machines=a,b      baseline|proposed (default proposed)\n"
         "  --plans=SPEC        comma-separated groups; join plans "
         "with '+';\n"
@@ -1106,6 +1161,7 @@ usage()
         "--gen-count=N\n"
         "  --gen-pick=i,j --machine=M --selection=POLICY "
         "--plans=p1,p2\n"
+        "  --scenario=FILE     run one scenario-spec file\n"
         "  --inject-seed=N --max-inst=N --max-cycles=N "
         "--max-wall-ms=N --attempt=N\n"
         "  --checkpoint=FILE   durable progress checkpoint\n");
@@ -1176,6 +1232,8 @@ workerMain(int argc, char **argv)
             opts.selection = value("--selection=");
         } else if (startsWith(arg, "--plans=")) {
             opts.plans = splitString(value("--plans="), ',');
+        } else if (startsWith(arg, "--scenario=")) {
+            opts.scenarioPath = value("--scenario=");
         } else if (startsWith(arg, "--checkpoint=")) {
             opts.checkpointPath = value("--checkpoint=");
         } else {
@@ -1250,6 +1308,12 @@ coordinatorMain(int argc, char **argv)
             // parsed (or flagged) above
         } else if (startsWith(arg, "--workloads=")) {
             opts.workloadNames = splitString(value("--workloads="), ',');
+        } else if (startsWith(arg, "--scenarios=")) {
+            // Entries are spec files or directories to scan; expanded
+            // and validated below once all flags are parsed.
+            for (const std::string &entry :
+                 splitString(value("--scenarios="), ','))
+                opts.scenarioFiles.push_back(entry);
         } else if (startsWith(arg, "--machines=")) {
             opts.machines = splitString(value("--machines="), ',');
         } else if (startsWith(arg, "--plans=")) {
@@ -1311,6 +1375,59 @@ coordinatorMain(int argc, char **argv)
                          name.c_str());
             return 2;
         }
+    }
+    // Expand --scenarios entries (directories scan for *.spec.json,
+    // sorted for a deterministic matrix) and fail fast on any spec
+    // that does not parse, before a single worker is spawned.
+    {
+        std::vector<std::string> files;
+        for (const std::string &entry : opts.scenarioFiles) {
+            struct stat st;
+            if (stat(entry.c_str(), &st) != 0) {
+                std::fprintf(stderr, "cannot stat scenario '%s'\n",
+                             entry.c_str());
+                return 2;
+            }
+            if (!S_ISDIR(st.st_mode)) {
+                files.push_back(entry);
+                continue;
+            }
+            DIR *dir = opendir(entry.c_str());
+            if (!dir) {
+                std::fprintf(stderr,
+                             "cannot open scenario dir '%s'\n",
+                             entry.c_str());
+                return 2;
+            }
+            std::vector<std::string> found;
+            while (struct dirent *de = readdir(dir)) {
+                std::string name = de->d_name;
+                if (endsWith(name, ".spec.json"))
+                    found.push_back(entry + "/" + name);
+            }
+            closedir(dir);
+            std::sort(found.begin(), found.end());
+            files.insert(files.end(), found.begin(), found.end());
+        }
+        for (const std::string &path : files) {
+            std::ifstream in(path);
+            if (!in) {
+                std::fprintf(stderr, "cannot open scenario '%s'\n",
+                             path.c_str());
+                return 2;
+            }
+            std::ostringstream text;
+            text << in.rdbuf();
+            workloads::synthetic::ScenarioSpec spec;
+            std::string error;
+            if (!workloads::synthetic::parseScenarioSpec(
+                    text.str(), spec, error)) {
+                std::fprintf(stderr, "bad scenario '%s': %s\n",
+                             path.c_str(), error.c_str());
+                return 2;
+            }
+        }
+        opts.scenarioFiles = std::move(files);
     }
     if (opts.benchOutDir.empty()) {
         size_t slash = opts.manifestPath.find_last_of('/');

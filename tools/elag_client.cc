@@ -60,6 +60,7 @@ struct Options
     uint16_t tcpPort = 0;
     std::string verb = "simulate";
     std::string source; ///< path to the mini-C source file
+    std::string spec;   ///< path to a scenario spec (generate)
     uint32_t clients = 0;
     uint32_t requests = 1;
     /** Total attempts per call; 1 disables reconnect-retry. */
@@ -76,16 +77,16 @@ usage()
     std::fprintf(
         stderr,
         "usage: elag_client (--socket=PATH | --tcp-port=N)\n"
-        "                   [--verb=compile|classify|simulate|stats|"
-        "health|metrics|drain]\n"
-        "                   [--source=FILE] [--machine=baseline|"
-        "proposed]\n"
+        "                   [--verb=compile|classify|simulate|"
+        "generate|stats|health|metrics|drain]\n"
+        "                   [--source=FILE] [--spec=FILE] "
+        "[--machine=baseline|proposed]\n"
         "                   [--selection=compiler|ev|all-predict|"
         "all-early]\n"
         "                   [--table=N] [--regs=N] [--no-opt]\n"
         "                   [--no-classify] [--max-inst=N]\n"
         "                   [--deadline-ms=N] [--format=json|"
-        "prometheus]\n"
+        "prometheus|source]\n"
         "                   [--clients=N] [--requests=M] [--json]\n"
         "                   [--retries=N]\n"
         "                   [--trace-out=FILE] [--quiet]\n");
@@ -135,6 +136,8 @@ parseArgs(int argc, char **argv, Options &opts)
             opts.verb = value("--verb=");
         } else if (startsWith(arg, "--source=")) {
             opts.source = value("--source=");
+        } else if (startsWith(arg, "--spec=")) {
+            opts.spec = value("--spec=");
         } else if (startsWith(arg, "--machine=")) {
             opts.request.machine = value("--machine=");
         } else if (startsWith(arg, "--selection=")) {
@@ -193,7 +196,14 @@ parseArgs(int argc, char **argv, Options &opts)
                      "is required\n");
         return false;
     }
-    if (serve::isWorkVerb(opts.verb) && opts.source.empty()) {
+    if (opts.verb == "generate") {
+        if (opts.spec.empty()) {
+            std::fprintf(stderr,
+                         "elag_client: verb 'generate' requires "
+                         "--spec=FILE\n");
+            return false;
+        }
+    } else if (serve::isWorkVerb(opts.verb) && opts.source.empty()) {
         std::fprintf(stderr,
                      "elag_client: verb '%s' requires "
                      "--source=FILE\n",
@@ -203,7 +213,7 @@ parseArgs(int argc, char **argv, Options &opts)
     if (opts.clients && !serve::isWorkVerb(opts.verb)) {
         std::fprintf(stderr,
                      "elag_client: --clients needs a work verb "
-                     "(compile/classify/simulate)\n");
+                     "(compile/classify/simulate/generate)\n");
         return false;
     }
     return true;
@@ -263,6 +273,18 @@ main(int argc, char **argv)
         // elagc prints for the same invocation path.
         opts.request.file = opts.source;
     }
+    if (!opts.spec.empty()) {
+        std::ifstream in(opts.spec);
+        if (!in) {
+            std::fprintf(stderr, "elag_client: cannot open '%s'\n",
+                         opts.spec.c_str());
+            return 1;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        opts.request.spec = trimString(text.str());
+        opts.request.file = opts.spec;
+    }
 
     try {
         if (opts.clients) {
@@ -305,6 +327,14 @@ main(int argc, char **argv)
         if (opts.verb == "metrics" &&
             opts.request.format == "prometheus" &&
             jsonExtractString(response.result, "body", body)) {
+            std::fputs(body.c_str(), stdout);
+            return 0;
+        }
+        // Likewise, --format=source unwraps a generate result down
+        // to the program text, byte-comparable against elag_workgen.
+        if (opts.verb == "generate" &&
+            opts.request.format == "source" &&
+            jsonExtractString(response.result, "source", body)) {
             std::fputs(body.c_str(), stdout);
             return 0;
         }

@@ -78,6 +78,8 @@
 #include "support/trace.hh"
 #include "verify/fault_injector.hh"
 #include "verify/invariant_checker.hh"
+#include "workloads/synthetic/scenario.hh"
+#include "workloads/workloads.hh"
 
 using namespace elag;
 
@@ -86,6 +88,8 @@ namespace {
 struct Options
 {
     std::string file;
+    std::string workload; ///< registered workload name, not a file
+    bool listWorkloads = false;
     bool disasm = false;
     bool stats = false;
     bool profile = false;
@@ -138,8 +142,9 @@ usage()
                  "             [--seed=N] [--max-cycles=N]\n"
                  "             [--checkpoint-dir=D] "
                  "[--checkpoint-every=N]\n"
-                 "             [--resume-from=FILE]"
-                 " file.c\n");
+                 "             [--resume-from=FILE]\n"
+                 "             [--workload=NAME] [--list-workloads]"
+                 " [file.c]\n");
 }
 
 /**
@@ -224,6 +229,10 @@ parseArgs(int argc, char **argv, Options &opts)
                 return false;
         } else if (startsWith(arg, "--resume-from=")) {
             opts.resumeFrom = value("--resume-from=");
+        } else if (startsWith(arg, "--workload=")) {
+            opts.workload = value("--workload=");
+        } else if (arg == "--list-workloads") {
+            opts.listWorkloads = true;
         } else if (!startsWith(arg, "--")) {
             opts.file = arg;
         } else {
@@ -231,7 +240,30 @@ parseArgs(int argc, char **argv, Options &opts)
             return false;
         }
     }
-    return !opts.file.empty();
+    if (opts.listWorkloads)
+        return true;
+    if (!opts.file.empty() && !opts.workload.empty()) {
+        std::fprintf(stderr,
+                     "elagc: --workload= and a source file are "
+                     "mutually exclusive\n");
+        return false;
+    }
+    return !opts.file.empty() || !opts.workload.empty();
+}
+
+void
+listWorkloads()
+{
+    std::printf("imitation workloads:\n");
+    for (const workloads::Workload *w : workloads::allWorkloads()) {
+        std::printf("  %-10s [%s] %s\n", w->name.c_str(),
+                    w->suite == workloads::Suite::SpecInt ? "spec"
+                                                          : "media",
+                    w->description.c_str());
+    }
+    std::printf("\nsynthetic kernel families (elag_workgen):\n");
+    for (const auto &info : workloads::synthetic::kernelFamilies())
+        std::printf("  %-10s %s\n", info.name, info.description);
 }
 
 pipeline::MachineConfig
@@ -367,18 +399,46 @@ main(int argc, char **argv)
         ~TraceFlusher() { obs::SpanTracer::process().flush(); }
     } traceFlusher;
 
+    if (opts.listWorkloads) {
+        listWorkloads();
+        return 0;
+    }
+
     // When the JSON document goes to stdout, keep stdout pure JSON
     // and move all human-readable output to stderr.
     FILE *text = opts.jsonStats == "-" ? stderr : stdout;
 
-    std::ifstream in(opts.file);
-    if (!in) {
-        std::fprintf(stderr, "elagc: cannot open '%s'\n",
-                     opts.file.c_str());
-        return 1;
+    std::string source;
+    if (!opts.workload.empty()) {
+        const workloads::Workload *w =
+            workloads::findWorkload(opts.workload);
+        if (!w) {
+            // Unknown names are usage errors, not fatal(): the caller
+            // mistyped an enumerable name, so hint and exit 2.
+            std::string hint =
+                workloads::suggestWorkload(opts.workload);
+            std::fprintf(stderr, "elagc: unknown workload '%s'%s%s\n",
+                         opts.workload.c_str(),
+                         hint.empty() ? "" : "; did you mean '",
+                         hint.empty() ? "" : (hint + "'?").c_str());
+            std::fprintf(stderr,
+                         "elagc: --list-workloads enumerates valid "
+                         "names\n");
+            return 2;
+        }
+        source = w->source;
+        opts.file = "workload:" + opts.workload;
+    } else {
+        std::ifstream in(opts.file);
+        if (!in) {
+            std::fprintf(stderr, "elagc: cannot open '%s'\n",
+                         opts.file.c_str());
+            return 1;
+        }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        source = buffer.str();
     }
-    std::stringstream buffer;
-    buffer << in.rdbuf();
 
     try {
         sim::CompileOptions copts;
@@ -386,7 +446,7 @@ main(int argc, char **argv)
             copts.opt = opt::OptConfig::noneEnabled();
         copts.runClassifier = !opts.noClassify;
 
-        sim::CompiledProgram prog = sim::compile(buffer.str(), copts);
+        sim::CompiledProgram prog = sim::compile(source, copts);
         std::fprintf(text,
                      "compiled: %zu instructions, %d static loads "
                      "(ld_n %d, ld_p %d, ld_e %d)\n",
